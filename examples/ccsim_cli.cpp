@@ -1,0 +1,236 @@
+//===- examples/ccsim_cli.cpp - Unified command-line driver ---------------===//
+//
+// One binary exposing the library's main workflows as subcommands:
+//
+//   ccsim_cli simulate --benchmark=crafty --policy=8 --pressure=10
+//       Trace-driven simulation of one Table 1 benchmark.
+//   ccsim_cli record --out=run.cct [--functions=N] [--iterations=N]
+//       Run the mini-DBT on a synthetic program and save its superblock
+//       log.
+//   ccsim_cli replay run.cct --policy=fine --pressure=4
+//       Replay a saved log through the cache simulator.
+//   ccsim_cli fit
+//       Re-derive the paper's overhead equations from a mini-DBT run.
+//   ccsim_cli suite --pressure=2 [--scale=0.2]
+//       Granularity sweep over the whole Table 1 suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Aggregate.h"
+#include "analysis/OverheadFit.h"
+#include "isa/ProgramGenerator.h"
+#include "runtime/SystemProfiles.h"
+#include "runtime/Translator.h"
+#include "sim/Sweep.h"
+#include "support/Flags.h"
+#include "support/StringUtils.h"
+#include "support/Table.h"
+#include "trace/TraceGenerator.h"
+#include "trace/TraceIO.h"
+
+#include <cstdio>
+#include <cstring>
+
+using namespace ccsim;
+
+namespace {
+
+/// Parses "--policy": "flush", "fine"/"fifo", or a unit count.
+GranularitySpec parsePolicy(const std::string &Text) {
+  if (Text == "flush" || Text == "FLUSH")
+    return GranularitySpec::flush();
+  if (Text == "fine" || Text == "fifo" || Text == "FIFO")
+    return GranularitySpec::fine();
+  const long Units = std::strtol(Text.c_str(), nullptr, 10);
+  if (Units >= 1)
+    return GranularitySpec::units(static_cast<unsigned>(Units));
+  std::fprintf(stderr, "warning: bad policy '%s', using 8 units\n",
+               Text.c_str());
+  return GranularitySpec::units(8);
+}
+
+void printSimResult(const SimResult &R) {
+  std::printf("benchmark %s under %s (cache %s of maxCache %s)\n",
+              R.BenchmarkName.c_str(), R.PolicyName.c_str(),
+              formatBytes(R.CapacityBytes).c_str(),
+              formatBytes(R.MaxCacheBytes).c_str());
+  const CacheStats &S = R.Stats;
+  std::printf("  accesses %s | miss rate %s | evictions %s | inter-unit "
+              "links %s\n",
+              formatWithCommas(S.Accesses).c_str(),
+              formatPercent(S.missRate(), 3).c_str(),
+              formatWithCommas(S.EvictionInvocations).c_str(),
+              formatPercent(S.interUnitLinkFraction(), 1).c_str());
+  std::printf("  overhead: %.0f instructions (miss %.0f + eviction %.0f "
+              "+ unlink %.0f)\n",
+              S.totalOverhead(true), S.MissOverhead, S.EvictionOverhead,
+              S.UnlinkOverhead);
+}
+
+int cmdSimulate(int Argc, char **Argv) {
+  FlagSet Flags("ccsim_cli simulate: trace-driven simulation.");
+  Flags.addString("benchmark", "crafty", "Table 1 benchmark name.");
+  Flags.addString("policy", "8", "flush | fine | <unit count>.");
+  Flags.addDouble("pressure", 10.0, "Cache pressure factor.");
+  Flags.addInt("seed", 42, "Trace seed.");
+  if (!Flags.parse(Argc, Argv))
+    return 1;
+  const WorkloadModel *M = findWorkload(Flags.getString("benchmark"));
+  if (!M) {
+    std::fprintf(stderr, "error: unknown benchmark\n");
+    return 1;
+  }
+  const Trace T = TraceGenerator::generateBenchmark(
+      *M, static_cast<uint64_t>(Flags.getInt("seed")));
+  SimConfig Config;
+  Config.PressureFactor = Flags.getDouble("pressure");
+  printSimResult(
+      sim::run(T, parsePolicy(Flags.getString("policy")), Config));
+  return 0;
+}
+
+int cmdRecord(int Argc, char **Argv) {
+  FlagSet Flags("ccsim_cli record: run the mini-DBT and save its log.");
+  Flags.addString("out", "ccsim_run.cct", "Output trace path.");
+  Flags.addInt("functions", 48, "Guest call-graph size.");
+  Flags.addInt("iterations", 1500, "Main loop trips per phase.");
+  Flags.addInt("phases", 6, "Program phases.");
+  Flags.addInt("seed", 7, "Program seed.");
+  if (!Flags.parse(Argc, Argv))
+    return 1;
+  ProgramSpec Spec;
+  Spec.NumFunctions = static_cast<uint32_t>(Flags.getInt("functions"));
+  Spec.OuterIterations = static_cast<uint32_t>(Flags.getInt("iterations"));
+  Spec.MainPhases = static_cast<uint32_t>(Flags.getInt("phases"));
+  Spec.MeanCallsPerFunction = 0.6;
+  Spec.RareBranchProb = 0.1;
+  Spec.Seed = static_cast<uint64_t>(Flags.getInt("seed"));
+  const Program P = generateProgram(Spec);
+
+  TranslatorConfig Config;
+  Config.CacheBytes = 64ULL << 20;
+  Config.RecordTrace = true;
+  Translator T(P, Config);
+  const TranslatorStats &S = T.run(50000000);
+  const Trace Log = T.exportTrace();
+  if (!writeTrace(Log, Flags.getString("out"))) {
+    std::fprintf(stderr, "error: cannot write %s\n",
+                 Flags.getString("out").c_str());
+    return 1;
+  }
+  std::printf("recorded %s guest instructions into %zu superblocks / %s "
+              "events -> %s\n",
+              formatWithCommas(S.GuestInstructions).c_str(),
+              Log.numSuperblocks(),
+              formatWithCommas(Log.numAccesses()).c_str(),
+              Flags.getString("out").c_str());
+  return 0;
+}
+
+int cmdReplay(int Argc, char **Argv) {
+  FlagSet Flags("ccsim_cli replay: replay a saved log.");
+  Flags.addString("policy", "8", "flush | fine | <unit count>.");
+  Flags.addDouble("pressure", 4.0, "Cache pressure factor.");
+  if (!Flags.parse(Argc, Argv))
+    return 1;
+  if (Flags.positional().empty()) {
+    std::fprintf(stderr, "usage: ccsim_cli replay <file.cct> [flags]\n");
+    return 1;
+  }
+  const auto T = readTrace(Flags.positional().front());
+  if (!T) {
+    std::fprintf(stderr, "error: cannot read %s\n",
+                 Flags.positional().front().c_str());
+    return 1;
+  }
+  SimConfig Config;
+  Config.PressureFactor = Flags.getDouble("pressure");
+  printSimResult(
+      sim::run(*T, parsePolicy(Flags.getString("policy")), Config));
+  return 0;
+}
+
+int cmdFit(int Argc, char **Argv) {
+  FlagSet Flags("ccsim_cli fit: re-derive Equations 2-4.");
+  Flags.addInt("cache-kb", 24, "Mini-DBT cache size in KB.");
+  Flags.addInt("budget", 20000000, "Guest instruction budget.");
+  if (!Flags.parse(Argc, Argv))
+    return 1;
+  const Program P = generateProgram(fig9ProgramSpec());
+  TranslatorConfig Config;
+  Config.CacheBytes = static_cast<uint64_t>(Flags.getInt("cache-kb")) << 10;
+  Translator T(P, Config);
+  const OverheadFits Fits = fitOverheads(
+      T.run(static_cast<uint64_t>(Flags.getInt("budget"))).Ops);
+  std::printf("eviction: %.2f * bytes + %.1f   (paper 2.77x + 3055)\n",
+              Fits.Eviction.Slope, Fits.Eviction.Intercept);
+  std::printf("miss:     %.2f * bytes + %.1f   (paper 75.4x + 1922)\n",
+              Fits.Miss.Slope, Fits.Miss.Intercept);
+  std::printf("unlink:   %.2f * links + %.1f   (paper 296.5x + 95.7)\n",
+              Fits.Unlink.Slope, Fits.Unlink.Intercept);
+  return 0;
+}
+
+int cmdSuite(int Argc, char **Argv) {
+  FlagSet Flags("ccsim_cli suite: Table 1 granularity sweep.");
+  Flags.addDouble("pressure", 2.0, "Cache pressure factor.");
+  Flags.addDouble("scale", 1.0, "Suite size multiplier.");
+  Flags.addInt("seed", static_cast<int64_t>(DefaultSuiteSeed),
+               "Suite seed.");
+  if (!Flags.parse(Argc, Argv))
+    return 1;
+  const SweepEngine Engine =
+      Flags.getDouble("scale") >= 0.999
+          ? SweepEngine::forTable1(
+                static_cast<uint64_t>(Flags.getInt("seed")))
+          : SweepEngine::forScaledTable1(
+                Flags.getDouble("scale"),
+                static_cast<uint64_t>(Flags.getInt("seed")));
+  SimConfig Config;
+  Config.PressureFactor = Flags.getDouble("pressure");
+  const auto Results = Engine.sweepGranularities(Config);
+  const auto Rel = relativeOverheadPerBenchmarkMean(Results, true);
+  Table Out({"Granularity", "Miss rate", "Evictions", "Rel overhead"});
+  for (size_t I = 0; I < Results.size(); ++I) {
+    Out.beginRow();
+    Out.cell(Results[I].PolicyLabel);
+    Out.cell(formatPercent(Results[I].Combined.missRate(), 3));
+    Out.cell(Results[I].Combined.EvictionInvocations);
+    Out.cell(Rel[I], 3);
+  }
+  std::fputs(Out.render().c_str(), stdout);
+  return 0;
+}
+
+void usage() {
+  std::fputs("ccsim_cli <simulate|record|replay|fit|suite> [flags]\n"
+             "  simulate  trace-driven simulation of a Table 1 benchmark\n"
+             "  record    run the mini-DBT, save its superblock log\n"
+             "  replay    replay a saved log through the simulator\n"
+             "  fit       re-derive the paper's overhead equations\n"
+             "  suite     granularity sweep over the whole suite\n",
+             stderr);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2) {
+    usage();
+    return 1;
+  }
+  const char *Cmd = Argv[1];
+  // Shift argv so each subcommand's FlagSet sees its own flags.
+  if (std::strcmp(Cmd, "simulate") == 0)
+    return cmdSimulate(Argc - 1, Argv + 1);
+  if (std::strcmp(Cmd, "record") == 0)
+    return cmdRecord(Argc - 1, Argv + 1);
+  if (std::strcmp(Cmd, "replay") == 0)
+    return cmdReplay(Argc - 1, Argv + 1);
+  if (std::strcmp(Cmd, "fit") == 0)
+    return cmdFit(Argc - 1, Argv + 1);
+  if (std::strcmp(Cmd, "suite") == 0)
+    return cmdSuite(Argc - 1, Argv + 1);
+  usage();
+  return 1;
+}

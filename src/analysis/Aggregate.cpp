@@ -1,0 +1,107 @@
+//===- analysis/Aggregate.cpp - Cross-benchmark result aggregation --------===//
+
+#include "analysis/Aggregate.h"
+
+#include <cassert>
+
+using namespace ccsim;
+
+std::vector<double>
+ccsim::relativeOverheadWeighted(const std::vector<SuiteResult> &Points,
+                                bool IncludeLinkMaintenance,
+                                size_t BaselineIndex) {
+  assert(BaselineIndex < Points.size() && "baseline index out of range");
+  const double Base =
+      Points[BaselineIndex].Combined.totalOverhead(IncludeLinkMaintenance);
+  std::vector<double> Out;
+  Out.reserve(Points.size());
+  for (const SuiteResult &P : Points) {
+    const double Value = P.Combined.totalOverhead(IncludeLinkMaintenance);
+    Out.push_back(Base > 0.0 ? Value / Base : 0.0);
+  }
+  return Out;
+}
+
+std::vector<double> ccsim::relativeOverheadPerBenchmarkMean(
+    const std::vector<SuiteResult> &Points, bool IncludeLinkMaintenance,
+    size_t BaselineIndex) {
+  assert(BaselineIndex < Points.size() && "baseline index out of range");
+  const SuiteResult &Base = Points[BaselineIndex];
+  std::vector<double> Out;
+  Out.reserve(Points.size());
+  for (const SuiteResult &P : Points) {
+    assert(P.PerBenchmark.size() == Base.PerBenchmark.size() &&
+           "sweep points cover different benchmark sets");
+    double Sum = 0.0;
+    size_t Count = 0;
+    for (size_t I = 0; I < P.PerBenchmark.size(); ++I) {
+      const double BaseValue =
+          Base.PerBenchmark[I].Stats.totalOverhead(IncludeLinkMaintenance);
+      if (BaseValue <= 0.0)
+        continue;
+      Sum += P.PerBenchmark[I].Stats.totalOverhead(IncludeLinkMaintenance) /
+             BaseValue;
+      ++Count;
+    }
+    Out.push_back(Count ? Sum / static_cast<double>(Count) : 0.0);
+  }
+  return Out;
+}
+
+std::vector<double>
+ccsim::relativeEvictionsWeighted(const std::vector<SuiteResult> &Points,
+                                 size_t BaselineIndex) {
+  assert(BaselineIndex < Points.size() && "baseline index out of range");
+  const double Base = static_cast<double>(
+      Points[BaselineIndex].Combined.EvictionInvocations);
+  std::vector<double> Out;
+  Out.reserve(Points.size());
+  for (const SuiteResult &P : Points)
+    Out.push_back(
+        Base > 0.0
+            ? static_cast<double>(P.Combined.EvictionInvocations) / Base
+            : 0.0);
+  return Out;
+}
+
+std::vector<double> ccsim::relativeEvictionsPerBenchmarkMean(
+    const std::vector<SuiteResult> &Points, size_t BaselineIndex) {
+  assert(BaselineIndex < Points.size() && "baseline index out of range");
+  const SuiteResult &Base = Points[BaselineIndex];
+  std::vector<double> Out;
+  Out.reserve(Points.size());
+  for (const SuiteResult &P : Points) {
+    double Sum = 0.0;
+    size_t Count = 0;
+    for (size_t I = 0; I < P.PerBenchmark.size(); ++I) {
+      const double BaseValue = static_cast<double>(
+          Base.PerBenchmark[I].Stats.EvictionInvocations);
+      if (BaseValue <= 0.0)
+        continue;
+      Sum += static_cast<double>(
+                 P.PerBenchmark[I].Stats.EvictionInvocations) /
+             BaseValue;
+      ++Count;
+    }
+    Out.push_back(Count ? Sum / static_cast<double>(Count) : 0.0);
+  }
+  return Out;
+}
+
+std::vector<double>
+ccsim::unifiedMissRates(const std::vector<SuiteResult> &Points) {
+  std::vector<double> Out;
+  Out.reserve(Points.size());
+  for (const SuiteResult &P : Points)
+    Out.push_back(P.Combined.missRate());
+  return Out;
+}
+
+std::vector<double>
+ccsim::interUnitLinkFractions(const std::vector<SuiteResult> &Points) {
+  std::vector<double> Out;
+  Out.reserve(Points.size());
+  for (const SuiteResult &P : Points)
+    Out.push_back(P.Combined.interUnitLinkFraction());
+  return Out;
+}

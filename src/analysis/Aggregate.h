@@ -1,0 +1,63 @@
+//===- analysis/Aggregate.h - Cross-benchmark result aggregation ----------===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Aggregations used by the figure benches. The paper defines Equation 1
+/// (access-weighted unified miss rate) explicitly; for the relative
+/// overhead and eviction-count figures the aggregation is not stated, so
+/// the benches report both the Eq. 1 weighting (sum of raw counters) and
+/// the unweighted mean of per-benchmark relative values. See
+/// EXPERIMENTS.md for which matches the paper's shapes where.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_ANALYSIS_AGGREGATE_H
+#define CCSIM_ANALYSIS_AGGREGATE_H
+
+#include "sim/Sweep.h"
+
+#include <vector>
+
+namespace ccsim {
+
+/// Total modeled overhead per sweep point under Eq. 1 weighting,
+/// relative to element \p BaselineIndex.
+std::vector<double>
+relativeOverheadWeighted(const std::vector<SuiteResult> &Points,
+                         bool IncludeLinkMaintenance,
+                         size_t BaselineIndex = 0);
+
+/// Mean over benchmarks of per-benchmark relative overhead, relative to
+/// the same benchmark under the baseline sweep point.
+std::vector<double>
+relativeOverheadPerBenchmarkMean(const std::vector<SuiteResult> &Points,
+                                 bool IncludeLinkMaintenance,
+                                 size_t BaselineIndex = 0);
+
+/// Eviction invocation counts relative to \p BaselineIndex (the paper's
+/// Figure 8 uses the finest-grained FIFO — the last sweep point — as
+/// 100%). Eq. 1 weighting.
+std::vector<double>
+relativeEvictionsWeighted(const std::vector<SuiteResult> &Points,
+                          size_t BaselineIndex);
+
+/// Per-benchmark-mean version of relativeEvictionsWeighted. Benchmarks
+/// with zero baseline evictions are skipped.
+std::vector<double>
+relativeEvictionsPerBenchmarkMean(const std::vector<SuiteResult> &Points,
+                                  size_t BaselineIndex);
+
+/// Unified miss rates (Eq. 1) per sweep point.
+std::vector<double> unifiedMissRates(const std::vector<SuiteResult> &Points);
+
+/// Inter-unit link fractions per sweep point (Eq. 1 weighting over link
+/// creation events).
+std::vector<double>
+interUnitLinkFractions(const std::vector<SuiteResult> &Points);
+
+} // namespace ccsim
+
+#endif // CCSIM_ANALYSIS_AGGREGATE_H

@@ -1,0 +1,39 @@
+//===- analysis/OverheadFit.cpp - Re-deriving the overhead equations ------===//
+
+#include "analysis/OverheadFit.h"
+
+#include <cmath>
+
+using namespace ccsim;
+
+OverheadFits ccsim::fitOverheads(const OpCounter &Ops) {
+  OverheadFits Fits;
+  RegressionAccumulator Evict, Miss, Unlink;
+  for (const OpCounter::Sample &S : Ops.EvictionSamples)
+    Evict.add(S.X, S.Ops);
+  for (const OpCounter::Sample &S : Ops.MissSamples)
+    Miss.add(S.X, S.Ops);
+  for (const OpCounter::Sample &S : Ops.UnlinkSamples)
+    Unlink.add(S.X, S.Ops);
+  Fits.Eviction = Evict.fit();
+  Fits.Miss = Miss.fit();
+  Fits.Unlink = Unlink.fit();
+  return Fits;
+}
+
+CostModel ccsim::costModelFromFits(const OverheadFits &Fits) {
+  CostModel Model;
+  Model.EvictionPerByte = Fits.Eviction.Slope;
+  Model.EvictionBase = Fits.Eviction.Intercept;
+  Model.MissPerByte = Fits.Miss.Slope;
+  Model.MissBase = Fits.Miss.Intercept;
+  Model.UnlinkPerLink = Fits.Unlink.Slope;
+  Model.UnlinkBase = Fits.Unlink.Intercept;
+  return Model;
+}
+
+double ccsim::relativeError(double Fitted, double Reference) {
+  if (Reference == 0.0)
+    return std::abs(Fitted);
+  return std::abs(Fitted - Reference) / std::abs(Reference);
+}

@@ -1,0 +1,45 @@
+//===- analysis/OverheadFit.h - Re-deriving the overhead equations --------===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Figure 9 methodology: least-squares fits of the overhead samples
+/// logged by the mini-DBT's instrumentation, re-deriving the paper's
+/// Equations 2 (eviction), 3 (miss/regeneration) and 4 (unlinking), plus
+/// a comparison helper against the published coefficients.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_ANALYSIS_OVERHEADFIT_H
+#define CCSIM_ANALYSIS_OVERHEADFIT_H
+
+#include "core/CostModel.h"
+#include "runtime/OpCounter.h"
+#include "support/Regression.h"
+
+namespace ccsim {
+
+/// The three fitted overhead equations.
+struct OverheadFits {
+  LinearFit Eviction; ///< instructions vs bytes evicted (Eq. 2).
+  LinearFit Miss;     ///< instructions vs bytes regenerated (Eq. 3).
+  LinearFit Unlink;   ///< instructions vs links removed (Eq. 4).
+};
+
+/// Fits the logged samples of \p Ops.
+OverheadFits fitOverheads(const OpCounter &Ops);
+
+/// Builds a CostModel from fitted equations, so the trace-driven
+/// simulator can run with coefficients measured on the mini-DBT instead
+/// of the paper's published ones (closing the loop between the two
+/// halves of the study).
+CostModel costModelFromFits(const OverheadFits &Fits);
+
+/// Relative error |Fitted - Reference| / |Reference| of a coefficient.
+double relativeError(double Fitted, double Reference);
+
+} // namespace ccsim
+
+#endif // CCSIM_ANALYSIS_OVERHEADFIT_H

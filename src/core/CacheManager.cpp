@@ -1,0 +1,143 @@
+//===- core/CacheManager.cpp - Code cache management facade --------------===//
+
+#include "core/CacheManager.h"
+
+#include <algorithm>
+
+using namespace ccsim;
+
+CacheManager::CacheManager(const CacheManagerConfig &Config,
+                           std::unique_ptr<EvictionPolicy> Policy)
+    : Config(Config), Policy(std::move(Policy)),
+      Cache(Config.CapacityBytes) {
+  assert(this->Policy && "cache manager requires a policy");
+}
+
+uint64_t CacheManager::currentQuantum() const {
+  const uint64_t Capacity = Cache.capacity();
+  uint64_t Quantum = Policy->quantumBytes(Capacity);
+  return std::clamp<uint64_t>(Quantum, 1, Capacity);
+}
+
+bool CacheManager::seenBefore(SuperblockId Id) {
+  if (Id >= Seen.size())
+    Seen.resize(std::max<size_t>(Id + 1, Seen.size() * 2), 0);
+  const bool Before = Seen[Id];
+  Seen[Id] = 1;
+  return Before;
+}
+
+void CacheManager::sampleBackPointerMemory() {
+  if (!Config.EnableChaining ||
+      !Policy->usesBackPointerTable(Cache.capacity()))
+    return;
+  const uint64_t Bytes = Links.backPointerBytes();
+  Stats.BackPointerBytesPeak = std::max(Stats.BackPointerBytesPeak, Bytes);
+  Stats.BackPointerBytesSum += static_cast<double>(Bytes);
+}
+
+void CacheManager::chargeEvictions(uint64_t UnitsFlushed) {
+  assert(!EvictedScratch.empty() && "no victims to charge");
+  uint64_t Bytes = 0;
+  for (const CodeCache::Resident &V : EvictedScratch)
+    Bytes += V.Size;
+  ++Stats.EvictionInvocations;
+  Stats.EvictedBlocks += EvictedScratch.size();
+  Stats.EvictedBytes += Bytes;
+  Stats.UnitsFlushed += UnitsFlushed;
+  Stats.EvictionOverhead += Config.Costs.evictionOverhead(Bytes);
+
+  if (!Config.EnableChaining) {
+    // Without chaining there are no links to repair; nothing else to do.
+    EvictedScratch.clear();
+    return;
+  }
+
+  DanglingScratch.clear();
+  Links.onEvict(Cache, EvictedScratch, DanglingScratch);
+  if (Policy->usesBackPointerTable(Cache.capacity())) {
+    for (uint32_t NumLinks : DanglingScratch) {
+      if (NumLinks == 0)
+        continue;
+      ++Stats.UnlinkOperations;
+      Stats.UnlinkedLinks += NumLinks;
+      Stats.UnlinkOverhead += Config.Costs.unlinkingOverhead(NumLinks);
+    }
+  }
+  EvictedScratch.clear();
+}
+
+AccessKind CacheManager::access(const SuperblockRecord &Rec) {
+  assert(Rec.Id != InvalidSuperblockId && "invalid superblock id");
+  assert(Rec.SizeBytes > 0 && "superblocks must have a positive size");
+
+  ++Stats.Accesses;
+  const bool Hit = Cache.contains(Rec.Id);
+  Policy->noteAccess(Hit);
+
+  AccessKind Kind = AccessKind::Hit;
+  if (Hit) {
+    ++Stats.Hits;
+  } else {
+    // Miss: the superblock must be regenerated (re-translated, inserted,
+    // hash table updated) at the Eq. 3 cost; there is no backing store.
+    ++Stats.Misses;
+    if (seenBefore(Rec.Id))
+      ++Stats.CapacityMisses;
+    else
+      ++Stats.ColdMisses;
+    Stats.MissOverhead += Config.Costs.missOverhead(Rec.SizeBytes);
+
+    const uint64_t Quantum = currentQuantum();
+    EvictedScratch.clear();
+    const CodeCache::PrepareOutcome Prep =
+        Cache.prepareInsert(Rec.SizeBytes, Quantum, EvictedScratch);
+    Stats.WastedBytes += Prep.WastedBytes;
+    if (!EvictedScratch.empty())
+      chargeEvictions(Prep.UnitsFlushed);
+
+    if (Prep.CanInsert) {
+      Cache.commitInsert(Rec.Id, Rec.SizeBytes);
+      if (Config.EnableChaining)
+        Links.onInsert(Cache, Quantum, Rec.Id, Rec.OutEdges, Stats);
+      Kind = AccessKind::Miss;
+    } else {
+      Kind = AccessKind::MissTooBig;
+    }
+  }
+
+  if (Policy->shouldFlushNow() && !Cache.empty()) {
+    ++Stats.PreemptiveFlushes;
+    flushEntireCache();
+    Policy->noteFlush();
+  }
+
+  sampleBackPointerMemory();
+  return Kind;
+}
+
+void CacheManager::flushEntireCache() {
+  if (Cache.empty())
+    return;
+  EvictedScratch.clear();
+  Cache.flushAll(EvictedScratch);
+  // A full flush is one invocation clearing every unit that held code.
+  const uint64_t Quantum = currentQuantum();
+  uint64_t Units = 0;
+  uint64_t LastUnit = ~0ULL;
+  for (const CodeCache::Resident &V : EvictedScratch) {
+    const uint64_t Unit = CodeCache::unitOf(V.Start, Quantum);
+    if (Unit != LastUnit)
+      ++Units;
+    LastUnit = Unit;
+  }
+  chargeEvictions(Units);
+}
+
+bool CacheManager::checkInvariants() const {
+  if (!Cache.checkInvariants())
+    return false;
+  if (Config.EnableChaining && !Links.checkInvariants(Cache))
+    return false;
+  return true;
+}

@@ -1,0 +1,104 @@
+//===- core/CacheManager.h - Code cache management facade ----------------===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cache manager of Figure 1: the component a dynamic optimization
+/// system invokes on every superblock dispatch. It combines the placement
+/// engine (CodeCache), the eviction policy, the chaining state (LinkGraph)
+/// and the analytical cost model (CostModel), and accumulates CacheStats.
+///
+/// One access does the following:
+///   1. hit check (the hash table lookup of Figure 1),
+///   2. on a miss: charge regeneration overhead (Eq. 3), make room at the
+///      policy's eviction quantum (charging Eq. 2 per invocation and Eq. 4
+///      per evicted block with dangling incoming links), insert, and
+///      materialize chain links,
+///   3. poll the policy for a preemptive whole-cache flush.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_CORE_CACHEMANAGER_H
+#define CCSIM_CORE_CACHEMANAGER_H
+
+#include "core/CacheStats.h"
+#include "core/CodeCache.h"
+#include "core/CostModel.h"
+#include "core/EvictionPolicy.h"
+#include "core/LinkGraph.h"
+#include "core/Superblock.h"
+
+#include <memory>
+
+namespace ccsim {
+
+/// Configuration for a CacheManager instance.
+struct CacheManagerConfig {
+  /// Code cache capacity in bytes (the paper's maxCache / pressure).
+  uint64_t CapacityBytes = 1 << 20;
+
+  /// Analytical instruction-overhead model.
+  CostModel Costs = CostModel::paperDefaults();
+
+  /// Maintain superblock chaining (links, back-pointer table, unlink
+  /// charges). Disabling models a system without chaining (Table 2).
+  bool EnableChaining = true;
+};
+
+/// Result of one access.
+enum class AccessKind {
+  Hit,        ///< Superblock found in the cache.
+  Miss,       ///< Regenerated and inserted.
+  MissTooBig, ///< Regenerated but larger than the whole cache; executed
+              ///< unlinked and discarded (pathological; counted, never
+              ///< expected with realistic sizes).
+};
+
+/// Drives a CodeCache under an EvictionPolicy with full chaining and
+/// overhead accounting.
+class CacheManager {
+public:
+  CacheManager(const CacheManagerConfig &Config,
+               std::unique_ptr<EvictionPolicy> Policy);
+
+  /// Processes one superblock dispatch event.
+  AccessKind access(const SuperblockRecord &Rec);
+
+  /// Forces a whole-cache flush (used by tests and external phase
+  /// detectors; also the action behind PreemptiveFlushPolicy).
+  void flushEntireCache();
+
+  const CacheStats &stats() const { return Stats; }
+  const CodeCache &cache() const { return Cache; }
+  const LinkGraph &links() const { return Links; }
+  EvictionPolicy &policy() { return *Policy; }
+  const EvictionPolicy &policy() const { return *Policy; }
+  const CacheManagerConfig &config() const { return Config; }
+
+  /// The eviction quantum currently in force.
+  uint64_t currentQuantum() const;
+
+  /// Cross-checks CodeCache and LinkGraph invariants (tests).
+  bool checkInvariants() const;
+
+private:
+  CacheManagerConfig Config;
+  std::unique_ptr<EvictionPolicy> Policy;
+  CodeCache Cache;
+  LinkGraph Links;
+  CacheStats Stats;
+
+  std::vector<uint8_t> Seen; // Cold-miss detection, indexed by id.
+  std::vector<CodeCache::Resident> EvictedScratch;
+  std::vector<uint32_t> DanglingScratch;
+
+  void chargeEvictions(uint64_t UnitsFlushed);
+  void sampleBackPointerMemory();
+  bool seenBefore(SuperblockId Id);
+};
+
+} // namespace ccsim
+
+#endif // CCSIM_CORE_CACHEMANAGER_H

@@ -1,0 +1,32 @@
+//===- core/CacheStats.cpp - Cache management statistics ------------------===//
+
+#include "core/CacheStats.h"
+
+#include <algorithm>
+
+using namespace ccsim;
+
+void CacheStats::merge(const CacheStats &Other) {
+  Accesses += Other.Accesses;
+  Hits += Other.Hits;
+  Misses += Other.Misses;
+  ColdMisses += Other.ColdMisses;
+  CapacityMisses += Other.CapacityMisses;
+  EvictionInvocations += Other.EvictionInvocations;
+  EvictedBlocks += Other.EvictedBlocks;
+  EvictedBytes += Other.EvictedBytes;
+  UnitsFlushed += Other.UnitsFlushed;
+  PreemptiveFlushes += Other.PreemptiveFlushes;
+  WastedBytes += Other.WastedBytes;
+  LinksCreated += Other.LinksCreated;
+  InterUnitLinksCreated += Other.InterUnitLinksCreated;
+  SelfLinksCreated += Other.SelfLinksCreated;
+  UnlinkedLinks += Other.UnlinkedLinks;
+  UnlinkOperations += Other.UnlinkOperations;
+  MissOverhead += Other.MissOverhead;
+  EvictionOverhead += Other.EvictionOverhead;
+  UnlinkOverhead += Other.UnlinkOverhead;
+  BackPointerBytesPeak =
+      std::max(BackPointerBytesPeak, Other.BackPointerBytesPeak);
+  BackPointerBytesSum += Other.BackPointerBytesSum;
+}

@@ -1,0 +1,66 @@
+//===- core/CostModel.h - Analytical cache management cost model ---------===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analytical overhead model of Section 4.3 and Section 5.2. Overheads
+/// are expressed in instructions, as measured in the paper with PAPI
+/// instruction counters around DynamoRIO's cache management routines:
+///
+///   Eq. 2  evictionOverhead  = 2.77  * sizeBytes + 3055
+///   Eq. 3  missOverhead      = 75.4  * sizeBytes + 1922
+///   Eq. 4  unlinkingOverhead = 296.5 * numLinks  + 95.7
+///
+/// The coefficients are parameters so that (a) the regression study in
+/// bench/fig9 can plug in freshly fitted values from the mini-DBT and
+/// (b) sensitivity studies can vary them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_CORE_COSTMODEL_H
+#define CCSIM_CORE_COSTMODEL_H
+
+#include <cstdint>
+
+namespace ccsim {
+
+/// Linear instruction-overhead model for the three cache management
+/// operations: evicting code, servicing a miss (regeneration), and
+/// removing dangling links via the back-pointer table.
+struct CostModel {
+  double EvictionPerByte = 2.77;
+  double EvictionBase = 3055.0;
+  double MissPerByte = 75.4;
+  double MissBase = 1922.0;
+  double UnlinkPerLink = 296.5;
+  double UnlinkBase = 95.7;
+
+  /// Instructions to evict \p SizeBytes of code in one invocation (Eq. 2).
+  double evictionOverhead(uint64_t SizeBytes) const {
+    return EvictionPerByte * static_cast<double>(SizeBytes) + EvictionBase;
+  }
+
+  /// Instructions to regenerate a superblock of \p SizeBytes on a code
+  /// cache miss: re-translate, insert, update hash table (Eq. 3).
+  double missOverhead(uint64_t SizeBytes) const {
+    return MissPerByte * static_cast<double>(SizeBytes) + MissBase;
+  }
+
+  /// Instructions to remove \p NumLinks incoming links that point at an
+  /// eviction candidate (Eq. 4). Zero links cost nothing: the back-pointer
+  /// table lookup that discovers "no links" is folded into eviction cost.
+  double unlinkingOverhead(uint64_t NumLinks) const {
+    if (NumLinks == 0)
+      return 0.0;
+    return UnlinkPerLink * static_cast<double>(NumLinks) + UnlinkBase;
+  }
+
+  /// The coefficients published in the paper (also the defaults).
+  static CostModel paperDefaults() { return CostModel(); }
+};
+
+} // namespace ccsim
+
+#endif // CCSIM_CORE_COSTMODEL_H

@@ -1,0 +1,221 @@
+//===- core/LinkGraph.cpp - Superblock chaining and back-pointer table ---===//
+
+#include "core/LinkGraph.h"
+
+#include <algorithm>
+#include <map>
+
+using namespace ccsim;
+
+void LinkGraph::growTables(SuperblockId Id) {
+  if (Id < StaticEdges.size())
+    return;
+  const size_t NewSize = std::max<size_t>(Id + 1, StaticEdges.size() * 2);
+  StaticEdges.resize(NewSize);
+  OutLinks.resize(NewSize);
+  InLinks.resize(NewSize);
+  Wants.resize(NewSize);
+  EvictEpoch.resize(NewSize, 0);
+}
+
+void LinkGraph::eraseOne(std::vector<SuperblockId> &List,
+                         SuperblockId Value) {
+  for (size_t I = 0; I < List.size(); ++I) {
+    if (List[I] != Value)
+      continue;
+    List[I] = List.back();
+    List.pop_back();
+    return;
+  }
+  assert(false && "expected link list entry not found");
+}
+
+void LinkGraph::eraseAll(std::vector<SuperblockId> &List,
+                         SuperblockId Value) {
+  List.erase(std::remove(List.begin(), List.end(), Value), List.end());
+}
+
+void LinkGraph::materialize(const CodeCache &Cache, uint64_t Quantum,
+                            SuperblockId From, SuperblockId To,
+                            CacheStats &Stats) {
+  OutLinks[From].push_back(To);
+  InLinks[To].push_back(From);
+  ++LinkCount;
+  ++Stats.LinksCreated;
+  if (From == To) {
+    ++Stats.SelfLinksCreated;
+    return; // A self-loop can never cross a unit boundary.
+  }
+  const uint64_t FromUnit = CodeCache::unitOf(Cache.startOf(From), Quantum);
+  const uint64_t ToUnit = CodeCache::unitOf(Cache.startOf(To), Quantum);
+  if (FromUnit != ToUnit)
+    ++Stats.InterUnitLinksCreated;
+}
+
+void LinkGraph::onInsert(const CodeCache &Cache, uint64_t Quantum,
+                         SuperblockId Id,
+                         std::span<const SuperblockId> Edges,
+                         CacheStats &Stats) {
+  assert(Cache.contains(Id) && "block must be committed before onInsert");
+  growTables(Id);
+  assert(StaticEdges[Id].empty() && OutLinks[Id].empty() &&
+         InLinks[Id].empty() && "stale link state for inserted block");
+
+  StaticEdges[Id].assign(Edges.begin(), Edges.end());
+  for (SuperblockId Target : Edges) {
+    growTables(Target);
+    if (Cache.contains(Target))
+      materialize(Cache, Quantum, Id, Target, Stats);
+    else
+      Wants[Target].push_back(Id);
+  }
+
+  // Sources that were waiting for this block can now chain to it.
+  for (SuperblockId Source : Wants[Id]) {
+    assert(Cache.contains(Source) && "wants entry from non-resident block");
+    materialize(Cache, Quantum, Source, Id, Stats);
+  }
+  Wants[Id].clear();
+}
+
+void LinkGraph::onEvict(const CodeCache &Cache,
+                        std::span<const CodeCache::Resident> Victims,
+                        std::vector<uint32_t> &DanglingCounts) {
+  ++CurrentEpoch;
+  for (const CodeCache::Resident &V : Victims) {
+    growTables(V.Id);
+    assert(!Cache.contains(V.Id) &&
+           "victim must be removed from the cache before onEvict");
+    EvictEpoch[V.Id] = CurrentEpoch;
+  }
+
+  for (const CodeCache::Resident &V : Victims) {
+    const SuperblockId Id = V.Id;
+    uint32_t Dangling = 0;
+
+    // Incoming links from survivors dangle: the back-pointer table finds
+    // them and they are removed; the survivor's edge goes back to the
+    // wants index so it rematerializes if this block returns.
+    for (SuperblockId Source : InLinks[Id]) {
+      if (EvictEpoch[Source] == CurrentEpoch)
+        continue; // Link among victims; destroyed for free.
+      ++Dangling;
+      eraseOne(OutLinks[Source], Id);
+      --LinkCount;
+      Wants[Id].push_back(Source);
+    }
+
+    // Outbound links all die with this block; clean the back-pointer
+    // entries at surviving targets.
+    for (SuperblockId Target : OutLinks[Id]) {
+      --LinkCount;
+      if (EvictEpoch[Target] == CurrentEpoch)
+        continue; // Target dying too; its lists are cleared wholesale.
+      eraseOne(InLinks[Target], Id);
+    }
+
+    // Unmaterialized static edges left wants entries behind; drop them.
+    for (SuperblockId Target : StaticEdges[Id]) {
+      if (Cache.contains(Target) || EvictEpoch[Target] == CurrentEpoch)
+        continue; // Edge was materialized; handled above.
+      eraseOne(Wants[Target], Id);
+    }
+
+    StaticEdges[Id].clear();
+    OutLinks[Id].clear();
+    InLinks[Id].clear();
+    DanglingCounts.push_back(Dangling);
+  }
+}
+
+size_t LinkGraph::outDegree(SuperblockId Id) const {
+  if (Id >= OutLinks.size())
+    return 0;
+  return OutLinks[Id].size();
+}
+
+size_t LinkGraph::inDegree(SuperblockId Id) const {
+  if (Id >= InLinks.size())
+    return 0;
+  return InLinks[Id].size();
+}
+
+bool LinkGraph::hasLink(SuperblockId From, SuperblockId To) const {
+  if (From >= OutLinks.size())
+    return false;
+  return std::find(OutLinks[From].begin(), OutLinks[From].end(), To) !=
+         OutLinks[From].end();
+}
+
+bool LinkGraph::checkInvariants(const CodeCache &Cache) const {
+  uint64_t OutTotal = 0, InTotal = 0;
+  std::map<std::pair<SuperblockId, SuperblockId>, int64_t> Mirror;
+
+  for (SuperblockId Id = 0; Id < StaticEdges.size(); ++Id) {
+    const bool IsResident = Cache.contains(Id);
+    if (!IsResident) {
+      if (!StaticEdges[Id].empty() || !OutLinks[Id].empty() ||
+          !InLinks[Id].empty())
+        return false;
+      continue;
+    }
+    OutTotal += OutLinks[Id].size();
+    InTotal += InLinks[Id].size();
+    for (SuperblockId T : OutLinks[Id]) {
+      if (!Cache.contains(T))
+        return false; // Dangling link!
+      ++Mirror[{Id, T}];
+    }
+    for (SuperblockId S : InLinks[Id]) {
+      if (!Cache.contains(S))
+        return false; // Back pointer to a dead block.
+      --Mirror[{S, Id}];
+    }
+  }
+  if (OutTotal != LinkCount || InTotal != LinkCount)
+    return false;
+  for (const auto &Entry : Mirror)
+    if (Entry.second != 0)
+      return false; // In/out lists disagree.
+
+  // Wants entries: only for absent targets, only from resident sources.
+  for (SuperblockId Target = 0; Target < Wants.size(); ++Target) {
+    if (Wants[Target].empty())
+      continue;
+    if (Cache.contains(Target))
+      return false; // Should have been drained at insert.
+    for (SuperblockId Source : Wants[Target])
+      if (!Cache.contains(Source))
+        return false;
+  }
+
+  // Every static edge of every resident block is either a materialized
+  // link (resident target) or a wants entry (absent target), with
+  // matching multiplicity.
+  for (SuperblockId Id = 0; Id < StaticEdges.size(); ++Id) {
+    if (!Cache.contains(Id))
+      continue;
+    for (SuperblockId T : StaticEdges[Id]) {
+      const auto CountIn = [](const std::vector<SuperblockId> &L,
+                              SuperblockId V) {
+        return std::count(L.begin(), L.end(), V);
+      };
+      const int64_t EdgeCount = CountIn(StaticEdges[Id], T);
+      if (Cache.contains(T)) {
+        if (CountIn(OutLinks[Id], T) != EdgeCount)
+          return false;
+      } else {
+        if (T < Wants.size() && CountIn(Wants[T], Id) != EdgeCount)
+          return false;
+        if (T >= Wants.size())
+          return false;
+      }
+    }
+    // No materialized link without a static edge.
+    for (SuperblockId T : OutLinks[Id])
+      if (std::find(StaticEdges[Id].begin(), StaticEdges[Id].end(), T) ==
+          StaticEdges[Id].end())
+        return false;
+  }
+  return true;
+}

@@ -1,0 +1,44 @@
+//===- core/Superblock.h - Superblock identifiers and records ------------===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Superblock identifiers and the per-access record consumed by the cache
+/// manager. A superblock is a single-entry multiple-exit region of
+/// translated code (Hwu et al.); the code cache stores one variable-size
+/// entry per superblock, and static control-flow edges between superblocks
+/// become patched links ("chaining") when both endpoints are resident.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_CORE_SUPERBLOCK_H
+#define CCSIM_CORE_SUPERBLOCK_H
+
+#include <cstdint>
+#include <span>
+
+namespace ccsim {
+
+/// Dense superblock identifier. Trace generators number superblocks in
+/// creation (discovery) order starting from 0, which lets the cache manager
+/// use flat arrays instead of hash maps on its hot path.
+using SuperblockId = uint32_t;
+
+/// Sentinel for "no superblock".
+inline constexpr SuperblockId InvalidSuperblockId = ~static_cast<SuperblockId>(0);
+
+/// One dispatch event presented to the cache manager: the superblock being
+/// entered, its translated size in bytes, and its static outbound edges
+/// (potential chain links). The edge span must stay valid for the duration
+/// of the access() call only.
+struct SuperblockRecord {
+  SuperblockId Id = InvalidSuperblockId;
+  uint32_t SizeBytes = 0;
+  std::span<const SuperblockId> OutEdges;
+};
+
+} // namespace ccsim
+
+#endif // CCSIM_CORE_SUPERBLOCK_H

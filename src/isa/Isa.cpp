@@ -1,0 +1,295 @@
+//===- isa/Isa.cpp - Synthetic guest instruction set ------------------------===//
+
+#include "isa/Isa.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace ccsim;
+
+bool Instruction::isControlFlow() const {
+  switch (Op) {
+  case Opcode::Beqz:
+  case Opcode::Bnez:
+  case Opcode::Blt:
+  case Opcode::Jmp:
+  case Opcode::Jr:
+  case Opcode::Call:
+  case Opcode::Ret:
+  case Opcode::Halt:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool Instruction::isConditionalBranch() const {
+  return Op == Opcode::Beqz || Op == Opcode::Bnez || Op == Opcode::Blt;
+}
+
+bool Instruction::isIndirect() const {
+  return Op == Opcode::Jr || Op == Opcode::Ret;
+}
+
+uint8_t ccsim::opcodeSize(Opcode Op) {
+  switch (Op) {
+  case Opcode::Nop:
+  case Opcode::Halt:
+  case Opcode::Ret:
+    return 1;
+  case Opcode::Jr:
+    return 2;
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Xor:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Addi:
+  case Opcode::Movi:
+    return 4;
+  case Opcode::Ld:
+  case Opcode::St:
+  case Opcode::Jmp:
+  case Opcode::Call:
+    return 5;
+  case Opcode::Beqz:
+  case Opcode::Bnez:
+    return 6;
+  case Opcode::Blt:
+    return 7;
+  }
+  return 1;
+}
+
+bool ccsim::isValidOpcode(uint8_t Byte) {
+  switch (static_cast<Opcode>(Byte)) {
+  case Opcode::Nop:
+  case Opcode::Halt:
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Xor:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::Addi:
+  case Opcode::Movi:
+  case Opcode::Ld:
+  case Opcode::St:
+  case Opcode::Beqz:
+  case Opcode::Bnez:
+  case Opcode::Blt:
+  case Opcode::Jmp:
+  case Opcode::Jr:
+  case Opcode::Call:
+  case Opcode::Ret:
+    return true;
+  }
+  return false;
+}
+
+static uint32_t readU32(const uint8_t *P) {
+  return static_cast<uint32_t>(P[0]) | (static_cast<uint32_t>(P[1]) << 8) |
+         (static_cast<uint32_t>(P[2]) << 16) |
+         (static_cast<uint32_t>(P[3]) << 24);
+}
+
+static void writeU32(uint8_t *P, uint32_t V) {
+  P[0] = static_cast<uint8_t>(V);
+  P[1] = static_cast<uint8_t>(V >> 8);
+  P[2] = static_cast<uint8_t>(V >> 16);
+  P[3] = static_cast<uint8_t>(V >> 24);
+}
+
+bool ccsim::decode(const uint8_t *Bytes, size_t Avail, Instruction &Out) {
+  if (Avail == 0 || !isValidOpcode(Bytes[0]))
+    return false;
+  const Opcode Op = static_cast<Opcode>(Bytes[0]);
+  const uint8_t Size = opcodeSize(Op);
+  if (Avail < Size)
+    return false;
+
+  Out = Instruction();
+  Out.Op = Op;
+  Out.Size = Size;
+  switch (Op) {
+  case Opcode::Nop:
+  case Opcode::Halt:
+  case Opcode::Ret:
+    break;
+  case Opcode::Jr:
+    Out.Rs1 = Bytes[1] & 0x0f;
+    break;
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Xor:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Shl:
+  case Opcode::Shr:
+    Out.Rd = Bytes[1] & 0x0f;
+    Out.Rs1 = Bytes[2] & 0x0f;
+    Out.Rs2 = Bytes[3] & 0x0f;
+    break;
+  case Opcode::Addi:
+    Out.Rd = Bytes[1] & 0x0f;
+    Out.Rs1 = Bytes[2] & 0x0f;
+    Out.Imm = static_cast<int8_t>(Bytes[3]);
+    break;
+  case Opcode::Movi:
+    Out.Rd = Bytes[1] & 0x0f;
+    Out.Imm = static_cast<int16_t>(Bytes[2] | (Bytes[3] << 8));
+    break;
+  case Opcode::Ld:
+    Out.Rd = Bytes[1] & 0x0f;
+    Out.Rs1 = Bytes[2] & 0x0f;
+    Out.Imm = static_cast<int16_t>(Bytes[3] | (Bytes[4] << 8));
+    break;
+  case Opcode::St:
+    Out.Rs2 = Bytes[1] & 0x0f;
+    Out.Rs1 = Bytes[2] & 0x0f;
+    Out.Imm = static_cast<int16_t>(Bytes[3] | (Bytes[4] << 8));
+    break;
+  case Opcode::Beqz:
+  case Opcode::Bnez:
+    Out.Rs1 = Bytes[1] & 0x0f;
+    Out.Target = readU32(Bytes + 2);
+    break;
+  case Opcode::Blt:
+    Out.Rs1 = Bytes[1] & 0x0f;
+    Out.Rs2 = Bytes[2] & 0x0f;
+    Out.Target = readU32(Bytes + 3);
+    break;
+  case Opcode::Jmp:
+  case Opcode::Call:
+    Out.Target = readU32(Bytes + 1);
+    break;
+  }
+  return true;
+}
+
+uint8_t ccsim::encode(const Instruction &Inst, uint8_t *Out) {
+  const uint8_t Size = opcodeSize(Inst.Op);
+  Out[0] = static_cast<uint8_t>(Inst.Op);
+  switch (Inst.Op) {
+  case Opcode::Nop:
+  case Opcode::Halt:
+  case Opcode::Ret:
+    break;
+  case Opcode::Jr:
+    Out[1] = Inst.Rs1 & 0x0f;
+    break;
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Xor:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Shl:
+  case Opcode::Shr:
+    Out[1] = Inst.Rd & 0x0f;
+    Out[2] = Inst.Rs1 & 0x0f;
+    Out[3] = Inst.Rs2 & 0x0f;
+    break;
+  case Opcode::Addi:
+    Out[1] = Inst.Rd & 0x0f;
+    Out[2] = Inst.Rs1 & 0x0f;
+    Out[3] = static_cast<uint8_t>(Inst.Imm);
+    break;
+  case Opcode::Movi:
+    Out[1] = Inst.Rd & 0x0f;
+    Out[2] = static_cast<uint8_t>(Inst.Imm);
+    Out[3] = static_cast<uint8_t>(Inst.Imm >> 8);
+    break;
+  case Opcode::Ld:
+    Out[1] = Inst.Rd & 0x0f;
+    Out[2] = Inst.Rs1 & 0x0f;
+    Out[3] = static_cast<uint8_t>(Inst.Imm);
+    Out[4] = static_cast<uint8_t>(Inst.Imm >> 8);
+    break;
+  case Opcode::St:
+    Out[1] = Inst.Rs2 & 0x0f;
+    Out[2] = Inst.Rs1 & 0x0f;
+    Out[3] = static_cast<uint8_t>(Inst.Imm);
+    Out[4] = static_cast<uint8_t>(Inst.Imm >> 8);
+    break;
+  case Opcode::Beqz:
+  case Opcode::Bnez:
+    Out[1] = Inst.Rs1 & 0x0f;
+    writeU32(Out + 2, Inst.Target);
+    break;
+  case Opcode::Blt:
+    Out[1] = Inst.Rs1 & 0x0f;
+    Out[2] = Inst.Rs2 & 0x0f;
+    writeU32(Out + 3, Inst.Target);
+    break;
+  case Opcode::Jmp:
+  case Opcode::Call:
+    writeU32(Out + 1, Inst.Target);
+    break;
+  }
+  return Size;
+}
+
+std::string Instruction::toString() const {
+  char Buf[96];
+  switch (Op) {
+  case Opcode::Nop:
+    return "nop";
+  case Opcode::Halt:
+    return "halt";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::Jr:
+    std::snprintf(Buf, sizeof(Buf), "jr r%u", Rs1);
+    return Buf;
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Xor:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Shl:
+  case Opcode::Shr: {
+    static const char *Names[] = {"add", "sub", "mul", "xor",
+                                  "and", "or",  "shl", "shr"};
+    const unsigned Index = static_cast<unsigned>(Op) - 0x10;
+    std::snprintf(Buf, sizeof(Buf), "%s r%u, r%u, r%u", Names[Index], Rd,
+                  Rs1, Rs2);
+    return Buf;
+  }
+  case Opcode::Addi:
+    std::snprintf(Buf, sizeof(Buf), "addi r%u, r%u, %d", Rd, Rs1, Imm);
+    return Buf;
+  case Opcode::Movi:
+    std::snprintf(Buf, sizeof(Buf), "movi r%u, %d", Rd, Imm);
+    return Buf;
+  case Opcode::Ld:
+    std::snprintf(Buf, sizeof(Buf), "ld r%u, %d(r%u)", Rd, Imm, Rs1);
+    return Buf;
+  case Opcode::St:
+    std::snprintf(Buf, sizeof(Buf), "st r%u, %d(r%u)", Rs2, Imm, Rs1);
+    return Buf;
+  case Opcode::Beqz:
+    std::snprintf(Buf, sizeof(Buf), "beqz r%u, 0x%x", Rs1, Target);
+    return Buf;
+  case Opcode::Bnez:
+    std::snprintf(Buf, sizeof(Buf), "bnez r%u, 0x%x", Rs1, Target);
+    return Buf;
+  case Opcode::Blt:
+    std::snprintf(Buf, sizeof(Buf), "blt r%u, r%u, 0x%x", Rs1, Rs2, Target);
+    return Buf;
+  case Opcode::Jmp:
+    std::snprintf(Buf, sizeof(Buf), "jmp 0x%x", Target);
+    return Buf;
+  case Opcode::Call:
+    std::snprintf(Buf, sizeof(Buf), "call 0x%x", Target);
+    return Buf;
+  }
+  return "<invalid>";
+}

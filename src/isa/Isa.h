@@ -1,0 +1,96 @@
+//===- isa/Isa.h - Synthetic guest instruction set -------------------------===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small synthetic guest ISA for the mini dynamic binary translator
+/// (the DynamoRIO substitute used in Figure 9 and Table 2). Design goals:
+///
+///   - variable-length encoding (1-7 bytes), so translated superblocks
+///     have realistic variable byte sizes,
+///   - enough control flow (conditional branches, direct/indirect jumps,
+///     calls/returns) to form superblocks and chain links,
+///   - trivially interpretable, so guest programs really execute.
+///
+/// Registers: 16 general-purpose 64-bit registers r0..r15 (r0 reads as
+/// zero; writes to it are ignored), a program counter, and a call stack
+/// managed by CALL/RET (the interpreter keeps it off to the side, like a
+/// hardware return-address stack).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_ISA_ISA_H
+#define CCSIM_ISA_ISA_H
+
+#include <cstdint>
+#include <string>
+
+namespace ccsim {
+
+/// Guest opcodes. The numeric values are the encoding's first byte.
+enum class Opcode : uint8_t {
+  Nop = 0x00,  ///< 1 byte.
+  Halt = 0x01, ///< 1 byte: stop the program.
+  Add = 0x10,  ///< 4 bytes: rd, rs1, rs2.
+  Sub = 0x11,  ///< 4 bytes.
+  Mul = 0x12,  ///< 4 bytes.
+  Xor = 0x13,  ///< 4 bytes.
+  And = 0x14,  ///< 4 bytes.
+  Or = 0x15,   ///< 4 bytes.
+  Shl = 0x16,  ///< 4 bytes.
+  Shr = 0x17,  ///< 4 bytes.
+  Addi = 0x20, ///< 4 bytes: rd, rs1, imm8 (sign-extended).
+  Movi = 0x21, ///< 4 bytes: rd, imm16 (sign-extended).
+  Ld = 0x30,   ///< 5 bytes: rd, rs1(base), imm16 offset.
+  St = 0x31,   ///< 5 bytes: rs2(value), rs1(base), imm16 offset.
+  Beqz = 0x40, ///< 6 bytes: rs1, target32. Branch if rs1 == 0.
+  Bnez = 0x41, ///< 6 bytes: rs1, target32. Branch if rs1 != 0.
+  Blt = 0x42,  ///< 7 bytes: rs1, rs2, target32. Branch if rs1 < rs2.
+  Jmp = 0x50,  ///< 5 bytes: target32 (absolute).
+  Jr = 0x51,   ///< 2 bytes: rs1 (indirect jump to register value).
+  Call = 0x52, ///< 5 bytes: target32; pushes the return address.
+  Ret = 0x53,  ///< 1 byte: pops the return address.
+};
+
+/// Number of guest registers.
+inline constexpr unsigned NumRegisters = 16;
+
+/// A decoded guest instruction.
+struct Instruction {
+  Opcode Op = Opcode::Nop;
+  uint8_t Rd = 0;
+  uint8_t Rs1 = 0;
+  uint8_t Rs2 = 0;
+  int32_t Imm = 0;     ///< Immediate operand (sign-extended).
+  uint32_t Target = 0; ///< Branch/jump/call target (absolute byte PC).
+  uint8_t Size = 1;    ///< Encoded size in bytes.
+
+  /// True for any instruction that can change the PC non-sequentially.
+  bool isControlFlow() const;
+  /// True for conditional branches (two successors).
+  bool isConditionalBranch() const;
+  /// True for Jr and Ret (target unknown statically).
+  bool isIndirect() const;
+  /// Human-readable disassembly.
+  std::string toString() const;
+};
+
+/// Encoded size of \p Op in bytes.
+uint8_t opcodeSize(Opcode Op);
+
+/// True if the byte value is a defined opcode.
+bool isValidOpcode(uint8_t Byte);
+
+/// Decodes one instruction at \p Bytes (at most \p Avail bytes readable).
+/// Returns false on truncation or an invalid opcode.
+bool decode(const uint8_t *Bytes, size_t Avail, Instruction &Out);
+
+/// Encodes \p Inst into \p Out (which must have at least 7 bytes of
+/// room). Returns the encoded size.
+uint8_t encode(const Instruction &Inst, uint8_t *Out);
+
+} // namespace ccsim
+
+#endif // CCSIM_ISA_ISA_H

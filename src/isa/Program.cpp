@@ -1,0 +1,161 @@
+//===- isa/Program.cpp - Guest programs and the assembler -------------------===//
+
+#include "isa/Program.h"
+
+#include <cassert>
+
+using namespace ccsim;
+
+bool Program::decodeAt(uint32_t PC, Instruction &Out) const {
+  if (PC >= Bytes.size())
+    return false;
+  return decode(Bytes.data() + PC, Bytes.size() - PC, Out);
+}
+
+size_t Program::countInstructions() const {
+  size_t Count = 0;
+  uint32_t PC = 0;
+  Instruction Inst;
+  while (PC < Bytes.size() && decodeAt(PC, Inst)) {
+    ++Count;
+    PC += Inst.Size;
+  }
+  return Count;
+}
+
+ProgramBuilder::Label ProgramBuilder::createLabel() {
+  LabelPositions.push_back(-1);
+  return static_cast<Label>(LabelPositions.size() - 1);
+}
+
+void ProgramBuilder::bind(Label L) {
+  assert(L < LabelPositions.size() && "unknown label");
+  assert(LabelPositions[L] < 0 && "label bound twice");
+  LabelPositions[L] = currentPC();
+}
+
+void ProgramBuilder::emit(const Instruction &Inst) {
+  uint8_t Buf[8];
+  const uint8_t Size = encode(Inst, Buf);
+  Bytes.insert(Bytes.end(), Buf, Buf + Size);
+}
+
+void ProgramBuilder::emitWithTargetFixup(const Instruction &Inst, Label L,
+                                         uint8_t TargetFieldOffset) {
+  assert(L < LabelPositions.size() && "unknown label");
+  Fixups.push_back(Fixup{currentPC() + TargetFieldOffset, L});
+  emit(Inst);
+}
+
+void ProgramBuilder::emitNop() { emit(Instruction{Opcode::Nop}); }
+
+void ProgramBuilder::emitHalt() { emit(Instruction{Opcode::Halt}); }
+
+void ProgramBuilder::emitAlu(Opcode Op, uint8_t Rd, uint8_t Rs1,
+                             uint8_t Rs2) {
+  assert(static_cast<uint8_t>(Op) >= 0x10 &&
+         static_cast<uint8_t>(Op) <= 0x17 && "not an ALU opcode");
+  Instruction I;
+  I.Op = Op;
+  I.Rd = Rd;
+  I.Rs1 = Rs1;
+  I.Rs2 = Rs2;
+  emit(I);
+}
+
+void ProgramBuilder::emitAddi(uint8_t Rd, uint8_t Rs1, int8_t Imm) {
+  Instruction I;
+  I.Op = Opcode::Addi;
+  I.Rd = Rd;
+  I.Rs1 = Rs1;
+  I.Imm = Imm;
+  emit(I);
+}
+
+void ProgramBuilder::emitMovi(uint8_t Rd, int16_t Imm) {
+  Instruction I;
+  I.Op = Opcode::Movi;
+  I.Rd = Rd;
+  I.Imm = Imm;
+  emit(I);
+}
+
+void ProgramBuilder::emitLd(uint8_t Rd, uint8_t Base, int16_t Offset) {
+  Instruction I;
+  I.Op = Opcode::Ld;
+  I.Rd = Rd;
+  I.Rs1 = Base;
+  I.Imm = Offset;
+  emit(I);
+}
+
+void ProgramBuilder::emitSt(uint8_t Value, uint8_t Base, int16_t Offset) {
+  Instruction I;
+  I.Op = Opcode::St;
+  I.Rs2 = Value;
+  I.Rs1 = Base;
+  I.Imm = Offset;
+  emit(I);
+}
+
+void ProgramBuilder::emitBeqz(uint8_t Rs1, Label Target) {
+  Instruction I;
+  I.Op = Opcode::Beqz;
+  I.Rs1 = Rs1;
+  emitWithTargetFixup(I, Target, /*TargetFieldOffset=*/2);
+}
+
+void ProgramBuilder::emitBnez(uint8_t Rs1, Label Target) {
+  Instruction I;
+  I.Op = Opcode::Bnez;
+  I.Rs1 = Rs1;
+  emitWithTargetFixup(I, Target, /*TargetFieldOffset=*/2);
+}
+
+void ProgramBuilder::emitBlt(uint8_t Rs1, uint8_t Rs2, Label Target) {
+  Instruction I;
+  I.Op = Opcode::Blt;
+  I.Rs1 = Rs1;
+  I.Rs2 = Rs2;
+  emitWithTargetFixup(I, Target, /*TargetFieldOffset=*/3);
+}
+
+void ProgramBuilder::emitJmp(Label Target) {
+  Instruction I;
+  I.Op = Opcode::Jmp;
+  emitWithTargetFixup(I, Target, /*TargetFieldOffset=*/1);
+}
+
+void ProgramBuilder::emitJr(uint8_t Rs1) {
+  Instruction I;
+  I.Op = Opcode::Jr;
+  I.Rs1 = Rs1;
+  emit(I);
+}
+
+void ProgramBuilder::emitCall(Label Target) {
+  Instruction I;
+  I.Op = Opcode::Call;
+  emitWithTargetFixup(I, Target, /*TargetFieldOffset=*/1);
+}
+
+void ProgramBuilder::emitRet() { emit(Instruction{Opcode::Ret}); }
+
+Program ProgramBuilder::finish() {
+  for (const Fixup &F : Fixups) {
+    const int64_t Pos = LabelPositions[F.L];
+    assert(Pos >= 0 && "unbound label at finish()");
+    const uint32_t Target = static_cast<uint32_t>(Pos);
+    Bytes[F.Offset + 0] = static_cast<uint8_t>(Target);
+    Bytes[F.Offset + 1] = static_cast<uint8_t>(Target >> 8);
+    Bytes[F.Offset + 2] = static_cast<uint8_t>(Target >> 16);
+    Bytes[F.Offset + 3] = static_cast<uint8_t>(Target >> 24);
+  }
+  Program P;
+  P.Bytes = std::move(Bytes);
+  P.EntryPC = EntryPC;
+  Bytes.clear();
+  Fixups.clear();
+  LabelPositions.clear();
+  return P;
+}

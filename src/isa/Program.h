@@ -1,0 +1,96 @@
+//===- isa/Program.h - Guest programs and the assembler --------------------===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A guest program is a flat byte image plus an entry point. The
+/// ProgramBuilder is a tiny assembler with labels and fixups used by the
+/// synthetic program generator and by tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_ISA_PROGRAM_H
+#define CCSIM_ISA_PROGRAM_H
+
+#include "isa/Isa.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ccsim {
+
+/// An executable guest program image.
+struct Program {
+  std::vector<uint8_t> Bytes;
+  uint32_t EntryPC = 0;
+
+  uint32_t size() const { return static_cast<uint32_t>(Bytes.size()); }
+
+  /// Decodes the instruction at \p PC; returns false past the end or on
+  /// a malformed byte.
+  bool decodeAt(uint32_t PC, Instruction &Out) const;
+
+  /// Counts static instructions by linear scan (programs emitted by the
+  /// builder have no embedded data).
+  size_t countInstructions() const;
+};
+
+/// Small assembler with forward-reference fixups.
+class ProgramBuilder {
+public:
+  /// An opaque label handle.
+  using Label = uint32_t;
+
+  /// Creates an unbound label.
+  Label createLabel();
+
+  /// Binds \p L to the current position. A label may be bound only once.
+  void bind(Label L);
+
+  /// Current emit position.
+  uint32_t currentPC() const { return static_cast<uint32_t>(Bytes.size()); }
+
+  // Instruction emitters.
+  void emitNop();
+  void emitHalt();
+  void emitAlu(Opcode Op, uint8_t Rd, uint8_t Rs1, uint8_t Rs2);
+  void emitAddi(uint8_t Rd, uint8_t Rs1, int8_t Imm);
+  void emitMovi(uint8_t Rd, int16_t Imm);
+  void emitLd(uint8_t Rd, uint8_t Base, int16_t Offset);
+  void emitSt(uint8_t Value, uint8_t Base, int16_t Offset);
+  void emitBeqz(uint8_t Rs1, Label Target);
+  void emitBnez(uint8_t Rs1, Label Target);
+  void emitBlt(uint8_t Rs1, uint8_t Rs2, Label Target);
+  void emitJmp(Label Target);
+  void emitJr(uint8_t Rs1);
+  void emitCall(Label Target);
+  void emitRet();
+
+  /// Marks the program entry point at the current position.
+  void setEntryHere() { EntryPC = currentPC(); }
+
+  /// Resolves all fixups and returns the program. Every referenced label
+  /// must be bound.
+  Program finish();
+
+private:
+  struct Fixup {
+    uint32_t Offset; ///< Byte offset of the 32-bit target field.
+    Label L;
+  };
+
+  std::vector<uint8_t> Bytes;
+  std::vector<int64_t> LabelPositions; // -1 while unbound.
+  std::vector<Fixup> Fixups;
+  uint32_t EntryPC = 0;
+
+  void emit(const Instruction &Inst);
+  void emitWithTargetFixup(const Instruction &Inst, Label L,
+                           uint8_t TargetFieldOffset);
+};
+
+} // namespace ccsim
+
+#endif // CCSIM_ISA_PROGRAM_H

@@ -1,0 +1,263 @@
+//===- isa/ProgramGenerator.cpp - Synthetic guest program synthesis --------===//
+
+#include "isa/ProgramGenerator.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+using namespace ccsim;
+
+namespace {
+
+/// Register conventions for generated programs:
+///   r1  outer loop counter (main only)
+///   r2  inner loop counter (saved/restored across calls via r15 stack)
+///   r4..r11  scratch data registers churned by ALU blocks
+///   r13 data base register (0)
+///   r15 in-memory save stack pointer
+constexpr uint8_t OuterCounter = 1;
+constexpr uint8_t InnerCounter = 2;
+constexpr uint8_t RareCond = 3;   // Scratch for rare/poly conditions.
+constexpr uint8_t RareMask = 12;  // Holds the rare-exit mask constant.
+constexpr uint8_t PolyMask = 14;  // Holds the poly-site period mask.
+constexpr uint8_t DataBase = 13;
+constexpr uint8_t SaveStack = 15;
+
+class GeneratorState {
+public:
+  GeneratorState(const ProgramSpec &Spec) : Spec(Spec), R(Spec.Seed) {}
+
+  Program generate();
+
+private:
+  const ProgramSpec &Spec;
+  Rng R;
+  ProgramBuilder B;
+  std::vector<ProgramBuilder::Label> FunctionLabels;
+
+  uint8_t scratchReg() { return 4 + static_cast<uint8_t>(R.nextBelow(8)); }
+
+  uint32_t pickCallee(uint32_t MinIndex);
+  void emitAluBlock(uint32_t Count);
+  void emitRareExit();
+  void emitFunction(uint32_t Index);
+  void emitMain();
+};
+
+/// Emits a rarely-taken forward exit: condition (r & mask) == 0 falls
+/// into a small cold block that rejoins immediately. The cold block is
+/// executed ~2^-RareMaskBits of the time, so it rarely becomes hot and
+/// its executions keep returning control to the dispatcher — the source
+/// of persistent unlinked exits in a chained system.
+void GeneratorState::emitRareExit() {
+  ProgramBuilder::Label Join = B.createLabel();
+  B.emitAlu(Opcode::And, RareCond, scratchReg(), RareMask);
+  B.emitBnez(RareCond, Join); // Common case: skip the cold block.
+  emitAluBlock(3);
+  B.bind(Join);
+}
+
+uint32_t GeneratorState::pickCallee(uint32_t MinIndex) {
+  assert(MinIndex < Spec.NumFunctions && "no callee available");
+  uint32_t Lo = MinIndex;
+  if (Spec.SharedCalleeCount > 0 &&
+      Spec.NumFunctions > Spec.SharedCalleeCount) {
+    // Prefer the shared library at the bottom of the call graph.
+    Lo = std::max(MinIndex, Spec.NumFunctions - Spec.SharedCalleeCount);
+  }
+  return static_cast<uint32_t>(R.nextRange(Lo, Spec.NumFunctions - 1));
+}
+
+void GeneratorState::emitAluBlock(uint32_t Count) {
+  static const Opcode AluOps[] = {Opcode::Add, Opcode::Sub, Opcode::Mul,
+                                  Opcode::Xor, Opcode::And, Opcode::Or,
+                                  Opcode::Shl, Opcode::Shr};
+  for (uint32_t I = 0; I < Count; ++I) {
+    const Opcode Op = AluOps[R.nextBelow(8)];
+    if (Op == Opcode::Shl || Op == Opcode::Shr) {
+      // Bound shift amounts: rd = rs1 shift (rs2 & 63) is handled by the
+      // interpreter, but keep the data lively with an addi instead
+      // half of the time.
+      if (R.nextBool(0.5)) {
+        B.emitAddi(scratchReg(), scratchReg(),
+                   static_cast<int8_t>(R.nextRange(-100, 100)));
+        continue;
+      }
+    }
+    B.emitAlu(Op, scratchReg(), scratchReg(), scratchReg());
+  }
+  if (R.nextBool(Spec.LoadStoreProb)) {
+    const int16_t Offset = static_cast<int16_t>(R.nextBelow(16000));
+    if (R.nextBool(0.5))
+      B.emitLd(scratchReg(), DataBase, Offset);
+    else
+      B.emitSt(scratchReg(), DataBase, Offset);
+  }
+}
+
+void GeneratorState::emitFunction(uint32_t Index) {
+  B.bind(FunctionLabels[Index]);
+
+  // Prologue: save the caller's inner counter on the in-memory stack.
+  B.emitSt(InnerCounter, SaveStack, 0);
+  B.emitAddi(SaveStack, SaveStack, 8);
+  B.emitMovi(InnerCounter, static_cast<int16_t>(Spec.InnerIterations));
+
+  ProgramBuilder::Label LoopHead = B.createLabel();
+  B.bind(LoopHead);
+
+  const uint32_t NumBlocks = static_cast<uint32_t>(R.nextRange(
+      Spec.MinBlocksPerFunction, Spec.MaxBlocksPerFunction));
+
+  // Each call site in the loop body executes InnerIterations times, so
+  // divide the per-execution call budget down to a per-site probability.
+  // Keeping the dynamic branching factor below 1 bounds total runtime.
+  const double CallSiteProb =
+      Spec.MeanCallsPerFunction /
+      (static_cast<double>(NumBlocks) * Spec.InnerIterations);
+
+  for (uint32_t Block = 0; Block < NumBlocks; ++Block) {
+    const uint32_t Alu = static_cast<uint32_t>(
+        R.nextRange(Spec.MinAluPerBlock, Spec.MaxAluPerBlock));
+
+    if (R.nextBool(Spec.BranchProb)) {
+      // Forward diamond: conditionally skip an alternate block.
+      ProgramBuilder::Label Else = B.createLabel();
+      ProgramBuilder::Label Join = B.createLabel();
+      if (R.nextBool(0.5))
+        B.emitBeqz(scratchReg(), Else);
+      else
+        B.emitBnez(scratchReg(), Else);
+      emitAluBlock(Alu);
+      B.emitJmp(Join);
+      B.bind(Else);
+      emitAluBlock(Alu / 2 + 1);
+      B.bind(Join);
+    } else {
+      emitAluBlock(Alu);
+    }
+
+    if (R.nextBool(Spec.RareBranchProb))
+      emitRareExit();
+
+    // Calls only go deeper (acyclic call graph).
+    if (Index + 1 < Spec.NumFunctions && R.nextBool(CallSiteProb))
+      B.emitCall(FunctionLabels[pickCallee(Index + 1)]);
+  }
+
+  // Loop latch.
+  B.emitAddi(InnerCounter, InnerCounter, -1);
+  B.emitBnez(InnerCounter, LoopHead);
+
+  // Epilogue: restore the caller's counter.
+  B.emitAddi(SaveStack, SaveStack, -8);
+  B.emitLd(InnerCounter, SaveStack, 0);
+  B.emitRet();
+}
+
+void GeneratorState::emitMain() {
+  B.setEntryHere();
+  B.emitMovi(OuterCounter, static_cast<int16_t>(Spec.OuterIterations));
+  B.emitMovi(DataBase, 0);
+  B.emitMovi(SaveStack, 16000); // Save stack above the data region.
+  B.emitMovi(RareMask,
+             static_cast<int16_t>((1u << Spec.RareMaskBits) - 1));
+  B.emitMovi(PolyMask,
+             static_cast<int16_t>((1u << Spec.PolyPeriodLog2) - 1));
+  // Seed the scratch registers with distinct values.
+  for (uint8_t Reg = 4; Reg < 12; ++Reg)
+    B.emitMovi(Reg, static_cast<int16_t>(Reg * 1237 + 11));
+
+  // One main loop per program phase; each phase's call sites target a
+  // different window of the function table, so the hot working set
+  // shifts over the program's lifetime.
+  const uint32_t Phases = std::max<uint32_t>(1, Spec.MainPhases);
+  for (uint32_t Phase = 0; Phase < Phases; ++Phase) {
+    if (Phase > 0)
+      B.emitMovi(OuterCounter,
+                 static_cast<int16_t>(Spec.OuterIterations));
+    ProgramBuilder::Label MainLoop = B.createLabel();
+    B.bind(MainLoop);
+
+    // Polymorphic sites: several call sites targeting the same (deepest)
+    // function, firing every 2^PolyPeriodLog2 iterations. Its returns
+    // then alternate between the sites' continuations, defeating the
+    // exit-stub inline cache exactly like a shared helper in real code.
+    for (uint32_t Site = 0; Site < Spec.PolyTopSites; ++Site) {
+      ProgramBuilder::Label Skip = B.createLabel();
+      B.emitAlu(Opcode::And, RareCond, OuterCounter, PolyMask);
+      B.emitBnez(RareCond, Skip);
+      B.emitCall(FunctionLabels[Spec.NumFunctions - 1]);
+      B.bind(Skip);
+      emitAluBlock(2);
+    }
+
+    // The phase's callee window advances with the phase index.
+    const uint32_t WindowLo =
+        Phases > 1 ? static_cast<uint32_t>(
+                         (static_cast<uint64_t>(Phase) *
+                          (Spec.NumFunctions - 1)) /
+                         Phases)
+                   : 0;
+    std::vector<uint32_t> UsedCallees;
+    for (uint32_t Call = 0; Call < Spec.TopLevelCalls; ++Call) {
+      const uint32_t Span =
+          std::max<uint32_t>(1, Spec.NumFunctions / Phases + 2);
+      const uint32_t Hi = std::min<uint32_t>(
+          Spec.NumFunctions - 1, WindowLo + Span);
+      uint32_t Callee =
+          Phases > 1
+              ? static_cast<uint32_t>(R.nextRange(WindowLo, Hi))
+              : pickCallee(0);
+      if (Spec.SharedCalleeCount == 0) {
+        // Without a shared library, keep top-level callees distinct so
+        // their returns stay monomorphic (one call site per function).
+        for (unsigned Attempt = 0;
+             Attempt < 8 &&
+             std::find(UsedCallees.begin(), UsedCallees.end(), Callee) !=
+                 UsedCallees.end();
+             ++Attempt)
+          Callee = Phases > 1 ? static_cast<uint32_t>(
+                                    R.nextRange(WindowLo, Hi))
+                              : pickCallee(0);
+        UsedCallees.push_back(Callee);
+      }
+      B.emitCall(FunctionLabels[Callee]);
+      emitAluBlock(2);
+    }
+    B.emitAddi(OuterCounter, OuterCounter, -1);
+    B.emitBnez(OuterCounter, MainLoop);
+  }
+  B.emitHalt();
+}
+
+Program GeneratorState::generate() {
+  assert(Spec.NumFunctions > 0 && "need at least one function");
+  assert(Spec.OuterIterations > 0 && Spec.InnerIterations > 0 &&
+         "loop counts must be positive");
+  assert(Spec.OuterIterations <= 32000 && Spec.InnerIterations <= 32000 &&
+         "loop counts must fit the movi immediate");
+  assert(Spec.MeanCallsPerFunction < 0.95 &&
+         "call branching factor must stay below 1");
+  assert(Spec.RareMaskBits >= 1 && Spec.RareMaskBits <= 14 &&
+         "rare mask must fit the movi immediate");
+
+  FunctionLabels.reserve(Spec.NumFunctions);
+  for (uint32_t I = 0; I < Spec.NumFunctions; ++I)
+    FunctionLabels.push_back(B.createLabel());
+
+  emitMain();
+  for (uint32_t I = 0; I < Spec.NumFunctions; ++I)
+    emitFunction(I);
+  return B.finish();
+}
+
+} // namespace
+
+Program ccsim::generateProgram(const ProgramSpec &Spec) {
+  GeneratorState State(Spec);
+  return State.generate();
+}

@@ -1,0 +1,76 @@
+//===- isa/ProgramGenerator.h - Synthetic guest program synthesis ---------===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generates terminating synthetic guest programs for the mini dynamic
+/// binary translator: a main driver loop over an acyclic call graph of
+/// functions, each with a counted inner loop over straight-line ALU
+/// blocks, forward conditional diamonds, loads/stores, and calls to
+/// deeper functions. The knobs control code size, superblock length, and
+/// call/return density — the properties that determine chaining benefit
+/// (Table 2) and eviction behavior (Figure 9).
+///
+/// Termination is guaranteed by construction: all loops are counted, the
+/// call graph is acyclic (functions only call higher-numbered functions),
+/// and all conditional branches jump forward.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_ISA_PROGRAMGENERATOR_H
+#define CCSIM_ISA_PROGRAMGENERATOR_H
+
+#include "isa/Program.h"
+
+#include <cstdint>
+
+namespace ccsim {
+
+/// Parameters for synthetic program generation.
+struct ProgramSpec {
+  uint32_t NumFunctions = 16;
+  uint32_t MinBlocksPerFunction = 4;
+  uint32_t MaxBlocksPerFunction = 10;
+  uint32_t MinAluPerBlock = 4;
+  uint32_t MaxAluPerBlock = 16;
+  uint32_t OuterIterations = 200; ///< Main driver loop trip count
+                                  ///< (per phase).
+  uint32_t MainPhases = 1; ///< Program phases: each phase's main loop
+                           ///< calls a different window of the function
+                           ///< table, giving the execution (and hence a
+                           ///< recorded trace) working-set phase shifts.
+  uint32_t InnerIterations = 8;   ///< Per-function counted loop.
+  uint32_t TopLevelCalls = 4;     ///< Calls per main-loop iteration.
+  double MeanCallsPerFunction = 0.6; ///< Expected calls per function
+                                     ///< *execution* (branching factor of
+                                     ///< the dynamic call tree; must stay
+                                     ///< below 1 or runtime explodes).
+  double BranchProb = 0.4;   ///< Probability a block ends in a forward
+                             ///< conditional diamond.
+  double RareBranchProb = 0.0; ///< Probability a block ends with a
+                               ///< rarely-taken exit to cold code (the
+                               ///< source of persistent unlinked exits).
+  uint32_t RareMaskBits = 6;   ///< Rare exit taken ~2^-RareMaskBits.
+  double LoadStoreProb = 0.3; ///< Probability of a memory op per block.
+  uint32_t SharedCalleeCount = 0; ///< When nonzero, call sites target the
+                                  ///< deepest N functions (a shared
+                                  ///< "library"), so the same function is
+                                  ///< called from many interleaved sites
+                                  ///< and its returns are polymorphic.
+  uint32_t PolyTopSites = 0;   ///< Top-level call sites all targeting the
+                               ///< deepest function (>= 2 makes its
+                               ///< returns polymorphic).
+  uint32_t PolyPeriodLog2 = 0; ///< Poly sites fire every 2^g main
+                               ///< iterations (finer poly-rate control).
+  uint64_t Seed = 1;
+};
+
+/// Generates a program for \p Spec. The result halts in a bounded number
+/// of steps and never executes an invalid opcode.
+Program generateProgram(const ProgramSpec &Spec);
+
+} // namespace ccsim
+
+#endif // CCSIM_ISA_PROGRAMGENERATOR_H

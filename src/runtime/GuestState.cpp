@@ -1,0 +1,107 @@
+//===- runtime/GuestState.cpp - Guest architectural state ------------------===//
+
+#include "runtime/GuestState.h"
+
+using namespace ccsim;
+
+uint64_t GuestState::digest() const {
+  uint64_t Hash = 1469598103934665603ULL; // FNV-1a offset basis.
+  auto Mix = [&Hash](uint64_t Value) {
+    for (unsigned I = 0; I < 8; ++I) {
+      Hash ^= (Value >> (8 * I)) & 0xff;
+      Hash *= 1099511628211ULL;
+    }
+  };
+  for (unsigned Reg = 0; Reg < NumRegisters; ++Reg)
+    Mix(reg(Reg));
+  for (uint8_t Byte : Memory) {
+    Hash ^= Byte;
+    Hash *= 1099511628211ULL;
+  }
+  Mix(PC);
+  Mix(Halted ? 1 : 0);
+  for (uint32_t Return : CallStack)
+    Mix(Return);
+  return Hash;
+}
+
+uint32_t ccsim::executeInstruction(const Instruction &Inst, uint32_t PC,
+                                   GuestState &State) {
+  const uint32_t NextPC = PC + Inst.Size;
+  switch (Inst.Op) {
+  case Opcode::Nop:
+    return NextPC;
+  case Opcode::Halt:
+    State.Halted = true;
+    return PC;
+  case Opcode::Add:
+    State.setReg(Inst.Rd, State.reg(Inst.Rs1) + State.reg(Inst.Rs2));
+    return NextPC;
+  case Opcode::Sub:
+    State.setReg(Inst.Rd, State.reg(Inst.Rs1) - State.reg(Inst.Rs2));
+    return NextPC;
+  case Opcode::Mul:
+    State.setReg(Inst.Rd, State.reg(Inst.Rs1) * State.reg(Inst.Rs2));
+    return NextPC;
+  case Opcode::Xor:
+    State.setReg(Inst.Rd, State.reg(Inst.Rs1) ^ State.reg(Inst.Rs2));
+    return NextPC;
+  case Opcode::And:
+    State.setReg(Inst.Rd, State.reg(Inst.Rs1) & State.reg(Inst.Rs2));
+    return NextPC;
+  case Opcode::Or:
+    State.setReg(Inst.Rd, State.reg(Inst.Rs1) | State.reg(Inst.Rs2));
+    return NextPC;
+  case Opcode::Shl:
+    State.setReg(Inst.Rd,
+                 State.reg(Inst.Rs1) << (State.reg(Inst.Rs2) & 63));
+    return NextPC;
+  case Opcode::Shr:
+    State.setReg(Inst.Rd,
+                 State.reg(Inst.Rs1) >> (State.reg(Inst.Rs2) & 63));
+    return NextPC;
+  case Opcode::Addi:
+    State.setReg(Inst.Rd,
+                 State.reg(Inst.Rs1) + static_cast<int64_t>(Inst.Imm));
+    return NextPC;
+  case Opcode::Movi:
+    State.setReg(Inst.Rd, static_cast<int64_t>(Inst.Imm));
+    return NextPC;
+  case Opcode::Ld:
+    State.setReg(Inst.Rd, State.load64(State.reg(Inst.Rs1) +
+                                       static_cast<int64_t>(Inst.Imm)));
+    return NextPC;
+  case Opcode::St:
+    State.store64(State.reg(Inst.Rs1) + static_cast<int64_t>(Inst.Imm),
+                  State.reg(Inst.Rs2));
+    return NextPC;
+  case Opcode::Beqz:
+    return State.reg(Inst.Rs1) == 0 ? Inst.Target : NextPC;
+  case Opcode::Bnez:
+    return State.reg(Inst.Rs1) != 0 ? Inst.Target : NextPC;
+  case Opcode::Blt:
+    return static_cast<int64_t>(State.reg(Inst.Rs1)) <
+                   static_cast<int64_t>(State.reg(Inst.Rs2))
+               ? Inst.Target
+               : NextPC;
+  case Opcode::Jmp:
+    return Inst.Target;
+  case Opcode::Jr:
+    return static_cast<uint32_t>(State.reg(Inst.Rs1));
+  case Opcode::Call:
+    State.CallStack.push_back(NextPC);
+    return Inst.Target;
+  case Opcode::Ret:
+    if (State.CallStack.empty()) {
+      // Returning from the outermost frame terminates the program.
+      State.Halted = true;
+      return PC;
+    } else {
+      const uint32_t Return = State.CallStack.back();
+      State.CallStack.pop_back();
+      return Return;
+    }
+  }
+  State.Halted = true; // Unreachable with valid decode.
+  return PC;
+}

@@ -1,0 +1,86 @@
+//===- runtime/GuestState.h - Guest architectural state --------------------===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The guest machine state shared by the interpreter and the code cache
+/// executor: 16 GPRs (r0 hardwired to zero), a PC, byte-addressable data
+/// memory (power-of-two size, accesses wrap), a return-address stack for
+/// CALL/RET, and a halt flag. Keeping the state identical between the two
+/// execution engines lets tests assert that translated execution is
+/// bit-equal to pure interpretation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_RUNTIME_GUESTSTATE_H
+#define CCSIM_RUNTIME_GUESTSTATE_H
+
+#include "isa/Isa.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace ccsim {
+
+/// Architectural state of a running guest program.
+class GuestState {
+public:
+  /// \p MemoryBytes must be a power of two (>= 8).
+  explicit GuestState(size_t MemoryBytes = 1 << 16)
+      : Memory(MemoryBytes, 0) {
+    assert(MemoryBytes >= 8 && (MemoryBytes & (MemoryBytes - 1)) == 0 &&
+           "guest memory must be a power-of-two size");
+  }
+
+  uint64_t reg(unsigned Index) const {
+    assert(Index < NumRegisters && "register index out of range");
+    return Index == 0 ? 0 : Regs[Index];
+  }
+
+  void setReg(unsigned Index, uint64_t Value) {
+    assert(Index < NumRegisters && "register index out of range");
+    if (Index != 0)
+      Regs[Index] = Value;
+  }
+
+  /// 64-bit little-endian load; the address wraps modulo memory size.
+  uint64_t load64(uint64_t Address) const {
+    const size_t Mask = Memory.size() - 1;
+    uint64_t Value = 0;
+    for (unsigned I = 0; I < 8; ++I)
+      Value |= static_cast<uint64_t>(Memory[(Address + I) & Mask])
+               << (8 * I);
+    return Value;
+  }
+
+  void store64(uint64_t Address, uint64_t Value) {
+    const size_t Mask = Memory.size() - 1;
+    for (unsigned I = 0; I < 8; ++I)
+      Memory[(Address + I) & Mask] = static_cast<uint8_t>(Value >> (8 * I));
+  }
+
+  /// FNV-1a digest of registers and memory, for state-equality tests.
+  uint64_t digest() const;
+
+  uint32_t PC = 0;
+  bool Halted = false;
+  std::vector<uint32_t> CallStack;
+
+private:
+  uint64_t Regs[NumRegisters] = {0};
+  std::vector<uint8_t> Memory;
+};
+
+/// Executes one decoded instruction at \p PC against \p State and returns
+/// the next PC. Updates the call stack for Call/Ret and sets
+/// State.Halted for Halt (and for Ret on an empty stack, which is defined
+/// as normal termination).
+uint32_t executeInstruction(const Instruction &Inst, uint32_t PC,
+                            GuestState &State);
+
+} // namespace ccsim
+
+#endif // CCSIM_RUNTIME_GUESTSTATE_H

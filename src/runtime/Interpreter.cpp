@@ -1,0 +1,44 @@
+//===- runtime/Interpreter.cpp - Reference guest interpreter ---------------===//
+
+#include "runtime/Interpreter.h"
+
+using namespace ccsim;
+
+bool Interpreter::step() {
+  if (State.Halted)
+    return false;
+  Instruction Inst;
+  if (!Prog.decodeAt(State.PC, Inst)) {
+    // Running off the image or into a malformed byte halts the guest.
+    State.Halted = true;
+    return false;
+  }
+  State.PC = executeInstruction(Inst, State.PC, State);
+  ++Executed;
+  return !State.Halted;
+}
+
+uint64_t Interpreter::run(uint64_t MaxSteps) {
+  const uint64_t Before = Executed;
+  while (!State.Halted && Executed - Before < MaxSteps)
+    if (!step())
+      break;
+  return Executed - Before;
+}
+
+uint64_t Interpreter::stepBlock() {
+  const uint64_t Before = Executed;
+  while (!State.Halted) {
+    Instruction Inst;
+    if (!Prog.decodeAt(State.PC, Inst)) {
+      State.Halted = true;
+      break;
+    }
+    const bool EndOfBlock = Inst.isControlFlow();
+    State.PC = executeInstruction(Inst, State.PC, State);
+    ++Executed;
+    if (EndOfBlock)
+      break;
+  }
+  return Executed - Before;
+}

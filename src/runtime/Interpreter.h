@@ -1,0 +1,55 @@
+//===- runtime/Interpreter.h - Reference guest interpreter -----------------===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The reference interpreter: executes a guest program instruction by
+/// instruction. The dynamic translator uses it for cold code (below the
+/// hotness threshold); tests use it as the golden model that translated
+/// execution must match exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_RUNTIME_INTERPRETER_H
+#define CCSIM_RUNTIME_INTERPRETER_H
+
+#include "isa/Program.h"
+#include "runtime/GuestState.h"
+
+namespace ccsim {
+
+/// Instruction-at-a-time guest execution.
+class Interpreter {
+public:
+  Interpreter(const Program &P, GuestState &State)
+      : Prog(P), State(State) {
+    State.PC = P.EntryPC;
+  }
+
+  /// Executes one instruction. Returns false once halted (including on a
+  /// decode failure, which halts the guest).
+  bool step();
+
+  /// Runs until halt or until \p MaxSteps instructions have executed.
+  /// Returns the number of instructions executed.
+  uint64_t run(uint64_t MaxSteps);
+
+  /// Executes through the end of the current basic block: instructions
+  /// are executed until one with control flow (inclusive) retires.
+  /// Returns the number of instructions executed.
+  uint64_t stepBlock();
+
+  uint64_t instructionCount() const { return Executed; }
+  const GuestState &state() const { return State; }
+
+private:
+  const Program &Prog;
+  GuestState &State;
+  uint64_t Executed = 0;
+};
+
+} // namespace ccsim
+
+#endif // CCSIM_RUNTIME_INTERPRETER_H

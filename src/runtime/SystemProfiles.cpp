@@ -1,0 +1,94 @@
+//===- runtime/SystemProfiles.cpp - Table 2 / Figure 9 run profiles -------===//
+
+#include "runtime/SystemProfiles.h"
+
+using namespace ccsim;
+
+namespace {
+
+/// Builds one proxy spec. The two knobs that set the chaining-off
+/// slowdown are the fragment length (ALU ops per block: longer fragments
+/// amortize the dispatch cost when chaining is off) and the density of
+/// persistent unlinked exits when chaining is on (rare branches and
+/// call/return traffic: the higher it is, the less chaining saves).
+ProgramSpec proxy(uint32_t Functions, uint32_t BlocksLo, uint32_t BlocksHi,
+                  uint32_t Inner, uint32_t AluLo, uint32_t AluHi,
+                  double Calls, uint32_t TopCalls, uint32_t Shared,
+                  uint64_t Seed, uint32_t PolySites = 0,
+                  uint32_t PolyPeriod = 0) {
+  ProgramSpec S;
+  S.NumFunctions = Functions;
+  S.MinBlocksPerFunction = BlocksLo;
+  S.MaxBlocksPerFunction = BlocksHi;
+  S.MinAluPerBlock = AluLo;
+  S.MaxAluPerBlock = AluHi;
+  S.OuterIterations = 2500;
+  S.InnerIterations = Inner;
+  S.TopLevelCalls = TopCalls;
+  S.MeanCallsPerFunction = Calls;
+  S.SharedCalleeCount = Shared;
+  S.PolyTopSites = PolySites;
+  S.PolyPeriodLog2 = PolyPeriod;
+  S.RareBranchProb = 0.05;
+  S.RareMaskBits = 7;
+  S.Seed = Seed;
+  return S;
+}
+
+std::vector<Table2Profile> buildTable2() {
+  std::vector<Table2Profile> Rows;
+  // Reference numbers are Table 2 of the paper (dual-Xeon 2.4 GHz).
+  // Larger rare-exit density / call traffic -> smaller chaining benefit.
+  //                         fn  blocks  in  alu    calls top shared seed
+  Rows.push_back({"gzip", 230, 7951, 3357,
+                  proxy(18, 3, 4, 8, 9, 14, 0.20, 2, 0, 101)});
+  Rows.push_back({"vpr", 333, 2474, 643,
+                  proxy(22, 3, 6, 5, 6, 11, 0.85, 8, 2, 102)});
+  Rows.push_back({"gcc", 206, 3284, 1494,
+                  proxy(56, 4, 9, 8, 8, 16, 0.55, 3, 0, 103, 2, 0)});
+  Rows.push_back({"mcf", 368, 2014, 447,
+                  proxy(14, 3, 5, 3, 3, 6, 0.90, 12, 2, 104)});
+  Rows.push_back({"crafty", 215, 3547, 1550,
+                  proxy(30, 4, 9, 8, 8, 16, 0.50, 3, 0, 105, 2, 3)});
+  Rows.push_back({"parser", 350, 6795, 1841,
+                  proxy(34, 4, 9, 8, 9, 18, 0.45, 4, 0, 106)});
+  Rows.push_back({"perlbmk", 336, 6945, 1967,
+                  proxy(36, 4, 9, 8, 9, 16, 0.45, 3, 2, 107)});
+  Rows.push_back({"gap", 195, 4231, 2070,
+                  proxy(26, 4, 9, 8, 9, 16, 0.40, 3, 0, 108, 2, 3)});
+  Rows.push_back({"vortex", 382, 4655, 1119,
+                  proxy(40, 4, 8, 6, 6, 12, 0.60, 4, 0, 109, 4, 0)});
+  Rows.push_back({"bzip2", 287, 4294, 1396,
+                  proxy(16, 4, 9, 8, 7, 14, 0.50, 3, 0, 110, 2, 1)});
+  Rows.push_back({"twolf", 658, 6490, 886,
+                  proxy(24, 3, 7, 6, 8, 14, 0.80, 2, 0, 111, 5, 0)});
+  return Rows;
+}
+
+} // namespace
+
+const std::vector<Table2Profile> &ccsim::table2Profiles() {
+  static const std::vector<Table2Profile> Rows = buildTable2();
+  return Rows;
+}
+
+uint64_t ccsim::table2RunBudget() { return 12000000; }
+
+ProgramSpec ccsim::fig9ProgramSpec() {
+  // Code-rich and long-running: with a small cache this produces tens of
+  // thousands of evictions to sample.
+  ProgramSpec S;
+  S.NumFunctions = 72;
+  S.MinBlocksPerFunction = 5;
+  S.MaxBlocksPerFunction = 12;
+  S.MinAluPerBlock = 5;
+  S.MaxAluPerBlock = 18;
+  S.OuterIterations = 4000;
+  S.InnerIterations = 6;
+  S.TopLevelCalls = 24; // Reach most of the call graph from main.
+  S.MeanCallsPerFunction = 0.6;
+  S.RareBranchProb = 0.10;
+  S.RareMaskBits = 6;
+  S.Seed = 90210;
+  return S;
+}

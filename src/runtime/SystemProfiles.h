@@ -1,0 +1,53 @@
+//===- runtime/SystemProfiles.h - Table 2 / Figure 9 run profiles ---------===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Guest-program profiles for the two mini-DBT experiments:
+///
+///   - Table 2: the 11 SPEC2000 benchmarks the paper ran under DynamoRIO
+///     with chaining enabled/disabled. Each profile is a synthetic proxy
+///     whose fragment lengths and cold-exit/indirect-branch density are
+///     chosen to span the paper's slowdown range (447%..3357%). The
+///     paper's reference slowdowns are attached for the comparison table.
+///
+///   - Figure 9: a code-rich program run against a deliberately small
+///     cache so the eviction machinery fires thousands of times, giving
+///     the regression study its (bytes, instructions) samples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_RUNTIME_SYSTEMPROFILES_H
+#define CCSIM_RUNTIME_SYSTEMPROFILES_H
+
+#include "isa/ProgramGenerator.h"
+
+#include <string>
+#include <vector>
+
+namespace ccsim {
+
+/// One Table 2 row: a benchmark proxy plus the paper's measurements.
+struct Table2Profile {
+  std::string Name;
+  double PaperLinkedSeconds;   ///< Table 2, "Linking Enabled".
+  double PaperUnlinkedSeconds; ///< Table 2, "Linking Disabled".
+  double PaperSlowdownPercent; ///< Table 2, "Slowdown".
+  ProgramSpec Spec;
+};
+
+/// The 11 SPEC benchmarks of Table 2 (eon was not measured in the paper).
+const std::vector<Table2Profile> &table2Profiles();
+
+/// Guest instruction budget for one Table 2 proxy run.
+uint64_t table2RunBudget();
+
+/// Program spec for the Figure 9 eviction-overhead study: lots of code,
+/// long runtime, run against a small cache.
+ProgramSpec fig9ProgramSpec();
+
+} // namespace ccsim
+
+#endif // CCSIM_RUNTIME_SYSTEMPROFILES_H

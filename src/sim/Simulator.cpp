@@ -1,0 +1,46 @@
+//===- sim/Simulator.cpp - Trace-driven code cache simulation -------------===//
+
+#include "sim/Simulator.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ccsim;
+
+uint64_t ccsim::sim::capacityFor(const Trace &T, const SimConfig &Config) {
+  if (Config.ExplicitCapacityBytes != 0)
+    return Config.ExplicitCapacityBytes;
+  assert(Config.PressureFactor >= 1.0 &&
+         "pressure factor below 1 would be an over-provisioned cache");
+  const double Derived =
+      static_cast<double>(T.maxCacheBytes()) / Config.PressureFactor;
+  return std::max<uint64_t>(1, static_cast<uint64_t>(Derived));
+}
+
+SimResult ccsim::sim::run(const Trace &T,
+                          std::unique_ptr<EvictionPolicy> Policy,
+                          const SimConfig &Config) {
+  assert(Policy && "simulation requires a policy");
+  SimResult Result;
+  Result.BenchmarkName = T.Name;
+  Result.PolicyName = Policy->name();
+  Result.MaxCacheBytes = T.maxCacheBytes();
+  Result.CapacityBytes = capacityFor(T, Config);
+
+  CacheManagerConfig MC;
+  MC.CapacityBytes = Result.CapacityBytes;
+  MC.Costs = Config.Costs;
+  MC.EnableChaining = Config.EnableChaining;
+  CacheManager Manager(MC, std::move(Policy));
+
+  for (SuperblockId Id : T.Accesses)
+    Manager.access(T.recordFor(Id));
+
+  Result.Stats = Manager.stats();
+  return Result;
+}
+
+SimResult ccsim::sim::run(const Trace &T, const GranularitySpec &Spec,
+                          const SimConfig &Config) {
+  return run(T, makePolicy(Spec), Config);
+}

@@ -1,0 +1,99 @@
+//===- sim/Simulator.h - Trace-driven code cache simulation ---------------===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The trace-driven code cache simulator of Section 4.1: replays a
+/// benchmark trace through a CacheManager configured with one eviction
+/// policy and one cache pressure factor. The cache is sized to
+/// maxCache / pressure, where maxCache is the size an unbounded cache
+/// would reach for that benchmark (Section 4.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_SIM_SIMULATOR_H
+#define CCSIM_SIM_SIMULATOR_H
+
+#include "core/CacheManager.h"
+#include "trace/Trace.h"
+
+#include <memory>
+#include <string>
+
+namespace ccsim {
+
+/// Configuration shared by simulation runs.
+struct SimConfig {
+  /// Cache pressure factor n: capacity = maxCache / n (Section 4.2).
+  double PressureFactor = 2.0;
+
+  /// Overrides the derived capacity when nonzero.
+  uint64_t ExplicitCapacityBytes = 0;
+
+  /// Analytical instruction-cost model (Eqs. 2-4).
+  CostModel Costs = CostModel::paperDefaults();
+
+  /// Maintain superblock chaining state.
+  bool EnableChaining = true;
+};
+
+/// Outcome of simulating one (trace, policy, capacity) combination.
+struct SimResult {
+  std::string BenchmarkName;
+  std::string PolicyName;
+  uint64_t CapacityBytes = 0;
+  uint64_t MaxCacheBytes = 0;
+  CacheStats Stats;
+};
+
+/// Stateless driver functions.
+namespace sim {
+
+/// Derives the cache capacity for \p T under \p Config.
+uint64_t capacityFor(const Trace &T, const SimConfig &Config);
+
+/// Replays \p T through a fresh CacheManager running \p Policy.
+SimResult run(const Trace &T, std::unique_ptr<EvictionPolicy> Policy,
+              const SimConfig &Config);
+
+/// Replays \p T under the policy named by \p Spec.
+SimResult run(const Trace &T, const GranularitySpec &Spec,
+              const SimConfig &Config);
+
+} // namespace sim
+
+/// Execution-time model used for the Section 5.3 estimate: total time is
+/// proportional to application instructions (accesses times the mean
+/// number of instructions executed inside the cache per dispatch) plus
+/// the modeled cache management overhead.
+struct ExecutionTimeModel {
+  /// Instructions the application retires inside the code cache between
+  /// consecutive dispatch events. Calibrated so that cache management
+  /// overhead "becomes a dominant factor" at the paper's high-pressure
+  /// configuration (Section 5.3).
+  double InstructionsPerDispatch = 6000.0;
+
+  /// Total modeled instructions for a run.
+  double totalInstructions(const SimResult &Result,
+                           bool IncludeLinkMaintenance) const {
+    return static_cast<double>(Result.Stats.Accesses) *
+               InstructionsPerDispatch +
+           Result.Stats.totalOverhead(IncludeLinkMaintenance);
+  }
+
+  /// Relative execution-time reduction going from \p Base to \p Improved.
+  double reductionFraction(const SimResult &Base, const SimResult &Improved,
+                           bool IncludeLinkMaintenance) const {
+    const double TB = totalInstructions(Base, IncludeLinkMaintenance);
+    const double TI = totalInstructions(Improved, IncludeLinkMaintenance);
+    if (TB <= 0.0)
+      return 0.0;
+    return (TB - TI) / TB;
+  }
+};
+
+} // namespace ccsim
+
+#endif // CCSIM_SIM_SIMULATOR_H

@@ -1,0 +1,83 @@
+//===- sim/Sweep.cpp - Suite-wide granularity and pressure sweeps ---------===//
+
+#include "sim/Sweep.h"
+
+#include <atomic>
+#include <cassert>
+#include <thread>
+
+using namespace ccsim;
+
+SweepEngine::SweepEngine(const std::vector<WorkloadModel> &Models,
+                         uint64_t SuiteSeed) {
+  Traces.reserve(Models.size());
+  for (const WorkloadModel &M : Models)
+    Traces.push_back(TraceGenerator::generateBenchmark(M, SuiteSeed));
+  const unsigned HW = std::thread::hardware_concurrency();
+  NumThreads = HW ? HW : 4;
+}
+
+SweepEngine SweepEngine::forTable1(uint64_t SuiteSeed) {
+  return SweepEngine(table1Workloads(), SuiteSeed);
+}
+
+SweepEngine SweepEngine::forScaledTable1(double Factor, uint64_t SuiteSeed) {
+  std::vector<WorkloadModel> Scaled;
+  Scaled.reserve(table1Workloads().size());
+  for (const WorkloadModel &M : table1Workloads())
+    Scaled.push_back(scaledWorkload(M, Factor));
+  return SweepEngine(Scaled, SuiteSeed);
+}
+
+SuiteResult SweepEngine::runSuite(
+    const std::function<std::unique_ptr<EvictionPolicy>()> &MakePolicy,
+    const std::string &Label, const SimConfig &Config) const {
+  SuiteResult Result;
+  Result.PolicyLabel = Label;
+  Result.PressureFactor = Config.PressureFactor;
+  Result.PerBenchmark.resize(Traces.size());
+
+  // Benchmarks are independent; fan them out over a small worker pool.
+  std::atomic<size_t> NextIndex{0};
+  auto Worker = [&]() {
+    for (;;) {
+      const size_t I = NextIndex.fetch_add(1);
+      if (I >= Traces.size())
+        return;
+      Result.PerBenchmark[I] = sim::run(Traces[I], MakePolicy(), Config);
+    }
+  };
+
+  const unsigned Threads =
+      std::max(1u, std::min<unsigned>(NumThreads, Traces.size()));
+  if (Threads == 1) {
+    Worker();
+  } else {
+    std::vector<std::thread> Pool;
+    Pool.reserve(Threads);
+    for (unsigned T = 0; T < Threads; ++T)
+      Pool.emplace_back(Worker);
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  // Equation 1: the unified metric weights every benchmark by its own
+  // access count, which is what summing raw counters does.
+  for (const SimResult &R : Result.PerBenchmark)
+    Result.Combined.merge(R.Stats);
+  return Result;
+}
+
+SuiteResult SweepEngine::runSuite(const GranularitySpec &Spec,
+                                  const SimConfig &Config) const {
+  return runSuite([&Spec]() { return makePolicy(Spec); }, Spec.label(),
+                  Config);
+}
+
+std::vector<SuiteResult>
+SweepEngine::sweepGranularities(const SimConfig &Config) const {
+  std::vector<SuiteResult> Results;
+  for (const GranularitySpec &Spec : standardGranularitySweep())
+    Results.push_back(runSuite(Spec, Config));
+  return Results;
+}

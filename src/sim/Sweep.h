@@ -1,0 +1,87 @@
+//===- sim/Sweep.h - Suite-wide granularity and pressure sweeps -----------===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The experiment engine behind Figures 6-8, 10-11, and 13-15: it
+/// generates (once) the traces for a benchmark suite, replays every
+/// benchmark under a (granularity, pressure) grid, and aggregates results
+/// across benchmarks with the paper's Equation 1 weighting:
+///
+///   unifiedMissRate = sum(cacheMisses_i) / sum(cacheAccesses_i)
+///
+/// which is exactly what merging the per-benchmark counters produces.
+/// Benchmarks run in parallel across hardware threads; results are
+/// deterministic regardless of thread count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_SIM_SWEEP_H
+#define CCSIM_SIM_SWEEP_H
+
+#include "sim/Simulator.h"
+#include "trace/TraceGenerator.h"
+#include "trace/WorkloadModel.h"
+
+#include <functional>
+#include <vector>
+
+namespace ccsim {
+
+/// Default suite seed shared by all bench binaries so every figure is
+/// computed from the same traces.
+inline constexpr uint64_t DefaultSuiteSeed = 0xCC512004ULL;
+
+/// Aggregated outcome of one suite run at one sweep point.
+struct SuiteResult {
+  std::string PolicyLabel;
+  double PressureFactor = 0.0;
+  CacheStats Combined; ///< Eq. 1 aggregation over all benchmarks.
+  std::vector<SimResult> PerBenchmark;
+};
+
+/// Generates and owns the traces for a benchmark suite and replays them
+/// under arbitrary policies.
+class SweepEngine {
+public:
+  /// Generates traces for \p Models with per-benchmark seeds derived from
+  /// \p SuiteSeed.
+  SweepEngine(const std::vector<WorkloadModel> &Models, uint64_t SuiteSeed);
+
+  /// Engine over the paper's full Table 1 suite.
+  static SweepEngine forTable1(uint64_t SuiteSeed = DefaultSuiteSeed);
+
+  /// Engine over a size-scaled copy of Table 1 (fast tests/smoke runs).
+  static SweepEngine forScaledTable1(double Factor,
+                                     uint64_t SuiteSeed = DefaultSuiteSeed);
+
+  const std::vector<Trace> &traces() const { return Traces; }
+
+  /// Runs every benchmark under the policy named by \p Spec at
+  /// \p Config.PressureFactor and aggregates.
+  SuiteResult runSuite(const GranularitySpec &Spec,
+                       const SimConfig &Config) const;
+
+  /// Runs every benchmark under policies minted by \p MakePolicy (called
+  /// once per benchmark). \p Label names the sweep point.
+  SuiteResult
+  runSuite(const std::function<std::unique_ptr<EvictionPolicy>()> &MakePolicy,
+           const std::string &Label, const SimConfig &Config) const;
+
+  /// Full granularity sweep (standardGranularitySweep()) at one pressure.
+  std::vector<SuiteResult> sweepGranularities(const SimConfig &Config) const;
+
+  /// Number of worker threads (defaults to hardware concurrency; set to 1
+  /// for strictly serial runs).
+  void setNumThreads(unsigned Threads) { NumThreads = Threads; }
+
+private:
+  std::vector<Trace> Traces;
+  unsigned NumThreads;
+};
+
+} // namespace ccsim
+
+#endif // CCSIM_SIM_SWEEP_H

@@ -1,0 +1,40 @@
+//===- support/AsciiChart.cpp - Terminal bar charts -----------------------===//
+
+#include "support/AsciiChart.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace ccsim;
+
+void BarChart::add(const std::string &Label, double Value,
+                   const std::string &Display) {
+  Entries.push_back(
+      Entry{Label, Value,
+            Display.empty() ? formatDouble(Value, 3) : Display});
+}
+
+std::string BarChart::render() const {
+  double MaxValue = 0.0;
+  size_t LabelWidth = 0;
+  for (const Entry &E : Entries) {
+    MaxValue = std::max(MaxValue, E.Value);
+    LabelWidth = std::max(LabelWidth, E.Label.size());
+  }
+  if (MaxValue <= 0.0)
+    MaxValue = 1.0;
+
+  std::string Out;
+  for (const Entry &E : Entries) {
+    Out += padRight(E.Label, LabelWidth + 2);
+    const size_t Bar = static_cast<size_t>(std::llround(
+        std::max(0.0, E.Value) / MaxValue * static_cast<double>(BarWidth)));
+    Out += std::string(Bar, '#');
+    Out += ' ';
+    Out += E.Display;
+    Out += '\n';
+  }
+  return Out;
+}

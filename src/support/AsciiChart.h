@@ -1,0 +1,51 @@
+//===- support/AsciiChart.h - Terminal bar charts -------------------------===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Horizontal bar charts for the figure benches, so the paper's bar
+/// figures (6, 8, 10, 12, 13, 14) are visible directly in the terminal
+/// next to their numeric tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_SUPPORT_ASCIICHART_H
+#define CCSIM_SUPPORT_ASCIICHART_H
+
+#include <string>
+#include <vector>
+
+namespace ccsim {
+
+/// Renders labeled horizontal bars scaled to the maximum value.
+class BarChart {
+public:
+  /// \param BarWidth width in characters of the longest bar.
+  explicit BarChart(size_t BarWidth = 48) : BarWidth(BarWidth) {}
+
+  /// Adds one bar. \p Display is the text printed after the bar (defaults
+  /// to the numeric value with 3 decimals when empty).
+  void add(const std::string &Label, double Value,
+           const std::string &Display = "");
+
+  size_t size() const { return Entries.size(); }
+
+  /// Renders all bars, one per line, labels left-aligned.
+  std::string render() const;
+
+private:
+  struct Entry {
+    std::string Label;
+    double Value;
+    std::string Display;
+  };
+
+  size_t BarWidth;
+  std::vector<Entry> Entries;
+};
+
+} // namespace ccsim
+
+#endif // CCSIM_SUPPORT_ASCIICHART_H

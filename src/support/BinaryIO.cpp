@@ -1,0 +1,162 @@
+//===- support/BinaryIO.cpp - Little-endian binary stream I/O ------------===//
+
+#include "support/BinaryIO.h"
+
+#include <cstring>
+
+using namespace ccsim;
+
+BinaryWriter::BinaryWriter(const std::string &Path) {
+  Stream = std::fopen(Path.c_str(), "wb");
+  if (!Stream)
+    Failed = true;
+}
+
+BinaryWriter::BinaryWriter() : ToMemory(true) {}
+
+BinaryWriter::~BinaryWriter() {
+  if (Stream) {
+    std::fclose(Stream);
+    Stream = nullptr;
+  }
+}
+
+void BinaryWriter::writeBytes(const void *Data, size_t Size) {
+  if (Failed || Size == 0)
+    return;
+  if (ToMemory) {
+    const auto *P = static_cast<const uint8_t *>(Data);
+    Memory.insert(Memory.end(), P, P + Size);
+    return;
+  }
+  if (std::fwrite(Data, 1, Size, Stream) != Size)
+    Failed = true;
+}
+
+void BinaryWriter::writeU8(uint8_t V) { writeBytes(&V, 1); }
+
+void BinaryWriter::writeU16(uint16_t V) {
+  uint8_t Buf[2] = {static_cast<uint8_t>(V), static_cast<uint8_t>(V >> 8)};
+  writeBytes(Buf, sizeof(Buf));
+}
+
+void BinaryWriter::writeU32(uint32_t V) {
+  uint8_t Buf[4];
+  for (int I = 0; I < 4; ++I)
+    Buf[I] = static_cast<uint8_t>(V >> (8 * I));
+  writeBytes(Buf, sizeof(Buf));
+}
+
+void BinaryWriter::writeU64(uint64_t V) {
+  uint8_t Buf[8];
+  for (int I = 0; I < 8; ++I)
+    Buf[I] = static_cast<uint8_t>(V >> (8 * I));
+  writeBytes(Buf, sizeof(Buf));
+}
+
+void BinaryWriter::writeF64(double V) {
+  uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(V), "double must be 64-bit");
+  std::memcpy(&Bits, &V, sizeof(Bits));
+  writeU64(Bits);
+}
+
+void BinaryWriter::writeString(const std::string &S) {
+  writeU32(static_cast<uint32_t>(S.size()));
+  writeBytes(S.data(), S.size());
+}
+
+bool BinaryWriter::finish() {
+  if (Stream) {
+    if (std::fclose(Stream) != 0)
+      Failed = true;
+    Stream = nullptr;
+  }
+  return ok();
+}
+
+BinaryReader::BinaryReader(const std::string &Path) {
+  FILE *Stream = std::fopen(Path.c_str(), "rb");
+  if (!Stream) {
+    Failed = true;
+    return;
+  }
+  std::fseek(Stream, 0, SEEK_END);
+  const long Size = std::ftell(Stream);
+  std::fseek(Stream, 0, SEEK_SET);
+  if (Size < 0) {
+    Failed = true;
+    std::fclose(Stream);
+    return;
+  }
+  Bytes.resize(static_cast<size_t>(Size));
+  if (Size > 0 &&
+      std::fread(Bytes.data(), 1, Bytes.size(), Stream) != Bytes.size())
+    Failed = true;
+  std::fclose(Stream);
+}
+
+BinaryReader::BinaryReader(std::vector<uint8_t> InBytes)
+    : Bytes(std::move(InBytes)) {}
+
+bool BinaryReader::take(void *Out, size_t Size) {
+  if (Failed || Cursor + Size > Bytes.size()) {
+    Failed = true;
+    return false;
+  }
+  std::memcpy(Out, Bytes.data() + Cursor, Size);
+  Cursor += Size;
+  return true;
+}
+
+uint8_t BinaryReader::readU8() {
+  uint8_t V = 0;
+  take(&V, 1);
+  return V;
+}
+
+uint16_t BinaryReader::readU16() {
+  uint8_t Buf[2] = {0, 0};
+  take(Buf, sizeof(Buf));
+  return static_cast<uint16_t>(Buf[0] | (Buf[1] << 8));
+}
+
+uint32_t BinaryReader::readU32() {
+  uint8_t Buf[4] = {0, 0, 0, 0};
+  take(Buf, sizeof(Buf));
+  uint32_t V = 0;
+  for (int I = 3; I >= 0; --I)
+    V = (V << 8) | Buf[I];
+  return V;
+}
+
+uint64_t BinaryReader::readU64() {
+  uint8_t Buf[8] = {0};
+  take(Buf, sizeof(Buf));
+  uint64_t V = 0;
+  for (int I = 7; I >= 0; --I)
+    V = (V << 8) | Buf[I];
+  return V;
+}
+
+double BinaryReader::readF64() {
+  const uint64_t Bits = readU64();
+  double V;
+  std::memcpy(&V, &Bits, sizeof(V));
+  return V;
+}
+
+std::string BinaryReader::readString() {
+  const uint32_t Size = readU32();
+  if (Failed || Cursor + Size > Bytes.size()) {
+    Failed = true;
+    return std::string();
+  }
+  std::string S(reinterpret_cast<const char *>(Bytes.data() + Cursor), Size);
+  Cursor += Size;
+  return S;
+}
+
+bool BinaryReader::readBytes(void *Data, size_t Size) {
+  return take(Data, Size);
+}

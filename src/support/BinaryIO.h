@@ -1,0 +1,94 @@
+//===- support/BinaryIO.h - Little-endian binary stream I/O --------------===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Little-endian binary writers/readers over files and memory buffers.
+/// The trace library serializes DynamoRIO-style logs through these classes
+/// so experiments can be replayed exactly (the paper's repeatability
+/// requirement, Section 4.1). No exceptions: errors latch a failure flag
+/// that callers must check.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_SUPPORT_BINARYIO_H
+#define CCSIM_SUPPORT_BINARYIO_H
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace ccsim {
+
+/// Buffered little-endian binary writer.
+class BinaryWriter {
+public:
+  /// Opens \p Path for writing. Check ok() before use.
+  explicit BinaryWriter(const std::string &Path);
+
+  /// Writes into an in-memory buffer instead of a file.
+  BinaryWriter();
+
+  ~BinaryWriter();
+
+  BinaryWriter(const BinaryWriter &) = delete;
+  BinaryWriter &operator=(const BinaryWriter &) = delete;
+
+  bool ok() const { return !Failed; }
+
+  void writeU8(uint8_t V);
+  void writeU16(uint16_t V);
+  void writeU32(uint32_t V);
+  void writeU64(uint64_t V);
+  void writeF64(double V);
+  void writeString(const std::string &S);
+  void writeBytes(const void *Data, size_t Size);
+
+  /// Flushes and closes the file (no-op for memory writers). Returns ok().
+  bool finish();
+
+  /// For memory writers: the accumulated bytes.
+  const std::vector<uint8_t> &buffer() const { return Memory; }
+
+private:
+  FILE *Stream = nullptr;
+  std::vector<uint8_t> Memory;
+  bool ToMemory = false;
+  bool Failed = false;
+};
+
+/// Little-endian binary reader over a file or memory buffer.
+class BinaryReader {
+public:
+  /// Reads the whole of \p Path into memory. Check ok() before use.
+  explicit BinaryReader(const std::string &Path);
+
+  /// Reads from an existing byte buffer (copied).
+  explicit BinaryReader(std::vector<uint8_t> Bytes);
+
+  bool ok() const { return !Failed; }
+  bool atEnd() const { return Cursor >= Bytes.size(); }
+  size_t remaining() const { return Bytes.size() - Cursor; }
+
+  uint8_t readU8();
+  uint16_t readU16();
+  uint32_t readU32();
+  uint64_t readU64();
+  double readF64();
+  std::string readString();
+  bool readBytes(void *Data, size_t Size);
+
+private:
+  std::vector<uint8_t> Bytes;
+  size_t Cursor = 0;
+  bool Failed = false;
+
+  bool take(void *Out, size_t Size);
+};
+
+} // namespace ccsim
+
+#endif // CCSIM_SUPPORT_BINARYIO_H

@@ -1,0 +1,85 @@
+//===- support/Csv.cpp - CSV serialization for figure series --------------===//
+
+#include "support/Csv.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace ccsim;
+
+CsvWriter::CsvWriter(std::vector<std::string> Header)
+    : Header(std::move(Header)) {
+  assert(!this->Header.empty() && "CSV needs at least one column");
+}
+
+std::string CsvWriter::escape(const std::string &Field) {
+  const bool NeedsQuoting =
+      Field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!NeedsQuoting)
+    return Field;
+  std::string Out = "\"";
+  for (char C : Field) {
+    if (C == '"')
+      Out += '"';
+    Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
+void CsvWriter::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Header.size() && "row width must match header");
+  Rows.push_back(std::move(Row));
+}
+
+void CsvWriter::beginRow() {
+  flushPending();
+  RowOpen = true;
+}
+
+void CsvWriter::flushPending() {
+  if (!RowOpen)
+    return;
+  addRow(std::move(Pending));
+  Pending.clear();
+  RowOpen = false;
+}
+
+void CsvWriter::cell(const std::string &Text) {
+  assert(RowOpen && "cell() outside beginRow()");
+  Pending.push_back(Text);
+}
+
+void CsvWriter::cell(double Value, int Decimals) {
+  cell(formatDouble(Value, Decimals));
+}
+
+void CsvWriter::cell(uint64_t Value) { cell(std::to_string(Value)); }
+
+std::string CsvWriter::render() const {
+  const_cast<CsvWriter *>(this)->flushPending();
+  std::string Out;
+  auto Emit = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I) {
+      if (I)
+        Out += ',';
+      Out += escape(Row[I]);
+    }
+    Out += '\n';
+  };
+  Emit(Header);
+  for (const auto &Row : Rows)
+    Emit(Row);
+  return Out;
+}
+
+bool CsvWriter::writeFile(const std::string &Path) const {
+  FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  const std::string Doc = render();
+  const bool Ok = std::fwrite(Doc.data(), 1, Doc.size(), F) == Doc.size();
+  return (std::fclose(F) == 0) && Ok;
+}

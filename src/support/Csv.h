@@ -1,0 +1,58 @@
+//===- support/Csv.h - CSV serialization for figure series ----------------===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal RFC-4180-style CSV writing, used by the bench binaries'
+/// `--csv` flags so the figure series can be plotted directly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_SUPPORT_CSV_H
+#define CCSIM_SUPPORT_CSV_H
+
+#include <string>
+#include <vector>
+
+namespace ccsim {
+
+/// Accumulates rows and renders/saves them as CSV. Fields containing
+/// commas, quotes, or newlines are quoted and escaped.
+class CsvWriter {
+public:
+  explicit CsvWriter(std::vector<std::string> Header);
+
+  /// Appends a row (must match the header width).
+  void addRow(std::vector<std::string> Row);
+
+  /// Row-building helpers, mirroring Table.
+  void beginRow();
+  void cell(const std::string &Text);
+  void cell(double Value, int Decimals);
+  void cell(uint64_t Value);
+
+  size_t numRows() const { return Rows.size(); }
+
+  /// Renders the full document (header + rows, CRLF-free).
+  std::string render() const;
+
+  /// Writes to \p Path. Returns false on I/O failure.
+  bool writeFile(const std::string &Path) const;
+
+  /// Escapes one field per RFC 4180.
+  static std::string escape(const std::string &Field);
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+  std::vector<std::string> Pending;
+  bool RowOpen = false;
+
+  void flushPending();
+};
+
+} // namespace ccsim
+
+#endif // CCSIM_SUPPORT_CSV_H

@@ -1,0 +1,63 @@
+//===- support/Histogram.h - Fixed-width bucket histograms ---------------===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fixed-width bucket histogram with ASCII rendering, used to reproduce the
+/// superblock size distributions of Figure 3.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_SUPPORT_HISTOGRAM_H
+#define CCSIM_SUPPORT_HISTOGRAM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccsim {
+
+/// Histogram over [0, BucketWidth * NumBuckets) with an overflow bucket for
+/// larger samples.
+class Histogram {
+public:
+  /// \param BucketWidth width of each bucket (> 0).
+  /// \param NumBuckets number of regular buckets (> 0); samples at or above
+  ///        BucketWidth * NumBuckets land in the overflow bucket.
+  Histogram(double BucketWidth, size_t NumBuckets);
+
+  /// Adds one sample. Negative samples clamp into the first bucket.
+  void add(double Sample);
+
+  /// Adds \p Count occurrences of \p Sample.
+  void add(double Sample, uint64_t Count);
+
+  size_t numBuckets() const { return Counts.size() - 1; }
+  uint64_t bucketCount(size_t I) const { return Counts[I]; }
+  uint64_t overflowCount() const { return Counts.back(); }
+  uint64_t totalCount() const { return Total; }
+  double bucketLow(size_t I) const {
+    return BucketWidth * static_cast<double>(I);
+  }
+  double bucketHigh(size_t I) const {
+    return BucketWidth * static_cast<double>(I + 1);
+  }
+
+  /// Fraction of samples in bucket \p I (0 when the histogram is empty).
+  double bucketFraction(size_t I) const;
+
+  /// Renders a horizontal ASCII bar chart, one row per bucket, scaled so
+  /// the largest bucket spans \p MaxBarWidth characters.
+  std::string render(size_t MaxBarWidth = 50) const;
+
+private:
+  double BucketWidth;
+  std::vector<uint64_t> Counts; // Regular buckets plus trailing overflow.
+  uint64_t Total = 0;
+};
+
+} // namespace ccsim
+
+#endif // CCSIM_SUPPORT_HISTOGRAM_H

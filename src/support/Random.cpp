@@ -1,0 +1,180 @@
+//===- support/Random.cpp - Deterministic random number generation -------===//
+
+#include "support/Random.h"
+
+#include <cmath>
+
+using namespace ccsim;
+
+static uint64_t rotl(uint64_t X, int K) {
+  return (X << K) | (X >> (64 - K));
+}
+
+Rng::Rng(uint64_t Seed) {
+  SplitMix64 Seeder(Seed);
+  for (auto &Word : State)
+    Word = Seeder.next();
+}
+
+uint64_t Rng::next64() {
+  const uint64_t Result = rotl(State[0] + State[3], 23) + State[0];
+  const uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t Rng::nextBelow(uint64_t Bound) {
+  assert(Bound != 0 && "nextBelow bound must be nonzero");
+  // Rejection sampling: discard the biased tail of the 64-bit range.
+  const uint64_t Threshold = -Bound % Bound;
+  for (;;) {
+    uint64_t Value = next64();
+    if (Value >= Threshold)
+      return Value % Bound;
+  }
+}
+
+int64_t Rng::nextRange(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "nextRange requires Lo <= Hi");
+  const uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+  return Lo + static_cast<int64_t>(nextBelow(Span));
+}
+
+double Rng::nextDouble() {
+  // 53 high-quality bits into [0, 1).
+  return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::nextBool(double P) {
+  if (P <= 0.0)
+    return false;
+  if (P >= 1.0)
+    return true;
+  return nextDouble() < P;
+}
+
+double Rng::nextNormal() {
+  if (HasCachedNormal) {
+    HasCachedNormal = false;
+    return CachedNormal;
+  }
+  // Box-Muller transform; U1 must be nonzero for the logarithm.
+  double U1;
+  do {
+    U1 = nextDouble();
+  } while (U1 <= 0.0);
+  const double U2 = nextDouble();
+  const double R = std::sqrt(-2.0 * std::log(U1));
+  const double Theta = 2.0 * M_PI * U2;
+  CachedNormal = R * std::sin(Theta);
+  HasCachedNormal = true;
+  return R * std::cos(Theta);
+}
+
+double Rng::nextNormal(double Mean, double Sigma) {
+  return Mean + Sigma * nextNormal();
+}
+
+double Rng::nextLognormal(double Mu, double Sigma) {
+  return std::exp(nextNormal(Mu, Sigma));
+}
+
+uint64_t Rng::nextGeometric(double P) {
+  assert(P > 0.0 && P <= 1.0 && "geometric probability out of range");
+  if (P >= 1.0)
+    return 0;
+  // Inverse transform on the continuous exponential, then floor.
+  double U;
+  do {
+    U = nextDouble();
+  } while (U <= 0.0);
+  return static_cast<uint64_t>(std::floor(std::log(U) / std::log1p(-P)));
+}
+
+double Rng::nextExponential(double Lambda) {
+  assert(Lambda > 0.0 && "exponential rate must be positive");
+  double U;
+  do {
+    U = nextDouble();
+  } while (U <= 0.0);
+  return -std::log(U) / Lambda;
+}
+
+uint64_t Rng::nextPoisson(double Lambda) {
+  assert(Lambda >= 0.0 && "Poisson mean must be non-negative");
+  if (Lambda <= 0.0)
+    return 0;
+  const double L = std::exp(-Lambda);
+  uint64_t K = 0;
+  double P = 1.0;
+  do {
+    ++K;
+    P *= nextDouble();
+  } while (P > L);
+  return K - 1;
+}
+
+Rng Rng::fork() {
+  // Derive a child seed from two draws; the child reseeds via SplitMix64,
+  // which decorrelates its stream from the parent's continuation.
+  const uint64_t ChildSeed = next64() ^ rotl(next64(), 32);
+  return Rng(ChildSeed);
+}
+
+ZipfSampler::ZipfSampler(size_t N, double S) {
+  assert(N > 0 && "Zipf sampler needs at least one element");
+  Cdf.resize(N);
+  double Sum = 0.0;
+  for (size_t I = 0; I < N; ++I) {
+    Sum += 1.0 / std::pow(static_cast<double>(I + 1), S);
+    Cdf[I] = Sum;
+  }
+  for (auto &Value : Cdf)
+    Value /= Sum;
+}
+
+size_t ZipfSampler::sample(Rng &R) const {
+  const double U = R.nextDouble();
+  // Binary search for the first CDF entry >= U.
+  size_t Lo = 0, Hi = Cdf.size() - 1;
+  while (Lo < Hi) {
+    const size_t Mid = Lo + (Hi - Lo) / 2;
+    if (Cdf[Mid] < U)
+      Lo = Mid + 1;
+    else
+      Hi = Mid;
+  }
+  return Lo;
+}
+
+WeightedSampler::WeightedSampler(const std::vector<double> &Weights) {
+  assert(!Weights.empty() && "weighted sampler needs at least one weight");
+  Cdf.resize(Weights.size());
+  double Sum = 0.0;
+  for (size_t I = 0; I < Weights.size(); ++I) {
+    assert(Weights[I] >= 0.0 && "weights must be non-negative");
+    Sum += Weights[I];
+    Cdf[I] = Sum;
+  }
+  assert(Sum > 0.0 && "total weight must be positive");
+  for (auto &Value : Cdf)
+    Value /= Sum;
+}
+
+size_t WeightedSampler::sample(Rng &R) const {
+  const double U = R.nextDouble();
+  size_t Lo = 0, Hi = Cdf.size() - 1;
+  while (Lo < Hi) {
+    const size_t Mid = Lo + (Hi - Lo) / 2;
+    if (Cdf[Mid] < U)
+      Lo = Mid + 1;
+    else
+      Hi = Mid;
+  }
+  return Lo;
+}

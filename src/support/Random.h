@@ -1,0 +1,134 @@
+//===- support/Random.h - Deterministic random number generation ---------===//
+//
+// Part of the ccsim project: a reproduction of "Exploring Code Cache
+// Eviction Granularities in Dynamic Optimization Systems" (CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic pseudo-random number generation and the distributions used
+/// by the workload generators. Every stochastic component of the project is
+/// seeded explicitly so that traces, programs, and experiments are exactly
+/// reproducible across runs and machines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_SUPPORT_RANDOM_H
+#define CCSIM_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ccsim {
+
+/// SplitMix64 generator, used to expand a single 64-bit seed into the state
+/// of larger generators. Passes BigCrush when used directly; here it is only
+/// a seeding utility.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// Xoshiro256++ pseudo-random generator. Small, fast, and high quality;
+/// deterministic given the seed. This is the workhorse generator for all
+/// workload and program synthesis.
+class Rng {
+public:
+  /// Seeds the four state words from \p Seed via SplitMix64.
+  explicit Rng(uint64_t Seed = 0x5eed5eed5eedULL);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next64();
+
+  /// Returns a uniformly distributed value in [0, Bound). \p Bound must be
+  /// nonzero. Uses rejection sampling to avoid modulo bias.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns a uniformly distributed integer in the closed range
+  /// [\p Lo, \p Hi]. Requires Lo <= Hi.
+  int64_t nextRange(int64_t Lo, int64_t Hi);
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble();
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P);
+
+  /// Standard normal variate (Box-Muller; caches the second value).
+  double nextNormal();
+
+  /// Normal variate with the given \p Mean and \p Sigma.
+  double nextNormal(double Mean, double Sigma);
+
+  /// Lognormal variate: exp(N(Mu, Sigma)). The median of the distribution
+  /// is exp(Mu) and the mean is exp(Mu + Sigma^2 / 2).
+  double nextLognormal(double Mu, double Sigma);
+
+  /// Geometric variate counting failures before the first success with
+  /// success probability \p P in (0, 1]. Returns values in {0, 1, 2, ...}.
+  uint64_t nextGeometric(double P);
+
+  /// Exponential variate with rate \p Lambda > 0.
+  double nextExponential(double Lambda);
+
+  /// Poisson variate with mean \p Lambda >= 0 (Knuth's method; intended
+  /// for the small means used by the link-degree models).
+  uint64_t nextPoisson(double Lambda);
+
+  /// Forks an independent generator whose stream is decorrelated from this
+  /// one. Used to give each benchmark model its own stream.
+  Rng fork();
+
+private:
+  uint64_t State[4];
+  double CachedNormal = 0.0;
+  bool HasCachedNormal = false;
+};
+
+/// Precomputed Zipf(S) sampler over ranks {0, ..., N-1}. Rank 0 is the most
+/// popular element. Sampling is O(log N) via binary search over the CDF.
+class ZipfSampler {
+public:
+  /// Builds the CDF for \p N elements with exponent \p S >= 0. S == 0
+  /// degenerates to the uniform distribution.
+  ZipfSampler(size_t N, double S);
+
+  /// Draws a rank in [0, size()).
+  size_t sample(Rng &R) const;
+
+  size_t size() const { return Cdf.size(); }
+
+private:
+  std::vector<double> Cdf;
+};
+
+/// Samples an index from an arbitrary non-negative weight vector.
+/// O(log N) per sample after an O(N) build.
+class WeightedSampler {
+public:
+  explicit WeightedSampler(const std::vector<double> &Weights);
+
+  size_t sample(Rng &R) const;
+
+  size_t size() const { return Cdf.size(); }
+
+private:
+  std::vector<double> Cdf;
+};
+
+} // namespace ccsim
+
+#endif // CCSIM_SUPPORT_RANDOM_H

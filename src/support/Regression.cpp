@@ -1,0 +1,55 @@
+//===- support/Regression.cpp - Least-squares linear regression ----------===//
+
+#include "support/Regression.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace ccsim;
+
+void RegressionAccumulator::add(double X, double Y) {
+  ++N;
+  SumX += X;
+  SumY += Y;
+  SumXX += X * X;
+  SumXY += X * Y;
+  SumYY += Y * Y;
+}
+
+LinearFit RegressionAccumulator::fit() const {
+  LinearFit Result;
+  Result.NumSamples = N;
+  if (N == 0)
+    return Result;
+
+  const double DN = static_cast<double>(N);
+  const double VarX = SumXX - SumX * SumX / DN;
+  const double CovXY = SumXY - SumX * SumY / DN;
+  const double VarY = SumYY - SumY * SumY / DN;
+
+  if (VarX <= 0.0) {
+    // Degenerate: all X identical. Fall back to a flat line through the
+    // mean so the caller still gets a usable predictor.
+    Result.Slope = 0.0;
+    Result.Intercept = SumY / DN;
+    Result.R2 = 0.0;
+    return Result;
+  }
+
+  Result.Slope = CovXY / VarX;
+  Result.Intercept = (SumY - Result.Slope * SumX) / DN;
+  if (VarY > 0.0)
+    Result.R2 = (CovXY * CovXY) / (VarX * VarY);
+  else
+    Result.R2 = 1.0; // Perfectly flat data fit by a flat line.
+  return Result;
+}
+
+LinearFit ccsim::linearFit(const std::vector<double> &Xs,
+                           const std::vector<double> &Ys) {
+  assert(Xs.size() == Ys.size() && "mismatched regression sample vectors");
+  RegressionAccumulator Acc;
+  for (size_t I = 0; I < Xs.size(); ++I)
+    Acc.add(Xs[I], Ys[I]);
+  return Acc.fit();
+}

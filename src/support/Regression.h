@@ -1,0 +1,61 @@
+//===- support/Regression.h - Least-squares linear regression ------------===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Ordinary least-squares fit of y = Slope * x + Intercept, used to
+/// re-derive the paper's overhead equations (Eq. 2: eviction, Eq. 3: miss,
+/// Eq. 4: unlinking) from logged overhead samples, as in Figure 9.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_SUPPORT_REGRESSION_H
+#define CCSIM_SUPPORT_REGRESSION_H
+
+#include <cstddef>
+#include <vector>
+
+namespace ccsim {
+
+/// Result of a simple linear regression.
+struct LinearFit {
+  double Slope = 0.0;
+  double Intercept = 0.0;
+  double R2 = 0.0;      ///< Coefficient of determination.
+  size_t NumSamples = 0;
+
+  /// Evaluates the fitted line at \p X.
+  double eval(double X) const { return Slope * X + Intercept; }
+};
+
+/// Streaming accumulator for (x, y) samples with an OLS fit on demand.
+/// Keeps only sufficient statistics, so millions of samples are cheap.
+class RegressionAccumulator {
+public:
+  void add(double X, double Y);
+
+  /// Number of samples accumulated so far.
+  size_t count() const { return N; }
+
+  /// Computes the least-squares fit. With fewer than two distinct X values
+  /// the slope is 0 and the intercept is the mean of Y.
+  LinearFit fit() const;
+
+private:
+  size_t N = 0;
+  double SumX = 0.0;
+  double SumY = 0.0;
+  double SumXX = 0.0;
+  double SumXY = 0.0;
+  double SumYY = 0.0;
+};
+
+/// Convenience wrapper: fits \p Xs against \p Ys (equal-length vectors).
+LinearFit linearFit(const std::vector<double> &Xs,
+                    const std::vector<double> &Ys);
+
+} // namespace ccsim
+
+#endif // CCSIM_SUPPORT_REGRESSION_H

@@ -1,0 +1,115 @@
+//===- support/Statistics.cpp - Summary statistics utilities -------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace ccsim;
+
+double ccsim::mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+double ccsim::stddev(const std::vector<double> &Values) {
+  if (Values.size() < 2)
+    return 0.0;
+  const double M = mean(Values);
+  double SumSq = 0.0;
+  for (double V : Values)
+    SumSq += (V - M) * (V - M);
+  return std::sqrt(SumSq / static_cast<double>(Values.size()));
+}
+
+double ccsim::quantile(std::vector<double> Values, double Q) {
+  if (Values.empty())
+    return 0.0;
+  assert(Q >= 0.0 && Q <= 1.0 && "quantile must be in [0, 1]");
+  std::sort(Values.begin(), Values.end());
+  if (Values.size() == 1)
+    return Values.front();
+  const double Pos = Q * static_cast<double>(Values.size() - 1);
+  const size_t Lo = static_cast<size_t>(Pos);
+  const size_t Hi = std::min(Lo + 1, Values.size() - 1);
+  const double Frac = Pos - static_cast<double>(Lo);
+  return Values[Lo] + Frac * (Values[Hi] - Values[Lo]);
+}
+
+double ccsim::median(std::vector<double> Values) {
+  return quantile(std::move(Values), 0.5);
+}
+
+double ccsim::minOf(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  return *std::min_element(Values.begin(), Values.end());
+}
+
+double ccsim::maxOf(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  return *std::max_element(Values.begin(), Values.end());
+}
+
+double ccsim::weightedMean(const std::vector<double> &Values,
+                           const std::vector<double> &Weights) {
+  assert(Values.size() == Weights.size() &&
+         "values and weights must have equal length");
+  double Num = 0.0, Den = 0.0;
+  for (size_t I = 0; I < Values.size(); ++I) {
+    assert(Weights[I] >= 0.0 && "weights must be non-negative");
+    Num += Values[I] * Weights[I];
+    Den += Weights[I];
+  }
+  if (Den == 0.0)
+    return 0.0;
+  return Num / Den;
+}
+
+void RunningStats::add(double X) {
+  if (N == 0) {
+    Min = Max = X;
+  } else {
+    Min = std::min(Min, X);
+    Max = std::max(Max, X);
+  }
+  ++N;
+  Sum += X;
+  const double Delta = X - Mean;
+  Mean += Delta / static_cast<double>(N);
+  M2 += Delta * (X - Mean);
+}
+
+double RunningStats::variance() const {
+  if (N < 2)
+    return 0.0;
+  return M2 / static_cast<double>(N);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void RunningStats::merge(const RunningStats &Other) {
+  if (Other.N == 0)
+    return;
+  if (N == 0) {
+    *this = Other;
+    return;
+  }
+  const double TotalN = static_cast<double>(N + Other.N);
+  const double Delta = Other.Mean - Mean;
+  const double NewMean =
+      Mean + Delta * static_cast<double>(Other.N) / TotalN;
+  M2 += Other.M2 + Delta * Delta * static_cast<double>(N) *
+                       static_cast<double>(Other.N) / TotalN;
+  Mean = NewMean;
+  Min = std::min(Min, Other.Min);
+  Max = std::max(Max, Other.Max);
+  Sum += Other.Sum;
+  N += Other.N;
+}

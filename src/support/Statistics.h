@@ -1,0 +1,75 @@
+//===- support/Statistics.h - Summary statistics utilities ---------------===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Summary statistics over sample vectors and a streaming accumulator.
+/// Used to report median superblock sizes (Figure 4), mean link degrees
+/// (Figure 12), and the aggregate metrics in every experiment harness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_SUPPORT_STATISTICS_H
+#define CCSIM_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ccsim {
+
+/// Arithmetic mean of \p Values; 0 for an empty vector.
+double mean(const std::vector<double> &Values);
+
+/// Population standard deviation of \p Values; 0 for fewer than 2 samples.
+double stddev(const std::vector<double> &Values);
+
+/// The \p Q quantile (Q in [0, 1]) using linear interpolation between
+/// order statistics. Copies and sorts; 0 for an empty vector.
+double quantile(std::vector<double> Values, double Q);
+
+/// Median (the 0.5 quantile).
+double median(std::vector<double> Values);
+
+/// Minimum of \p Values; 0 for an empty vector.
+double minOf(const std::vector<double> &Values);
+
+/// Maximum of \p Values; 0 for an empty vector.
+double maxOf(const std::vector<double> &Values);
+
+/// Weighted mean of \p Values with the given non-negative \p Weights.
+/// Returns 0 when the total weight is 0. The vectors must be equal length.
+double weightedMean(const std::vector<double> &Values,
+                    const std::vector<double> &Weights);
+
+/// Streaming accumulator for count/mean/min/max/variance without storing
+/// the samples (Welford's algorithm).
+class RunningStats {
+public:
+  void add(double X);
+
+  size_t count() const { return N; }
+  double mean() const { return N ? Mean : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return N ? Min : 0.0; }
+  double max() const { return N ? Max : 0.0; }
+  double sum() const { return Sum; }
+
+  /// Merges another accumulator into this one.
+  void merge(const RunningStats &Other);
+
+private:
+  size_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double Min = 0.0;
+  double Max = 0.0;
+  double Sum = 0.0;
+};
+
+} // namespace ccsim
+
+#endif // CCSIM_SUPPORT_STATISTICS_H

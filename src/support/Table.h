@@ -1,0 +1,57 @@
+//===- support/Table.h - ASCII table rendering ----------------------------===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Column-aligned ASCII tables. Every bench binary renders its table or
+/// figure series through this class so the output format is uniform.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_SUPPORT_TABLE_H
+#define CCSIM_SUPPORT_TABLE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccsim {
+
+/// A simple table: a header row plus data rows, rendered with aligned
+/// columns. Numeric-looking cells are right-aligned, text left-aligned.
+class Table {
+public:
+  explicit Table(std::vector<std::string> Header);
+
+  /// Appends a fully-formed row. Must match the header width.
+  void addRow(std::vector<std::string> Row);
+
+  /// Row-building helpers: beginRow() then cell(...) calls, in order.
+  void beginRow();
+  void cell(const std::string &Text);
+  void cell(const char *Text);
+  void cell(double Value, int Decimals);
+  void cell(uint64_t Value);
+  void cell(int64_t Value);
+  void cell(int Value) { cell(static_cast<int64_t>(Value)); }
+  void cell(unsigned Value) { cell(static_cast<uint64_t>(Value)); }
+
+  size_t numRows() const { return Rows.size(); }
+
+  /// Renders the table with a separator line under the header.
+  std::string render() const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+  std::vector<std::string> Pending;
+  bool RowOpen = false;
+
+  void flushPending();
+};
+
+} // namespace ccsim
+
+#endif // CCSIM_SUPPORT_TABLE_H

@@ -1,0 +1,60 @@
+//===- trace/Trace.cpp - Superblock dispatch traces ------------------------===//
+
+#include "trace/Trace.h"
+
+#include <cassert>
+
+using namespace ccsim;
+
+uint64_t Trace::maxCacheBytes() const {
+  uint64_t Total = 0;
+  for (const SuperblockDef &B : Blocks)
+    Total += B.SizeBytes;
+  return Total;
+}
+
+SuperblockRecord Trace::recordFor(SuperblockId Id) const {
+  assert(Id < Blocks.size() && "superblock id out of range");
+  SuperblockRecord Rec;
+  Rec.Id = Id;
+  Rec.SizeBytes = Blocks[Id].SizeBytes;
+  Rec.OutEdges = std::span<const SuperblockId>(Blocks[Id].OutEdges);
+  return Rec;
+}
+
+std::vector<double> Trace::sizesAsDoubles() const {
+  std::vector<double> Sizes;
+  Sizes.reserve(Blocks.size());
+  for (const SuperblockDef &B : Blocks)
+    Sizes.push_back(static_cast<double>(B.SizeBytes));
+  return Sizes;
+}
+
+double Trace::meanOutDegree() const {
+  if (Blocks.empty())
+    return 0.0;
+  uint64_t Total = 0;
+  for (const SuperblockDef &B : Blocks)
+    Total += B.OutEdges.size();
+  return static_cast<double>(Total) / static_cast<double>(Blocks.size());
+}
+
+bool Trace::validate() const {
+  std::vector<uint8_t> Touched(Blocks.size(), 0);
+  for (const SuperblockDef &B : Blocks) {
+    if (B.SizeBytes == 0)
+      return false;
+    for (SuperblockId Edge : B.OutEdges)
+      if (Edge >= Blocks.size())
+        return false;
+  }
+  for (SuperblockId Id : Accesses) {
+    if (Id >= Blocks.size())
+      return false;
+    Touched[Id] = 1;
+  }
+  for (uint8_t T : Touched)
+    if (!T)
+      return false; // Table 1 counts *hot* superblocks: all are executed.
+  return true;
+}

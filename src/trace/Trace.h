@@ -1,0 +1,67 @@
+//===- trace/Trace.h - Superblock dispatch traces -------------------------===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The trace format consumed by the trace-driven simulator. A trace is the
+/// stand-in for the paper's DynamoRIO verbose logs (Section 4.1): it
+/// records, per hot superblock, the translated size in bytes and the
+/// static outbound control-flow edges (potential chain links), plus the
+/// stream of superblock dispatch events in execution order. Superblock ids
+/// are dense and numbered in discovery order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_TRACE_TRACE_H
+#define CCSIM_TRACE_TRACE_H
+
+#include "core/Superblock.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccsim {
+
+/// Static description of one hot superblock.
+struct SuperblockDef {
+  uint32_t SizeBytes = 0;
+  std::vector<SuperblockId> OutEdges;
+};
+
+/// A full benchmark trace: superblock definitions plus the dispatch
+/// stream. This is what the paper saved and replayed "to allow for
+/// repeatability in the experiments".
+struct Trace {
+  std::string Name;
+  std::vector<SuperblockDef> Blocks;
+  std::vector<SuperblockId> Accesses;
+
+  size_t numSuperblocks() const { return Blocks.size(); }
+  size_t numAccesses() const { return Accesses.size(); }
+
+  /// Total translated bytes: the size an unbounded code cache would reach
+  /// (the paper's maxCache term, Section 4.2).
+  uint64_t maxCacheBytes() const;
+
+  /// Builds the per-access record for superblock \p Id. The returned
+  /// record's edge span aliases this trace and must not outlive it.
+  SuperblockRecord recordFor(SuperblockId Id) const;
+
+  /// Superblock sizes as doubles, for the statistics helpers.
+  std::vector<double> sizesAsDoubles() const;
+
+  /// Mean static out-degree across superblocks (Figure 12).
+  double meanOutDegree() const;
+
+  /// Structural validity: every access and edge names a defined
+  /// superblock, every block has a positive size, and every block is
+  /// accessed at least once.
+  bool validate() const;
+};
+
+} // namespace ccsim
+
+#endif // CCSIM_TRACE_TRACE_H

@@ -1,0 +1,60 @@
+//===- trace/TraceGenerator.h - Synthetic trace synthesis ------------------===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthesizes superblock traces from WorkloadModel parameters. This is
+/// the DynamoRIO-log substitute (see DESIGN.md): it reproduces the
+/// marginals the simulator is sensitive to —
+///
+///   - lognormal superblock sizes matching the model's median and mean
+///     (Figures 3-4 and the maxCache calibration),
+///   - static link structure: self-loops, distance-geometric local links,
+///     and a small fraction of far links (Figure 12's degrees; Figure 13's
+///     locality),
+///   - a phase-structured access stream: each phase introduces new
+///     superblocks with a discovery sweep (discovery order = id order),
+///     then executes Zipf-popular loop bursts over the phase's working
+///     set, with occasional excursions back to older code.
+///
+/// Generation is deterministic for a given (model, seed) pair.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_TRACE_TRACEGENERATOR_H
+#define CCSIM_TRACE_TRACEGENERATOR_H
+
+#include "support/Random.h"
+#include "trace/Trace.h"
+#include "trace/WorkloadModel.h"
+
+namespace ccsim {
+
+/// Deterministic synthetic trace generator.
+class TraceGenerator {
+public:
+  explicit TraceGenerator(uint64_t Seed) : R(Seed) {}
+
+  /// Generates a full trace for \p Model. The result always passes
+  /// Trace::validate().
+  Trace generate(const WorkloadModel &Model);
+
+  /// Convenience: generates the trace for one Table 1 benchmark with a
+  /// per-benchmark seed derived from \p SuiteSeed, so traces are stable
+  /// regardless of generation order.
+  static Trace generateBenchmark(const WorkloadModel &Model,
+                                 uint64_t SuiteSeed);
+
+private:
+  Rng R;
+
+  void generateBlocks(const WorkloadModel &Model, Trace &T);
+  void generateLinks(const WorkloadModel &Model, Trace &T);
+  void generateAccesses(const WorkloadModel &Model, Trace &T);
+};
+
+} // namespace ccsim
+
+#endif // CCSIM_TRACE_TRACEGENERATOR_H

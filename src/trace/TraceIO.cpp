@@ -1,0 +1,85 @@
+//===- trace/TraceIO.cpp - Trace serialization ------------------------------===//
+
+#include "trace/TraceIO.h"
+
+#include "support/BinaryIO.h"
+
+using namespace ccsim;
+
+namespace {
+constexpr uint32_t TraceMagic = 0x43435452; // "CCTR"
+constexpr uint32_t TraceVersion = 1;
+} // namespace
+
+static void writeTracePayload(BinaryWriter &W, const Trace &T) {
+  W.writeU32(TraceMagic);
+  W.writeU32(TraceVersion);
+  W.writeString(T.Name);
+  W.writeU32(static_cast<uint32_t>(T.Blocks.size()));
+  for (const SuperblockDef &B : T.Blocks) {
+    W.writeU32(B.SizeBytes);
+    W.writeU32(static_cast<uint32_t>(B.OutEdges.size()));
+    for (SuperblockId Edge : B.OutEdges)
+      W.writeU32(Edge);
+  }
+  W.writeU64(T.Accesses.size());
+  for (SuperblockId Id : T.Accesses)
+    W.writeU32(Id);
+}
+
+static std::optional<Trace> readTracePayload(BinaryReader &R) {
+  if (R.readU32() != TraceMagic)
+    return std::nullopt;
+  if (R.readU32() != TraceVersion)
+    return std::nullopt;
+  Trace T;
+  T.Name = R.readString();
+  const uint32_t NumBlocks = R.readU32();
+  if (!R.ok())
+    return std::nullopt;
+  T.Blocks.resize(NumBlocks);
+  for (SuperblockDef &B : T.Blocks) {
+    B.SizeBytes = R.readU32();
+    const uint32_t NumEdges = R.readU32();
+    if (!R.ok() || NumEdges > R.remaining() / 4 + 1)
+      return std::nullopt;
+    B.OutEdges.resize(NumEdges);
+    for (SuperblockId &Edge : B.OutEdges)
+      Edge = R.readU32();
+  }
+  const uint64_t NumAccesses = R.readU64();
+  if (!R.ok() || NumAccesses > R.remaining() / 4 + 1)
+    return std::nullopt;
+  T.Accesses.resize(NumAccesses);
+  for (SuperblockId &Id : T.Accesses)
+    Id = R.readU32();
+  if (!R.ok() || !T.validate())
+    return std::nullopt;
+  return T;
+}
+
+bool ccsim::writeTrace(const Trace &T, const std::string &Path) {
+  BinaryWriter W(Path);
+  if (!W.ok())
+    return false;
+  writeTracePayload(W, T);
+  return W.finish();
+}
+
+std::optional<Trace> ccsim::readTrace(const std::string &Path) {
+  BinaryReader R(Path);
+  if (!R.ok())
+    return std::nullopt;
+  return readTracePayload(R);
+}
+
+std::vector<uint8_t> ccsim::serializeTrace(const Trace &T) {
+  BinaryWriter W;
+  writeTracePayload(W, T);
+  return W.buffer();
+}
+
+std::optional<Trace> ccsim::deserializeTrace(std::vector<uint8_t> Bytes) {
+  BinaryReader R(std::move(Bytes));
+  return readTracePayload(R);
+}

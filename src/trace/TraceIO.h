@@ -1,0 +1,36 @@
+//===- trace/TraceIO.h - Trace serialization -------------------------------===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Versioned binary serialization for traces. Mirrors the paper's practice
+/// of saving DynamoRIO logs so experiments are exactly repeatable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_TRACE_TRACEIO_H
+#define CCSIM_TRACE_TRACEIO_H
+
+#include "trace/Trace.h"
+
+#include <optional>
+#include <string>
+
+namespace ccsim {
+
+/// Writes \p T to \p Path. Returns false on I/O failure.
+bool writeTrace(const Trace &T, const std::string &Path);
+
+/// Reads a trace from \p Path. Returns std::nullopt on I/O failure, bad
+/// magic/version, or a structurally invalid payload.
+std::optional<Trace> readTrace(const std::string &Path);
+
+/// In-memory round-trip helpers (used by tests and by readTrace).
+std::vector<uint8_t> serializeTrace(const Trace &T);
+std::optional<Trace> deserializeTrace(std::vector<uint8_t> Bytes);
+
+} // namespace ccsim
+
+#endif // CCSIM_TRACE_TRACEIO_H

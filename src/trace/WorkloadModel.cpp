@@ -1,0 +1,136 @@
+//===- trace/WorkloadModel.cpp - Table 1 benchmark models -------------------===//
+
+#include "trace/WorkloadModel.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace ccsim;
+
+uint64_t WorkloadModel::effectiveNumAccesses() const {
+  if (NumAccesses != 0)
+    return NumAccesses;
+  const uint64_t Proportional = static_cast<uint64_t>(NumSuperblocks) * 220;
+  return std::clamp<uint64_t>(Proportional, 40000, 2200000);
+}
+
+namespace {
+
+struct SpecParams {
+  const char *Name;
+  const char *Description;
+  uint32_t Superblocks; // Table 1, exact.
+  double Median;        // Figure 4 (approximate read-off).
+  double OutDegree;     // Figure 12 calibration (suite mean ~1.7).
+  uint32_t Phases;
+  double WsFraction;
+  double InnerRepeats;  // Mean back-to-back executions per visit.
+  double CoreFraction;  // Hot-core share of the working set.
+  double TailProb;      // Mean per-pass probability of tail blocks.
+};
+
+WorkloadModel makeSpec(const SpecParams &P) {
+  WorkloadModel M;
+  M.Name = P.Name;
+  M.Description = P.Description;
+  M.Suite = SuiteKind::SpecInt2000;
+  M.NumSuperblocks = P.Superblocks;
+  M.MedianBlockBytes = P.Median;
+  // SPEC size distributions: mean ~2.4x the median reproduces the paper's
+  // maxCache calibration point (gzip: 301 blocks -> 171 KB).
+  M.MeanBlockBytes = 2.4 * P.Median;
+  M.MeanOutDegree = P.OutDegree;
+  M.NumPhases = P.Phases;
+  M.WorkingSetFraction = P.WsFraction;
+  M.MeanInnerRepeats = P.InnerRepeats;
+  M.HotCoreFraction = P.CoreFraction;
+  M.TailProb = P.TailProb;
+  M.SelfLoopFraction = 0.18; // Loop-dominated codes self-chain often.
+  // Keep the largest block below the smallest stressed cache (the paper's
+  // smallest benchmark at pressure 10 still holds ~8.6 KB).
+  M.MaxBlockBytes = 8192;
+  return M;
+}
+
+WorkloadModel makeWindows(const SpecParams &P) {
+  WorkloadModel M;
+  M.Name = P.Name;
+  M.Description = P.Description;
+  M.Suite = SuiteKind::Windows;
+  M.NumSuperblocks = P.Superblocks;
+  M.MedianBlockBytes = P.Median;
+  // Windows applications have much heavier size tails (Figure 3, bottom);
+  // mean ~6.5x the median reproduces word's 34.2 MB maxCache.
+  M.MeanBlockBytes = 6.5 * P.Median;
+  M.MeanOutDegree = P.OutDegree;
+  M.NumPhases = P.Phases;
+  M.WorkingSetFraction = P.WsFraction;
+  M.MeanInnerRepeats = P.InnerRepeats;
+  M.HotCoreFraction = P.CoreFraction;
+  M.TailProb = P.TailProb;
+  M.SelfLoopFraction = 0.10;   // Less loop-bound than SPEC.
+  // The Windows size tail is heavy (Figure 3); a 64 KB clamp keeps the
+  // lognormal mean near the 34.2 MB word calibration point.
+  M.MaxBlockBytes = 65536;
+  M.FarLinkFraction = 0.10;    // More indirect control flow.
+  M.ExcursionFraction = 0.04;  // GUI code wanders more.
+  return M;
+}
+
+std::vector<WorkloadModel> buildTable1() {
+  std::vector<WorkloadModel> Suite;
+
+  // -- SPECint2000 (Linux), Table 1 order. ------------------------------
+  //               name       description                superblocks median deg phases  ws  reps core tail
+  Suite.push_back(makeSpec({"gzip", "Compression", 301, 244, 1.5, 4, 0.45, 2.6, 0.30, 0.20}));
+  Suite.push_back(makeSpec({"vpr", "FPGA Place+Route", 449, 242, 1.6, 5, 0.40, 2.4, 0.33, 0.18}));
+  Suite.push_back(makeSpec({"gcc", "C Compiler", 8751, 237, 1.9, 10, 0.16, 1.6, 0.75, 0.15}));
+  Suite.push_back(makeSpec({"mcf", "Combinatorial Optimization", 158, 233, 1.4, 3, 0.50, 2.8, 0.28, 0.22}));
+  Suite.push_back(makeSpec({"crafty", "Chess Game", 1488, 223, 1.8, 6, 0.33, 2.0, 0.24, 0.05}));
+  Suite.push_back(makeSpec({"parser", "Word Processing", 2418, 225, 1.7, 7, 0.28, 1.8, 0.45, 0.15}));
+  Suite.push_back(makeSpec({"eon", "Computer Visualization", 448, 224, 1.6, 5, 0.40, 2.2, 0.33, 0.18}));
+  Suite.push_back(makeSpec({"perlbmk", "PERL Language", 2144, 220, 1.8, 7, 0.26, 1.8, 0.48, 0.15}));
+  Suite.push_back(makeSpec({"gap", "Group Theory Interpreter", 667, 213, 1.7, 5, 0.38, 2.1, 0.35, 0.17}));
+  Suite.push_back(makeSpec({"vortex", "Object-Oriented Database", 1985, 190, 1.9, 7, 0.28, 1.8, 0.46, 0.15}));
+  Suite.push_back(makeSpec({"bzip2", "Compression", 224, 230, 1.5, 3, 0.48, 2.8, 0.30, 0.22}));
+  Suite.push_back(makeSpec({"twolf", "Place+Route", 574, 210, 1.6, 5, 0.36, 2.2, 0.22, 0.05}));
+
+  // -- Interactive Windows applications. ---------------------------------
+  Suite.push_back(makeWindows({"iexplore", "Web Browser", 14846, 290, 1.8, 14, 0.30, 1.4, 0.55, 0.18}));
+  Suite.push_back(makeWindows({"outlook", "E-Mail App", 13233, 300, 1.8, 13, 0.30, 1.4, 0.55, 0.18}));
+  Suite.push_back(makeWindows({"photoshop", "Photo Editor", 9434, 310, 1.7, 12, 0.32, 1.5, 0.55, 0.18}));
+  Suite.push_back(makeWindows({"pinball", "3D Game Demo", 1086, 270, 1.6, 6, 0.35, 1.7, 0.50, 0.22}));
+  Suite.push_back(makeWindows({"powerpoint", "Presentation", 14475, 300, 1.8, 14, 0.30, 1.4, 0.55, 0.18}));
+  Suite.push_back(makeWindows({"visualstudio", "Development Env", 7063, 320, 1.9, 12, 0.32, 1.5, 0.55, 0.18}));
+  Suite.push_back(makeWindows({"winzip", "Compression", 3198, 280, 1.6, 8, 0.35, 1.6, 0.50, 0.20}));
+  Suite.push_back(makeWindows({"word", "Word Processor", 18043, 300, 1.8, 15, 0.28, 1.4, 0.58, 0.18}));
+  return Suite;
+}
+
+} // namespace
+
+const std::vector<WorkloadModel> &ccsim::table1Workloads() {
+  // Function-local static: built on first use (no global constructor).
+  static const std::vector<WorkloadModel> Suite = buildTable1();
+  return Suite;
+}
+
+const WorkloadModel *ccsim::findWorkload(const std::string &Name) {
+  for (const WorkloadModel &M : table1Workloads())
+    if (M.Name == Name)
+      return &M;
+  return nullptr;
+}
+
+WorkloadModel ccsim::scaledWorkload(const WorkloadModel &Model,
+                                    double Factor) {
+  assert(Factor > 0.0 && "scale factor must be positive");
+  WorkloadModel Scaled = Model;
+  Scaled.NumSuperblocks = std::max<uint32_t>(
+      32, static_cast<uint32_t>(std::llround(Model.NumSuperblocks * Factor)));
+  Scaled.NumAccesses = 0; // Re-derive from the new superblock count.
+  Scaled.NumPhases = std::max<uint32_t>(3, Model.NumPhases);
+  Scaled.Name = Model.Name + "-scaled";
+  return Scaled;
+}

@@ -1,0 +1,125 @@
+//===- tests/analysis/AnalysisTest.cpp - Analysis library tests -----------===//
+
+#include "analysis/Aggregate.h"
+#include "analysis/OverheadFit.h"
+
+#include "gtest/gtest.h"
+
+using namespace ccsim;
+
+namespace {
+
+OpCounter syntheticSamples() {
+  OpCounter Ops;
+  for (int I = 1; I <= 100; ++I) {
+    Ops.EvictionSamples.push_back(
+        {static_cast<double>(I * 50), 2.77 * I * 50 + 3055.0});
+    Ops.MissSamples.push_back(
+        {static_cast<double>(I * 20), 75.4 * I * 20 + 1922.0});
+    Ops.UnlinkSamples.push_back(
+        {static_cast<double>(I % 7 + 1), 296.5 * (I % 7 + 1) + 95.7});
+  }
+  return Ops;
+}
+
+SuiteResult makePoint(const std::string &Label,
+                      std::initializer_list<double> Overheads,
+                      std::initializer_list<uint64_t> Evictions) {
+  SuiteResult R;
+  R.PolicyLabel = Label;
+  for (double O : Overheads) {
+    SimResult B;
+    B.Stats.MissOverhead = O;
+    R.PerBenchmark.push_back(B);
+    R.Combined.MissOverhead += O;
+  }
+  size_t I = 0;
+  for (uint64_t E : Evictions) {
+    R.PerBenchmark[I].Stats.EvictionInvocations = E;
+    R.Combined.EvictionInvocations += E;
+    ++I;
+  }
+  return R;
+}
+
+} // namespace
+
+TEST(OverheadFitTest, RecoversPaperEquations) {
+  const OverheadFits Fits = fitOverheads(syntheticSamples());
+  EXPECT_NEAR(Fits.Eviction.Slope, 2.77, 1e-9);
+  EXPECT_NEAR(Fits.Eviction.Intercept, 3055.0, 1e-6);
+  EXPECT_NEAR(Fits.Miss.Slope, 75.4, 1e-9);
+  EXPECT_NEAR(Fits.Unlink.Slope, 296.5, 1e-6);
+  EXPECT_NEAR(Fits.Unlink.Intercept, 95.7, 1e-6);
+}
+
+TEST(OverheadFitTest, CostModelFromFits) {
+  const CostModel M = costModelFromFits(fitOverheads(syntheticSamples()));
+  EXPECT_NEAR(M.evictionOverhead(230), 2.77 * 230 + 3055.0, 1e-6);
+  EXPECT_NEAR(M.missOverhead(230), 75.4 * 230 + 1922.0, 1e-6);
+  EXPECT_NEAR(M.unlinkingOverhead(2), 296.5 * 2 + 95.7, 1e-6);
+}
+
+TEST(OverheadFitTest, RelativeError) {
+  EXPECT_DOUBLE_EQ(relativeError(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(relativeError(90.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(relativeError(5.0, 0.0), 5.0);
+}
+
+TEST(AggregateTest, WeightedRelativeOverheads) {
+  std::vector<SuiteResult> Points;
+  Points.push_back(makePoint("FLUSH", {100.0, 300.0}, {1, 1}));
+  Points.push_back(makePoint("FIFO", {50.0, 150.0}, {2, 2}));
+  const auto Rel = relativeOverheadWeighted(Points, false);
+  ASSERT_EQ(Rel.size(), 2u);
+  EXPECT_DOUBLE_EQ(Rel[0], 1.0);
+  EXPECT_DOUBLE_EQ(Rel[1], 0.5);
+}
+
+TEST(AggregateTest, PerBenchmarkMeanDiffersFromWeighted) {
+  std::vector<SuiteResult> Points;
+  // Benchmark A: 100 -> 10 (x0.1); benchmark B: 1000 -> 1000 (x1.0).
+  Points.push_back(makePoint("base", {100.0, 1000.0}, {1, 1}));
+  Points.push_back(makePoint("other", {10.0, 1000.0}, {1, 1}));
+  const auto Weighted = relativeOverheadWeighted(Points, false);
+  const auto Mean = relativeOverheadPerBenchmarkMean(Points, false);
+  EXPECT_NEAR(Weighted[1], 1010.0 / 1100.0, 1e-12);
+  EXPECT_NEAR(Mean[1], (0.1 + 1.0) / 2.0, 1e-12);
+}
+
+TEST(AggregateTest, RelativeEvictionsAgainstLastBaseline) {
+  std::vector<SuiteResult> Points;
+  Points.push_back(makePoint("FLUSH", {1.0}, {10}));
+  Points.push_back(makePoint("8-unit", {1.0}, {30}));
+  Points.push_back(makePoint("FIFO", {1.0}, {100}));
+  const auto Rel = relativeEvictionsWeighted(Points, 2);
+  EXPECT_DOUBLE_EQ(Rel[0], 0.1);
+  EXPECT_DOUBLE_EQ(Rel[1], 0.3);
+  EXPECT_DOUBLE_EQ(Rel[2], 1.0);
+}
+
+TEST(AggregateTest, PerBenchmarkEvictionMeanSkipsZeroBaselines) {
+  std::vector<SuiteResult> Points;
+  Points.push_back(makePoint("a", {1.0, 1.0}, {10, 0}));
+  Points.push_back(makePoint("b", {1.0, 1.0}, {5, 7}));
+  const auto Rel = relativeEvictionsPerBenchmarkMean(Points, 0);
+  // Only the first benchmark has a nonzero baseline: 5/10.
+  EXPECT_DOUBLE_EQ(Rel[1], 0.5);
+}
+
+TEST(AggregateTest, UnifiedMissRates) {
+  SuiteResult P;
+  P.Combined.Accesses = 200;
+  P.Combined.Misses = 50;
+  const auto Rates = unifiedMissRates({P});
+  ASSERT_EQ(Rates.size(), 1u);
+  EXPECT_DOUBLE_EQ(Rates[0], 0.25);
+}
+
+TEST(AggregateTest, InterUnitFractions) {
+  SuiteResult P;
+  P.Combined.LinksCreated = 8;
+  P.Combined.InterUnitLinksCreated = 2;
+  const auto F = interUnitLinkFractions({P});
+  EXPECT_DOUBLE_EQ(F[0], 0.25);
+}

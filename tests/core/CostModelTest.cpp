@@ -1,0 +1,69 @@
+//===- tests/core/CostModelTest.cpp - Cost model tests ---------------------===//
+
+#include "core/CostModel.h"
+
+#include "gtest/gtest.h"
+
+using namespace ccsim;
+
+TEST(CostModelTest, PaperEvictionExample) {
+  // Section 4.3: "An eviction of 230 bytes of code, for example, would
+  // require 3,690 instructions" (2.77 * 230 + 3055 = 3692.1; the paper
+  // rounds).
+  const CostModel M = CostModel::paperDefaults();
+  EXPECT_NEAR(M.evictionOverhead(230), 3692.1, 0.01);
+}
+
+TEST(CostModelTest, PaperMissExample) {
+  // Section 4.3: "Servicing a cache miss for a 230-byte superblock ...
+  // tends to require 19,264 instructions" (75.4 * 230 + 1922 = 19264).
+  const CostModel M = CostModel::paperDefaults();
+  EXPECT_NEAR(M.missOverhead(230), 19264.0, 0.01);
+}
+
+TEST(CostModelTest, UnlinkingEquation) {
+  const CostModel M = CostModel::paperDefaults();
+  EXPECT_NEAR(M.unlinkingOverhead(1), 296.5 + 95.7, 1e-9);
+  EXPECT_NEAR(M.unlinkingOverhead(3), 296.5 * 3 + 95.7, 1e-9);
+}
+
+TEST(CostModelTest, ZeroLinksCostNothing) {
+  const CostModel M = CostModel::paperDefaults();
+  EXPECT_DOUBLE_EQ(M.unlinkingOverhead(0), 0.0);
+}
+
+TEST(CostModelTest, ZeroByteCostsAreTheConstants) {
+  const CostModel M = CostModel::paperDefaults();
+  EXPECT_DOUBLE_EQ(M.evictionOverhead(0), 3055.0);
+  EXPECT_DOUBLE_EQ(M.missOverhead(0), 1922.0);
+}
+
+TEST(CostModelTest, MissDominatedBySize) {
+  // Eq. 3's per-byte term dominates much sooner than Eq. 2's: superblock
+  // regeneration scales with the amount of code (Section 4.3).
+  const CostModel M = CostModel::paperDefaults();
+  const double MissGrowth = M.missOverhead(1000) - M.missOverhead(0);
+  const double EvictGrowth = M.evictionOverhead(1000) - M.evictionOverhead(0);
+  EXPECT_GT(MissGrowth / EvictGrowth, 25.0);
+}
+
+TEST(CostModelTest, EvictionDominatedByFixedCost) {
+  // "The main factor contributing to the overhead of evictions is the
+  // start-up cost": for a typical 230-byte superblock the constant is
+  // >80% of the total.
+  const CostModel M = CostModel::paperDefaults();
+  EXPECT_GT(3055.0 / M.evictionOverhead(230), 0.8);
+}
+
+TEST(CostModelTest, CustomCoefficients) {
+  CostModel M;
+  M.EvictionPerByte = 1.0;
+  M.EvictionBase = 10.0;
+  M.MissPerByte = 2.0;
+  M.MissBase = 20.0;
+  M.UnlinkPerLink = 3.0;
+  M.UnlinkBase = 30.0;
+  EXPECT_DOUBLE_EQ(M.evictionOverhead(5), 15.0);
+  EXPECT_DOUBLE_EQ(M.missOverhead(5), 30.0);
+  EXPECT_DOUBLE_EQ(M.unlinkingOverhead(5), 45.0);
+}

@@ -1,0 +1,174 @@
+//===- tests/integration/EndToEndTest.cpp - Cross-module tests ------------===//
+//
+// End-to-end checks of the paper's headline claims on a scaled-down
+// suite, plus the closed loop between the two halves of the study: the
+// mini-DBT's fitted overhead equations drive the trace simulator.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Aggregate.h"
+#include "analysis/OverheadFit.h"
+#include "isa/ProgramGenerator.h"
+#include "runtime/SystemProfiles.h"
+#include "runtime/Translator.h"
+#include "sim/Sweep.h"
+#include "trace/TraceIO.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+
+using namespace ccsim;
+
+namespace {
+
+const SweepEngine &engine() {
+  static SweepEngine Engine = SweepEngine::forScaledTable1(0.08);
+  return Engine;
+}
+
+} // namespace
+
+TEST(EndToEndTest, MediumGrainBalancesOverheadUnderPressure) {
+  // The paper's conclusion: under high pressure, medium-grained FIFO
+  // outperforms FLUSH, and the finest grain stops improving (its extra
+  // invocations offset its miss advantage).
+  SimConfig C;
+  C.PressureFactor = 10.0;
+  std::vector<SuiteResult> Points;
+  for (const auto &Spec :
+       {GranularitySpec::flush(), GranularitySpec::units(8),
+        GranularitySpec::units(64), GranularitySpec::fine()})
+    Points.push_back(engine().runSuite(Spec, C));
+  const auto Rel = relativeOverheadPerBenchmarkMean(Points, true);
+  EXPECT_LT(Rel[1], Rel[0]); // 8-unit beats FLUSH.
+  EXPECT_LT(Rel[1], 1.0);
+  // Fine FIFO is no better than the medium grains (invocation overhead).
+  EXPECT_GE(Rel[3] + 1e-9, std::min(Rel[1], Rel[2]));
+}
+
+TEST(EndToEndTest, FinePolicyDegradesRelativeToFlushWithPressure) {
+  // Figure 11's trend: fine FIFO starts clearly better than FLUSH and
+  // loses ground as pressure increases.
+  std::vector<double> FineRel;
+  for (double P : {2.0, 10.0}) {
+    SimConfig C;
+    C.PressureFactor = P;
+    std::vector<SuiteResult> Points;
+    Points.push_back(engine().runSuite(GranularitySpec::flush(), C));
+    Points.push_back(engine().runSuite(GranularitySpec::fine(), C));
+    FineRel.push_back(relativeOverheadPerBenchmarkMean(Points, false)[1]);
+  }
+  EXPECT_LT(FineRel[0], 0.9);       // Clearly better at low pressure.
+  EXPECT_GT(FineRel[1], FineRel[0]); // Losing ground at high pressure.
+}
+
+TEST(EndToEndTest, FittedEquationsDriveSimulator) {
+  // Close the loop: measure Eq. 2-4 on the mini-DBT, build a CostModel
+  // from the fits, and run the trace simulator with it. Results must be
+  // finite, positive, and within a factor of two of the paper-model run
+  // (the fits are near the paper's coefficients by construction).
+  const Program P = generateProgram(fig9ProgramSpec());
+  TranslatorConfig TC;
+  TC.CacheBytes = 24 * 1024;
+  Translator T(P, TC);
+  const TranslatorStats &Stats = T.run(6000000);
+  ASSERT_GT(Stats.Ops.EvictionSamples.size(), 100u);
+  const CostModel Fitted = costModelFromFits(fitOverheads(Stats.Ops));
+
+  SimConfig Paper, FromFits;
+  Paper.PressureFactor = FromFits.PressureFactor = 6.0;
+  FromFits.Costs = Fitted;
+  const SuiteResult A = engine().runSuite(GranularitySpec::units(8), Paper);
+  const SuiteResult B =
+      engine().runSuite(GranularitySpec::units(8), FromFits);
+  const double RA = A.Combined.totalOverhead(true);
+  const double RB = B.Combined.totalOverhead(true);
+  EXPECT_GT(RB, 0.0);
+  EXPECT_LT(RB / RA, 2.0);
+  EXPECT_GT(RB / RA, 0.5);
+}
+
+TEST(EndToEndTest, TraceSaveReloadReproducesSimulation) {
+  // The paper's repeatability story: saved logs replay to identical
+  // results.
+  const Trace &T = engine().traces()[4]; // crafty-scaled.
+  const std::string Path = ::testing::TempDir() + "/ccsim_e2e_trace.cct";
+  ASSERT_TRUE(writeTrace(T, Path));
+  auto Reloaded = readTrace(Path);
+  ASSERT_TRUE(Reloaded.has_value());
+
+  SimConfig C;
+  C.PressureFactor = 8.0;
+  const SimResult A = sim::run(T, GranularitySpec::units(8), C);
+  const SimResult B = sim::run(*Reloaded, GranularitySpec::units(8), C);
+  EXPECT_EQ(A.Stats.Misses, B.Stats.Misses);
+  EXPECT_EQ(A.Stats.EvictionInvocations, B.Stats.EvictionInvocations);
+  EXPECT_DOUBLE_EQ(A.Stats.totalOverhead(true),
+                   B.Stats.totalOverhead(true));
+  std::remove(Path.c_str());
+}
+
+TEST(EndToEndTest, BackPointerTableMemoryNearPaperEstimate) {
+  // Section 5.1: back-pointer tables cost ~11.5% of the cache size
+  // (1.7 links/block x 16 bytes vs ~235-byte median blocks). Check the
+  // SPEC subsuite lands in a sane band around that.
+  SimConfig C;
+  C.PressureFactor = 2.0;
+  const SuiteResult R = engine().runSuite(GranularitySpec::units(8), C);
+  double Fraction = 0.0;
+  size_t Count = 0;
+  for (const SimResult &B : R.PerBenchmark) {
+    if (B.Stats.BackPointerBytesPeak == 0)
+      continue;
+    Fraction += B.Stats.backPointerBytesAvg() /
+                static_cast<double>(B.CapacityBytes);
+    ++Count;
+  }
+  ASSERT_GT(Count, 0u);
+  Fraction /= static_cast<double>(Count);
+  EXPECT_GT(Fraction, 0.02);
+  EXPECT_LT(Fraction, 0.25);
+}
+
+TEST(EndToEndTest, AdaptivePolicyCompetitiveAcrossPressure) {
+  // The paper's future-work policy: adapting the granularity should be
+  // competitive with the best fixed granularity at both pressure
+  // extremes (within 25%).
+  for (double P : {2.0, 10.0}) {
+    SimConfig C;
+    C.PressureFactor = P;
+    const SuiteResult Fixed8 =
+        engine().runSuite(GranularitySpec::units(8), C);
+    const SuiteResult Fine = engine().runSuite(GranularitySpec::fine(), C);
+    const SuiteResult Adaptive = engine().runSuite(
+        []() {
+          return std::unique_ptr<EvictionPolicy>(
+              new AdaptiveGranularityPolicy());
+        },
+        "Adaptive", C);
+    const double Best = std::min(Fixed8.Combined.totalOverhead(true),
+                                 Fine.Combined.totalOverhead(true));
+    EXPECT_LT(Adaptive.Combined.totalOverhead(true), Best * 1.25)
+        << "pressure " << P;
+  }
+}
+
+TEST(EndToEndTest, Table2ProxiesAllSlowDownWithoutChaining) {
+  // Run three representative proxies end to end (the full set is the
+  // bench's job) and check every one slows down by at least 3x.
+  for (size_t Index : {0ul, 3ul, 10ul}) {
+    const Table2Profile &Row = table2Profiles()[Index];
+    const Program P = generateProgram(Row.Spec);
+    TranslatorConfig On;
+    On.CacheBytes = 32 << 20;
+    TranslatorConfig Off = On;
+    Off.EnableChaining = false;
+    Translator TOn(P, On), TOff(P, Off);
+    const double OpsOn = TOn.run(2000000).Ops.total();
+    const double OpsOff = TOff.run(2000000).Ops.total();
+    EXPECT_GT(OpsOff / OpsOn, 3.0) << Row.Name;
+    EXPECT_EQ(TOn.guestState().digest(), TOff.guestState().digest())
+        << Row.Name;
+  }
+}

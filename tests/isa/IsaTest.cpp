@@ -1,0 +1,195 @@
+//===- tests/isa/IsaTest.cpp - ISA encode/decode tests ---------------------===//
+
+#include "isa/Isa.h"
+
+#include "gtest/gtest.h"
+
+using namespace ccsim;
+
+namespace {
+
+const Opcode AllOpcodes[] = {
+    Opcode::Nop,  Opcode::Halt, Opcode::Add,  Opcode::Sub,  Opcode::Mul,
+    Opcode::Xor,  Opcode::And,  Opcode::Or,   Opcode::Shl,  Opcode::Shr,
+    Opcode::Addi, Opcode::Movi, Opcode::Ld,   Opcode::St,   Opcode::Beqz,
+    Opcode::Bnez, Opcode::Blt,  Opcode::Jmp,  Opcode::Jr,   Opcode::Call,
+    Opcode::Ret};
+
+Instruction sample(Opcode Op) {
+  Instruction I;
+  I.Op = Op;
+  I.Rd = 3;
+  I.Rs1 = 7;
+  I.Rs2 = 12;
+  I.Imm = -42;
+  I.Target = 0x12345678;
+  I.Size = opcodeSize(Op);
+  return I;
+}
+
+} // namespace
+
+class OpcodeRoundTrip : public ::testing::TestWithParam<Opcode> {};
+
+TEST_P(OpcodeRoundTrip, EncodeDecodeIdentity) {
+  const Instruction In = sample(GetParam());
+  uint8_t Buf[8] = {0};
+  const uint8_t Size = encode(In, Buf);
+  EXPECT_EQ(Size, opcodeSize(GetParam()));
+
+  Instruction Out;
+  ASSERT_TRUE(decode(Buf, sizeof(Buf), Out));
+  EXPECT_EQ(Out.Op, In.Op);
+  EXPECT_EQ(Out.Size, Size);
+
+  // Fields that the encoding carries must round-trip.
+  switch (GetParam()) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::Xor:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Shl:
+  case Opcode::Shr:
+    EXPECT_EQ(Out.Rd, In.Rd);
+    EXPECT_EQ(Out.Rs1, In.Rs1);
+    EXPECT_EQ(Out.Rs2, In.Rs2);
+    break;
+  case Opcode::Addi:
+    EXPECT_EQ(Out.Rd, In.Rd);
+    EXPECT_EQ(Out.Rs1, In.Rs1);
+    EXPECT_EQ(Out.Imm, In.Imm);
+    break;
+  case Opcode::Movi:
+    EXPECT_EQ(Out.Rd, In.Rd);
+    EXPECT_EQ(Out.Imm, In.Imm);
+    break;
+  case Opcode::Ld:
+    EXPECT_EQ(Out.Rd, In.Rd);
+    EXPECT_EQ(Out.Rs1, In.Rs1);
+    EXPECT_EQ(Out.Imm, In.Imm);
+    break;
+  case Opcode::St:
+    EXPECT_EQ(Out.Rs2, In.Rs2);
+    EXPECT_EQ(Out.Rs1, In.Rs1);
+    EXPECT_EQ(Out.Imm, In.Imm);
+    break;
+  case Opcode::Beqz:
+  case Opcode::Bnez:
+    EXPECT_EQ(Out.Rs1, In.Rs1);
+    EXPECT_EQ(Out.Target, In.Target);
+    break;
+  case Opcode::Blt:
+    EXPECT_EQ(Out.Rs1, In.Rs1);
+    EXPECT_EQ(Out.Rs2, In.Rs2);
+    EXPECT_EQ(Out.Target, In.Target);
+    break;
+  case Opcode::Jmp:
+  case Opcode::Call:
+    EXPECT_EQ(Out.Target, In.Target);
+    break;
+  case Opcode::Jr:
+    EXPECT_EQ(Out.Rs1, In.Rs1);
+    break;
+  case Opcode::Nop:
+  case Opcode::Halt:
+  case Opcode::Ret:
+    break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOpcodes, OpcodeRoundTrip,
+                         ::testing::ValuesIn(AllOpcodes));
+
+TEST(IsaTest, InvalidOpcodeRejected) {
+  const uint8_t Bad[] = {0xff, 0, 0, 0, 0, 0, 0};
+  Instruction Out;
+  EXPECT_FALSE(decode(Bad, sizeof(Bad), Out));
+  EXPECT_FALSE(isValidOpcode(0xff));
+  EXPECT_FALSE(isValidOpcode(0x02));
+}
+
+TEST(IsaTest, TruncatedDecodeFails) {
+  Instruction In = sample(Opcode::Blt); // 7 bytes.
+  uint8_t Buf[8];
+  encode(In, Buf);
+  Instruction Out;
+  EXPECT_FALSE(decode(Buf, 6, Out));
+  EXPECT_TRUE(decode(Buf, 7, Out));
+}
+
+TEST(IsaTest, ZeroAvailFails) {
+  Instruction Out;
+  const uint8_t Buf[1] = {0};
+  EXPECT_FALSE(decode(Buf, 0, Out));
+}
+
+TEST(IsaTest, SizesAreVariable) {
+  EXPECT_EQ(opcodeSize(Opcode::Nop), 1);
+  EXPECT_EQ(opcodeSize(Opcode::Jr), 2);
+  EXPECT_EQ(opcodeSize(Opcode::Add), 4);
+  EXPECT_EQ(opcodeSize(Opcode::Ld), 5);
+  EXPECT_EQ(opcodeSize(Opcode::Beqz), 6);
+  EXPECT_EQ(opcodeSize(Opcode::Blt), 7);
+}
+
+TEST(IsaTest, ControlFlowClassification) {
+  EXPECT_TRUE(sample(Opcode::Beqz).isControlFlow());
+  EXPECT_TRUE(sample(Opcode::Jmp).isControlFlow());
+  EXPECT_TRUE(sample(Opcode::Call).isControlFlow());
+  EXPECT_TRUE(sample(Opcode::Ret).isControlFlow());
+  EXPECT_TRUE(sample(Opcode::Halt).isControlFlow());
+  EXPECT_FALSE(sample(Opcode::Add).isControlFlow());
+  EXPECT_FALSE(sample(Opcode::Ld).isControlFlow());
+}
+
+TEST(IsaTest, ConditionalBranchClassification) {
+  EXPECT_TRUE(sample(Opcode::Beqz).isConditionalBranch());
+  EXPECT_TRUE(sample(Opcode::Blt).isConditionalBranch());
+  EXPECT_FALSE(sample(Opcode::Jmp).isConditionalBranch());
+  EXPECT_FALSE(sample(Opcode::Ret).isConditionalBranch());
+}
+
+TEST(IsaTest, IndirectClassification) {
+  EXPECT_TRUE(sample(Opcode::Jr).isIndirect());
+  EXPECT_TRUE(sample(Opcode::Ret).isIndirect());
+  EXPECT_FALSE(sample(Opcode::Jmp).isIndirect());
+  EXPECT_FALSE(sample(Opcode::Call).isIndirect());
+}
+
+TEST(IsaTest, NegativeImmediatesSurvive) {
+  Instruction In = sample(Opcode::Addi);
+  In.Imm = -100;
+  uint8_t Buf[8];
+  encode(In, Buf);
+  Instruction Out;
+  ASSERT_TRUE(decode(Buf, sizeof(Buf), Out));
+  EXPECT_EQ(Out.Imm, -100);
+
+  In = sample(Opcode::Movi);
+  In.Imm = -30000;
+  encode(In, Buf);
+  ASSERT_TRUE(decode(Buf, sizeof(Buf), Out));
+  EXPECT_EQ(Out.Imm, -30000);
+}
+
+TEST(IsaTest, ToStringMentionsOperands) {
+  EXPECT_EQ(sample(Opcode::Nop).toString(), "nop");
+  EXPECT_NE(sample(Opcode::Add).toString().find("add r3, r7, r12"),
+            std::string::npos);
+  EXPECT_NE(sample(Opcode::Jmp).toString().find("0x12345678"),
+            std::string::npos);
+  EXPECT_NE(sample(Opcode::Ld).toString().find("(r7)"), std::string::npos);
+}
+
+TEST(IsaTest, RegisterFieldsMasked) {
+  // Encodings only carry 4-bit register numbers.
+  Instruction In = sample(Opcode::Add);
+  In.Rd = 0x1f; // Out of range; should be masked to 0xf.
+  uint8_t Buf[8];
+  encode(In, Buf);
+  Instruction Out;
+  ASSERT_TRUE(decode(Buf, sizeof(Buf), Out));
+  EXPECT_EQ(Out.Rd, 0x0f);
+}

@@ -1,0 +1,95 @@
+//===- tests/isa/ProgramBuilderTest.cpp - Assembler tests ------------------===//
+
+#include "isa/Program.h"
+
+#include "gtest/gtest.h"
+
+using namespace ccsim;
+
+TEST(ProgramBuilderTest, EmitsDecodableStream) {
+  ProgramBuilder B;
+  B.setEntryHere();
+  B.emitMovi(1, 5);
+  B.emitAlu(Opcode::Add, 2, 1, 1);
+  B.emitHalt();
+  const Program P = B.finish();
+  EXPECT_EQ(P.EntryPC, 0u);
+  EXPECT_EQ(P.countInstructions(), 3u);
+
+  Instruction I;
+  ASSERT_TRUE(P.decodeAt(0, I));
+  EXPECT_EQ(I.Op, Opcode::Movi);
+  ASSERT_TRUE(P.decodeAt(4, I));
+  EXPECT_EQ(I.Op, Opcode::Add);
+}
+
+TEST(ProgramBuilderTest, ForwardLabelFixup) {
+  ProgramBuilder B;
+  ProgramBuilder::Label Skip = B.createLabel();
+  B.emitBeqz(1, Skip);
+  B.emitNop();
+  B.bind(Skip);
+  B.emitHalt();
+  const Program P = B.finish();
+
+  Instruction I;
+  ASSERT_TRUE(P.decodeAt(0, I));
+  EXPECT_EQ(I.Op, Opcode::Beqz);
+  EXPECT_EQ(I.Target, 7u); // 6-byte branch + 1-byte nop.
+}
+
+TEST(ProgramBuilderTest, BackwardLabel) {
+  ProgramBuilder B;
+  ProgramBuilder::Label Loop = B.createLabel();
+  B.bind(Loop);
+  B.emitAddi(1, 1, -1);
+  B.emitBnez(1, Loop);
+  B.emitHalt();
+  const Program P = B.finish();
+  Instruction I;
+  ASSERT_TRUE(P.decodeAt(4, I));
+  EXPECT_EQ(I.Op, Opcode::Bnez);
+  EXPECT_EQ(I.Target, 0u);
+}
+
+TEST(ProgramBuilderTest, EntryCanBeMidProgram) {
+  ProgramBuilder B;
+  B.emitNop();
+  B.emitNop();
+  B.setEntryHere();
+  B.emitHalt();
+  EXPECT_EQ(B.finish().EntryPC, 2u);
+}
+
+TEST(ProgramBuilderTest, CallAndJmpTargets) {
+  ProgramBuilder B;
+  ProgramBuilder::Label Fn = B.createLabel();
+  B.emitCall(Fn);
+  B.emitHalt();
+  B.bind(Fn);
+  B.emitRet();
+  const Program P = B.finish();
+  Instruction I;
+  ASSERT_TRUE(P.decodeAt(0, I));
+  EXPECT_EQ(I.Op, Opcode::Call);
+  EXPECT_EQ(I.Target, 6u); // 5-byte call + 1-byte halt.
+}
+
+TEST(ProgramBuilderTest, CurrentPCAdvances) {
+  ProgramBuilder B;
+  EXPECT_EQ(B.currentPC(), 0u);
+  B.emitMovi(1, 1);
+  EXPECT_EQ(B.currentPC(), 4u);
+  B.emitBlt(1, 2, B.createLabel());
+  EXPECT_EQ(B.currentPC(), 11u);
+  // Finish requires bound labels; bind the dangling one at the end.
+}
+
+TEST(ProgramBuilderTest, DecodeAtOutOfRangeFails) {
+  ProgramBuilder B;
+  B.emitHalt();
+  const Program P = B.finish();
+  Instruction I;
+  EXPECT_FALSE(P.decodeAt(100, I));
+  EXPECT_FALSE(P.decodeAt(1, I));
+}

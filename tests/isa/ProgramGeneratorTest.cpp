@@ -1,0 +1,123 @@
+//===- tests/isa/ProgramGeneratorTest.cpp - Program synthesis tests -------===//
+
+#include "isa/ProgramGenerator.h"
+
+#include "runtime/GuestState.h"
+#include "runtime/Interpreter.h"
+#include "gtest/gtest.h"
+
+using namespace ccsim;
+
+namespace {
+
+ProgramSpec smallSpec(uint64_t Seed = 1) {
+  ProgramSpec S;
+  S.NumFunctions = 6;
+  S.OuterIterations = 20;
+  S.InnerIterations = 4;
+  S.TopLevelCalls = 2;
+  S.Seed = Seed;
+  return S;
+}
+
+} // namespace
+
+TEST(ProgramGeneratorTest, ProgramIsFullyDecodable) {
+  const Program P = generateProgram(smallSpec());
+  uint32_t PC = 0;
+  Instruction I;
+  size_t Count = 0;
+  while (PC < P.size()) {
+    ASSERT_TRUE(P.decodeAt(PC, I)) << "undecodable byte at " << PC;
+    PC += I.Size;
+    ++Count;
+  }
+  EXPECT_EQ(PC, P.size());
+  EXPECT_GT(Count, 50u);
+}
+
+TEST(ProgramGeneratorTest, ProgramHaltsUnderInterpretation) {
+  const Program P = generateProgram(smallSpec());
+  GuestState State(1 << 17);
+  Interpreter Interp(P, State);
+  const uint64_t Steps = Interp.run(50'000'000);
+  EXPECT_TRUE(State.Halted) << "program did not halt within budget";
+  EXPECT_GT(Steps, 1000u);
+}
+
+TEST(ProgramGeneratorTest, DeterministicForSeed) {
+  const Program A = generateProgram(smallSpec(5));
+  const Program B = generateProgram(smallSpec(5));
+  EXPECT_EQ(A.Bytes, B.Bytes);
+  EXPECT_EQ(A.EntryPC, B.EntryPC);
+}
+
+TEST(ProgramGeneratorTest, SeedsChangeProgram) {
+  EXPECT_NE(generateProgram(smallSpec(1)).Bytes,
+            generateProgram(smallSpec(2)).Bytes);
+}
+
+TEST(ProgramGeneratorTest, MoreFunctionsMeanMoreCode) {
+  ProgramSpec Small = smallSpec();
+  ProgramSpec Big = smallSpec();
+  Big.NumFunctions = 24;
+  EXPECT_GT(generateProgram(Big).size(), generateProgram(Small).size());
+}
+
+TEST(ProgramGeneratorTest, OuterIterationsScaleRuntime) {
+  ProgramSpec Short = smallSpec();
+  Short.OuterIterations = 5;
+  ProgramSpec Long = smallSpec();
+  Long.OuterIterations = 50;
+
+  const Program PShort = generateProgram(Short);
+  const Program PLong = generateProgram(Long);
+  GuestState St1(1 << 17), St2(1 << 17);
+  Interpreter Int1(PShort, St1), Int2(PLong, St2);
+  const uint64_t Steps1 = Int1.run(100'000'000);
+  const uint64_t Steps2 = Int2.run(100'000'000);
+  EXPECT_TRUE(St1.Halted);
+  EXPECT_TRUE(St2.Halted);
+  EXPECT_GT(Steps2, Steps1 * 5);
+}
+
+TEST(ProgramGeneratorTest, RareExitsExecuteRarely) {
+  ProgramSpec S = smallSpec(9);
+  S.RareBranchProb = 0.5;
+  S.RareMaskBits = 6;
+  const Program P = generateProgram(S);
+  GuestState State(1 << 17);
+  Interpreter Interp(P, State);
+  EXPECT_GT(Interp.run(50'000'000), 0u);
+  EXPECT_TRUE(State.Halted);
+}
+
+TEST(ProgramGeneratorTest, PolySitesStillTerminate) {
+  ProgramSpec S = smallSpec(11);
+  S.PolyTopSites = 3;
+  S.PolyPeriodLog2 = 1;
+  const Program P = generateProgram(S);
+  GuestState State(1 << 17);
+  Interpreter Interp(P, State);
+  Interp.run(50'000'000);
+  EXPECT_TRUE(State.Halted);
+  // The call stack unwinds completely.
+  EXPECT_TRUE(State.CallStack.empty());
+}
+
+TEST(ProgramGeneratorTest, SharedCalleesStillAcyclic) {
+  // Shared-library callees must not create call cycles: the program
+  // still halts and the stack depth stays bounded by NumFunctions.
+  ProgramSpec S = smallSpec(13);
+  S.NumFunctions = 10;
+  S.SharedCalleeCount = 3;
+  S.MeanCallsPerFunction = 0.9;
+  const Program P = generateProgram(S);
+  GuestState State(1 << 17);
+  Interpreter Interp(P, State);
+  uint64_t MaxDepth = 0;
+  while (Interp.step())
+    MaxDepth = std::max<uint64_t>(MaxDepth, State.CallStack.size());
+  EXPECT_TRUE(State.Halted);
+  EXPECT_LE(MaxDepth, S.NumFunctions + 1);
+}

@@ -1,0 +1,186 @@
+//===- tests/runtime/GuestStateTest.cpp - Guest state tests ----------------===//
+
+#include "runtime/GuestState.h"
+
+#include "gtest/gtest.h"
+
+using namespace ccsim;
+
+TEST(GuestStateTest, RegisterZeroIsHardwired) {
+  GuestState S;
+  S.setReg(0, 42);
+  EXPECT_EQ(S.reg(0), 0u);
+  S.setReg(1, 42);
+  EXPECT_EQ(S.reg(1), 42u);
+}
+
+TEST(GuestStateTest, Load64StoreRoundTrip) {
+  GuestState S(1 << 12);
+  S.store64(100, 0x1122334455667788ULL);
+  EXPECT_EQ(S.load64(100), 0x1122334455667788ULL);
+}
+
+TEST(GuestStateTest, MemoryWrapsModuloSize) {
+  GuestState S(256);
+  S.store64(300, 99); // 300 mod 256 == 44.
+  EXPECT_EQ(S.load64(44), 99u);
+  EXPECT_EQ(S.load64(300), 99u);
+}
+
+TEST(GuestStateTest, StoreStraddlingEndWraps) {
+  GuestState S(256);
+  S.store64(252, 0xAABBCCDDEEFF0011ULL);
+  EXPECT_EQ(S.load64(252), 0xAABBCCDDEEFF0011ULL);
+}
+
+TEST(GuestStateTest, DigestSensitiveToRegisters) {
+  GuestState A, B;
+  EXPECT_EQ(A.digest(), B.digest());
+  B.setReg(5, 1);
+  EXPECT_NE(A.digest(), B.digest());
+}
+
+TEST(GuestStateTest, DigestSensitiveToMemoryAndPC) {
+  GuestState A, B;
+  B.store64(8, 1);
+  EXPECT_NE(A.digest(), B.digest());
+  GuestState C;
+  C.PC = 4;
+  EXPECT_NE(A.digest(), C.digest());
+}
+
+TEST(GuestStateTest, DigestSensitiveToCallStack) {
+  GuestState A, B;
+  B.CallStack.push_back(10);
+  EXPECT_NE(A.digest(), B.digest());
+}
+
+TEST(ExecuteInstructionTest, AluSemantics) {
+  GuestState S;
+  S.setReg(1, 6);
+  S.setReg(2, 3);
+  auto Run = [&](Opcode Op) {
+    Instruction I;
+    I.Op = Op;
+    I.Rd = 3;
+    I.Rs1 = 1;
+    I.Rs2 = 2;
+    I.Size = 4;
+    executeInstruction(I, 0, S);
+    return S.reg(3);
+  };
+  EXPECT_EQ(Run(Opcode::Add), 9u);
+  EXPECT_EQ(Run(Opcode::Sub), 3u);
+  EXPECT_EQ(Run(Opcode::Mul), 18u);
+  EXPECT_EQ(Run(Opcode::Xor), 5u);
+  EXPECT_EQ(Run(Opcode::And), 2u);
+  EXPECT_EQ(Run(Opcode::Or), 7u);
+  EXPECT_EQ(Run(Opcode::Shl), 48u);
+  EXPECT_EQ(Run(Opcode::Shr), 0u);
+}
+
+TEST(ExecuteInstructionTest, ShiftAmountMasked) {
+  GuestState S;
+  S.setReg(1, 1);
+  S.setReg(2, 65); // 65 & 63 == 1.
+  Instruction I;
+  I.Op = Opcode::Shl;
+  I.Rd = 3;
+  I.Rs1 = 1;
+  I.Rs2 = 2;
+  executeInstruction(I, 0, S);
+  EXPECT_EQ(S.reg(3), 2u);
+}
+
+TEST(ExecuteInstructionTest, BranchTakenAndNot) {
+  GuestState S;
+  Instruction I;
+  I.Op = Opcode::Beqz;
+  I.Rs1 = 1;
+  I.Target = 100;
+  I.Size = 6;
+  S.setReg(1, 0);
+  EXPECT_EQ(executeInstruction(I, 10, S), 100u);
+  S.setReg(1, 5);
+  EXPECT_EQ(executeInstruction(I, 10, S), 16u);
+}
+
+TEST(ExecuteInstructionTest, BltSignedComparison) {
+  GuestState S;
+  Instruction I;
+  I.Op = Opcode::Blt;
+  I.Rs1 = 1;
+  I.Rs2 = 2;
+  I.Target = 50;
+  I.Size = 7;
+  S.setReg(1, static_cast<uint64_t>(-5));
+  S.setReg(2, 3);
+  EXPECT_EQ(executeInstruction(I, 0, S), 50u); // -5 < 3 signed.
+  S.setReg(1, 4);
+  EXPECT_EQ(executeInstruction(I, 0, S), 7u);
+}
+
+TEST(ExecuteInstructionTest, CallPushesReturnAddress) {
+  GuestState S;
+  Instruction I;
+  I.Op = Opcode::Call;
+  I.Target = 200;
+  I.Size = 5;
+  EXPECT_EQ(executeInstruction(I, 40, S), 200u);
+  ASSERT_EQ(S.CallStack.size(), 1u);
+  EXPECT_EQ(S.CallStack[0], 45u);
+}
+
+TEST(ExecuteInstructionTest, RetPopsOrHalts) {
+  GuestState S;
+  S.CallStack.push_back(77);
+  Instruction I;
+  I.Op = Opcode::Ret;
+  I.Size = 1;
+  EXPECT_EQ(executeInstruction(I, 0, S), 77u);
+  EXPECT_FALSE(S.Halted);
+  EXPECT_TRUE(S.CallStack.empty());
+  executeInstruction(I, 5, S); // Empty stack -> halt.
+  EXPECT_TRUE(S.Halted);
+}
+
+TEST(ExecuteInstructionTest, JrUsesRegister) {
+  GuestState S;
+  S.setReg(4, 1234);
+  Instruction I;
+  I.Op = Opcode::Jr;
+  I.Rs1 = 4;
+  I.Size = 2;
+  EXPECT_EQ(executeInstruction(I, 0, S), 1234u);
+}
+
+TEST(ExecuteInstructionTest, HaltSetsFlag) {
+  GuestState S;
+  Instruction I;
+  I.Op = Opcode::Halt;
+  I.Size = 1;
+  executeInstruction(I, 9, S);
+  EXPECT_TRUE(S.Halted);
+}
+
+TEST(ExecuteInstructionTest, LoadStoreThroughBase) {
+  GuestState S(1 << 12);
+  S.setReg(2, 1000);
+  S.setReg(3, 0xfeed);
+  Instruction St;
+  St.Op = Opcode::St;
+  St.Rs1 = 2; // Base.
+  St.Rs2 = 3; // Value.
+  St.Imm = 24;
+  St.Size = 5;
+  executeInstruction(St, 0, S);
+
+  Instruction Ld;
+  Ld.Op = Opcode::Ld;
+  Ld.Rd = 5;
+  Ld.Rs1 = 2;
+  Ld.Imm = 24;
+  Ld.Size = 5;
+  executeInstruction(Ld, 0, S);
+  EXPECT_EQ(S.reg(5), 0xfeedu);
+}

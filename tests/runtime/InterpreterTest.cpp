@@ -1,0 +1,130 @@
+//===- tests/runtime/InterpreterTest.cpp - Interpreter tests ---------------===//
+
+#include "runtime/Interpreter.h"
+
+#include "gtest/gtest.h"
+
+using namespace ccsim;
+
+namespace {
+
+/// sum = 0; for (i = 10; i != 0; --i) sum += i;  => r2 == 55.
+Program loopProgram() {
+  ProgramBuilder B;
+  B.setEntryHere();
+  B.emitMovi(1, 10);
+  B.emitMovi(2, 0);
+  ProgramBuilder::Label Loop = B.createLabel();
+  B.bind(Loop);
+  B.emitAlu(Opcode::Add, 2, 2, 1);
+  B.emitAddi(1, 1, -1);
+  B.emitBnez(1, Loop);
+  B.emitHalt();
+  return B.finish();
+}
+
+} // namespace
+
+TEST(InterpreterTest, LoopComputesSum) {
+  const Program P = loopProgram();
+  GuestState S;
+  Interpreter I(P, S);
+  I.run(1000);
+  EXPECT_TRUE(S.Halted);
+  EXPECT_EQ(S.reg(2), 55u);
+  // 2 setup + 10 * 3 loop body + 1 halt = 33 instructions.
+  EXPECT_EQ(I.instructionCount(), 33u);
+}
+
+TEST(InterpreterTest, StepReturnsFalseAfterHalt) {
+  const Program P = loopProgram();
+  GuestState S;
+  Interpreter I(P, S);
+  while (I.step())
+    ;
+  EXPECT_TRUE(S.Halted);
+  EXPECT_FALSE(I.step());
+  EXPECT_EQ(I.instructionCount(), 33u); // No further execution.
+}
+
+TEST(InterpreterTest, RunBudgetStopsEarly) {
+  const Program P = loopProgram();
+  GuestState S;
+  Interpreter I(P, S);
+  EXPECT_EQ(I.run(5), 5u);
+  EXPECT_FALSE(S.Halted);
+  EXPECT_EQ(I.run(1000), 28u);
+  EXPECT_TRUE(S.Halted);
+}
+
+TEST(InterpreterTest, StepBlockStopsAfterControlFlow) {
+  const Program P = loopProgram();
+  GuestState S;
+  Interpreter I(P, S);
+  // First block: movi, movi, add, addi, bnez (control flow inclusive).
+  EXPECT_EQ(I.stepBlock(), 5u);
+  EXPECT_FALSE(S.Halted);
+  // Next block: add, addi, bnez.
+  EXPECT_EQ(I.stepBlock(), 3u);
+}
+
+TEST(InterpreterTest, CallAndReturnFlow) {
+  ProgramBuilder B;
+  ProgramBuilder::Label Fn = B.createLabel();
+  B.setEntryHere();
+  B.emitMovi(1, 7);
+  B.emitCall(Fn);
+  B.emitAddi(1, 1, 1); // After return: r1 = 15.
+  B.emitHalt();
+  B.bind(Fn);
+  B.emitAlu(Opcode::Add, 1, 1, 1); // r1 = 14.
+  B.emitRet();
+  const Program P = B.finish();
+  GuestState S;
+  Interpreter I(P, S);
+  I.run(100);
+  EXPECT_TRUE(S.Halted);
+  EXPECT_EQ(S.reg(1), 15u);
+  EXPECT_TRUE(S.CallStack.empty());
+}
+
+TEST(InterpreterTest, DecodeFailureHalts) {
+  Program P;
+  P.Bytes = {0xff, 0xff}; // Invalid opcode.
+  P.EntryPC = 0;
+  GuestState S;
+  Interpreter I(P, S);
+  EXPECT_FALSE(I.step());
+  EXPECT_TRUE(S.Halted);
+}
+
+TEST(InterpreterTest, RunningOffTheImageHalts) {
+  ProgramBuilder B;
+  B.setEntryHere();
+  B.emitNop(); // No halt: PC falls off the end.
+  const Program P = B.finish();
+  GuestState S;
+  Interpreter I(P, S);
+  I.run(10);
+  EXPECT_TRUE(S.Halted);
+  EXPECT_EQ(I.instructionCount(), 1u);
+}
+
+TEST(InterpreterTest, JrIndirectJump) {
+  ProgramBuilder B;
+  B.setEntryHere();
+  B.emitMovi(1, 0); // Will be patched semantically below: target = halt.
+  B.emitJr(1);
+  B.emitNop(); // Skipped.
+  const uint32_t HaltPC = B.currentPC();
+  B.emitHalt();
+  Program P = B.finish();
+  // Patch the movi immediate to the halt PC.
+  P.Bytes[2] = static_cast<uint8_t>(HaltPC);
+  P.Bytes[3] = static_cast<uint8_t>(HaltPC >> 8);
+  GuestState S;
+  Interpreter I(P, S);
+  I.run(10);
+  EXPECT_TRUE(S.Halted);
+  EXPECT_EQ(I.instructionCount(), 3u); // movi, jr, halt.
+}

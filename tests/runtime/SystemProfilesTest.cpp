@@ -1,0 +1,53 @@
+//===- tests/runtime/SystemProfilesTest.cpp - Profile table tests ---------===//
+
+#include "runtime/SystemProfiles.h"
+
+#include "gtest/gtest.h"
+
+using namespace ccsim;
+
+TEST(SystemProfilesTest, ElevenTable2Rows) {
+  // Table 2 covers 11 SPEC benchmarks (eon was not measured).
+  EXPECT_EQ(table2Profiles().size(), 11u);
+}
+
+TEST(SystemProfilesTest, NamesMatchTable2) {
+  const char *Expected[] = {"gzip",    "vpr",  "gcc",    "mcf",
+                            "crafty",  "parser", "perlbmk", "gap",
+                            "vortex",  "bzip2",  "twolf"};
+  const auto &Rows = table2Profiles();
+  for (size_t I = 0; I < Rows.size(); ++I)
+    EXPECT_EQ(Rows[I].Name, Expected[I]);
+}
+
+TEST(SystemProfilesTest, PaperNumbersMatchTable2) {
+  // Spot-check the published reference values.
+  const auto &Rows = table2Profiles();
+  EXPECT_DOUBLE_EQ(Rows[0].PaperLinkedSeconds, 230.0);
+  EXPECT_DOUBLE_EQ(Rows[0].PaperUnlinkedSeconds, 7951.0);
+  EXPECT_DOUBLE_EQ(Rows[0].PaperSlowdownPercent, 3357.0);
+  EXPECT_DOUBLE_EQ(Rows[10].PaperSlowdownPercent, 886.0);
+}
+
+TEST(SystemProfilesTest, SlowdownsConsistentWithSeconds) {
+  // Table 2's slowdown column is (disabled/enabled - 1) * 100, rounded.
+  for (const Table2Profile &Row : table2Profiles()) {
+    const double Computed =
+        (Row.PaperUnlinkedSeconds / Row.PaperLinkedSeconds - 1.0) * 100.0;
+    EXPECT_NEAR(Computed, Row.PaperSlowdownPercent, 6.0) << Row.Name;
+  }
+}
+
+TEST(SystemProfilesTest, SpecsAreBounded) {
+  for (const Table2Profile &Row : table2Profiles()) {
+    EXPECT_LT(Row.Spec.MeanCallsPerFunction, 0.95) << Row.Name;
+    EXPECT_GT(Row.Spec.NumFunctions, 0u) << Row.Name;
+    EXPECT_GT(Row.Spec.OuterIterations, 0u) << Row.Name;
+  }
+}
+
+TEST(SystemProfilesTest, Fig9SpecIsCodeRich) {
+  const ProgramSpec S = fig9ProgramSpec();
+  EXPECT_GE(S.NumFunctions, 48u);
+  EXPECT_GT(table2RunBudget(), 1000000u);
+}

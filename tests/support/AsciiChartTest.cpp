@@ -1,0 +1,47 @@
+//===- tests/support/AsciiChartTest.cpp - Bar chart tests ------------------===//
+
+#include "support/AsciiChart.h"
+
+#include "gtest/gtest.h"
+
+using namespace ccsim;
+
+TEST(BarChartTest, ScalesToMaximum) {
+  BarChart C(10);
+  C.add("half", 5.0);
+  C.add("full", 10.0);
+  const std::string Out = C.render();
+  EXPECT_NE(Out.find("half  ##### 5.000"), std::string::npos);
+  EXPECT_NE(Out.find("full  ########## 10.000"), std::string::npos);
+}
+
+TEST(BarChartTest, CustomDisplayText) {
+  BarChart C(4);
+  C.add("x", 1.0, "one");
+  EXPECT_NE(C.render().find("#### one"), std::string::npos);
+}
+
+TEST(BarChartTest, LabelsAligned) {
+  BarChart C(4);
+  C.add("a", 1.0);
+  C.add("longer", 1.0);
+  const std::string Out = C.render();
+  EXPECT_NE(Out.find("a       ####"), std::string::npos);
+  EXPECT_NE(Out.find("longer  ####"), std::string::npos);
+}
+
+TEST(BarChartTest, ZeroAndNegativeValuesSafe) {
+  BarChart C(8);
+  C.add("zero", 0.0);
+  C.add("neg", -3.0);
+  const std::string Out = C.render();
+  EXPECT_EQ(C.size(), 2u);
+  EXPECT_NE(Out.find("zero"), std::string::npos);
+  // Negative bars render empty, not crash.
+  EXPECT_NE(Out.find("neg"), std::string::npos);
+}
+
+TEST(BarChartTest, EmptyChartRendersNothing) {
+  BarChart C;
+  EXPECT_TRUE(C.render().empty());
+}

@@ -1,0 +1,106 @@
+//===- tests/support/BinaryIOTest.cpp - Binary stream I/O tests -----------===//
+
+#include "support/BinaryIO.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+
+using namespace ccsim;
+
+TEST(BinaryIOTest, MemoryRoundTripAllTypes) {
+  BinaryWriter W;
+  W.writeU8(0xab);
+  W.writeU16(0xbeef);
+  W.writeU32(0xdeadbeef);
+  W.writeU64(0x0123456789abcdefULL);
+  W.writeF64(3.14159);
+  W.writeString("hello world");
+  ASSERT_TRUE(W.ok());
+
+  BinaryReader R(W.buffer());
+  EXPECT_EQ(R.readU8(), 0xab);
+  EXPECT_EQ(R.readU16(), 0xbeef);
+  EXPECT_EQ(R.readU32(), 0xdeadbeefu);
+  EXPECT_EQ(R.readU64(), 0x0123456789abcdefULL);
+  EXPECT_DOUBLE_EQ(R.readF64(), 3.14159);
+  EXPECT_EQ(R.readString(), "hello world");
+  EXPECT_TRUE(R.ok());
+  EXPECT_TRUE(R.atEnd());
+}
+
+TEST(BinaryIOTest, LittleEndianLayout) {
+  BinaryWriter W;
+  W.writeU32(0x01020304);
+  ASSERT_EQ(W.buffer().size(), 4u);
+  EXPECT_EQ(W.buffer()[0], 0x04);
+  EXPECT_EQ(W.buffer()[3], 0x01);
+}
+
+TEST(BinaryIOTest, FileRoundTrip) {
+  const std::string Path = ::testing::TempDir() + "/ccsim_binio_test.bin";
+  {
+    BinaryWriter W(Path);
+    ASSERT_TRUE(W.ok());
+    W.writeU64(42);
+    W.writeString("file");
+    EXPECT_TRUE(W.finish());
+  }
+  BinaryReader R(Path);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.readU64(), 42u);
+  EXPECT_EQ(R.readString(), "file");
+  std::remove(Path.c_str());
+}
+
+TEST(BinaryIOTest, MissingFileFails) {
+  BinaryReader R("/nonexistent/path/definitely_missing.bin");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(BinaryIOTest, TruncatedReadSetsFailure) {
+  BinaryWriter W;
+  W.writeU16(7);
+  BinaryReader R(W.buffer());
+  EXPECT_EQ(R.readU16(), 7u);
+  (void)R.readU32(); // Past the end.
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(BinaryIOTest, TruncatedStringFails) {
+  BinaryWriter W;
+  W.writeU32(100); // Claims 100 bytes follow; none do.
+  BinaryReader R(W.buffer());
+  (void)R.readString();
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(BinaryIOTest, EmptyString) {
+  BinaryWriter W;
+  W.writeString("");
+  BinaryReader R(W.buffer());
+  EXPECT_EQ(R.readString(), "");
+  EXPECT_TRUE(R.ok());
+}
+
+TEST(BinaryIOTest, ReadBytes) {
+  BinaryWriter W;
+  const uint8_t Data[] = {1, 2, 3, 4};
+  W.writeBytes(Data, sizeof(Data));
+  BinaryReader R(W.buffer());
+  uint8_t Out[4] = {0};
+  EXPECT_TRUE(R.readBytes(Out, 4));
+  EXPECT_EQ(Out[0], 1);
+  EXPECT_EQ(Out[3], 4);
+  EXPECT_FALSE(R.readBytes(Out, 1));
+}
+
+TEST(BinaryIOTest, RemainingTracksCursor) {
+  BinaryWriter W;
+  W.writeU32(1);
+  W.writeU32(2);
+  BinaryReader R(W.buffer());
+  EXPECT_EQ(R.remaining(), 8u);
+  (void)R.readU32();
+  EXPECT_EQ(R.remaining(), 4u);
+}

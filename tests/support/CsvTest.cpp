@@ -1,0 +1,65 @@
+//===- tests/support/CsvTest.cpp - CSV writer tests ------------------------===//
+
+#include "support/Csv.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+
+using namespace ccsim;
+
+TEST(CsvTest, HeaderAndRows) {
+  CsvWriter W({"a", "b"});
+  W.addRow({"1", "2"});
+  W.addRow({"x", "y"});
+  EXPECT_EQ(W.render(), "a,b\n1,2\nx,y\n");
+  EXPECT_EQ(W.numRows(), 2u);
+}
+
+TEST(CsvTest, RowBuilderTypes) {
+  CsvWriter W({"name", "value", "count"});
+  W.beginRow();
+  W.cell("pi");
+  W.cell(3.14159, 2);
+  W.cell(uint64_t(7));
+  EXPECT_EQ(W.render(), "name,value,count\npi,3.14,7\n");
+}
+
+TEST(CsvTest, EscapingCommasQuotesNewlines) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvTest, EscapedFieldsRoundIntoDocument) {
+  CsvWriter W({"text"});
+  W.addRow({"a,b"});
+  EXPECT_EQ(W.render(), "text\n\"a,b\"\n");
+}
+
+TEST(CsvTest, WriteFile) {
+  const std::string Path = ::testing::TempDir() + "/ccsim_csv_test.csv";
+  CsvWriter W({"k", "v"});
+  W.addRow({"x", "1"});
+  ASSERT_TRUE(W.writeFile(Path));
+  FILE *F = std::fopen(Path.c_str(), "r");
+  ASSERT_NE(F, nullptr);
+  char Buf[64] = {0};
+  const size_t N = std::fread(Buf, 1, sizeof(Buf) - 1, F);
+  std::fclose(F);
+  EXPECT_EQ(std::string(Buf, N), "k,v\nx,1\n");
+  std::remove(Path.c_str());
+}
+
+TEST(CsvTest, WriteFileFailsOnBadPath) {
+  CsvWriter W({"a"});
+  EXPECT_FALSE(W.writeFile("/no/such/dir/file.csv"));
+}
+
+TEST(CsvTest, PendingRowFlushedOnRender) {
+  CsvWriter W({"a"});
+  W.beginRow();
+  W.cell("only");
+  EXPECT_EQ(W.render(), "a\nonly\n");
+}

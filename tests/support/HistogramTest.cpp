@@ -1,0 +1,77 @@
+//===- tests/support/HistogramTest.cpp - Histogram tests -------------------===//
+
+#include "support/Histogram.h"
+
+#include "gtest/gtest.h"
+
+using namespace ccsim;
+
+TEST(HistogramTest, BucketBoundaries) {
+  Histogram H(10.0, 4);
+  H.add(0.0);   // Bucket 0.
+  H.add(9.999); // Bucket 0.
+  H.add(10.0);  // Bucket 1.
+  H.add(39.0);  // Bucket 3.
+  EXPECT_EQ(H.bucketCount(0), 2u);
+  EXPECT_EQ(H.bucketCount(1), 1u);
+  EXPECT_EQ(H.bucketCount(2), 0u);
+  EXPECT_EQ(H.bucketCount(3), 1u);
+  EXPECT_EQ(H.overflowCount(), 0u);
+}
+
+TEST(HistogramTest, OverflowBucket) {
+  Histogram H(10.0, 4);
+  H.add(40.0);
+  H.add(1e9);
+  EXPECT_EQ(H.overflowCount(), 2u);
+  EXPECT_EQ(H.totalCount(), 2u);
+}
+
+TEST(HistogramTest, NegativeSamplesClampToFirstBucket) {
+  Histogram H(10.0, 2);
+  H.add(-5.0);
+  EXPECT_EQ(H.bucketCount(0), 1u);
+}
+
+TEST(HistogramTest, AddWithCount) {
+  Histogram H(1.0, 3);
+  H.add(1.5, 7);
+  EXPECT_EQ(H.bucketCount(1), 7u);
+  EXPECT_EQ(H.totalCount(), 7u);
+}
+
+TEST(HistogramTest, Fractions) {
+  Histogram H(10.0, 2);
+  H.add(1.0);
+  H.add(2.0);
+  H.add(11.0);
+  H.add(12.0);
+  EXPECT_DOUBLE_EQ(H.bucketFraction(0), 0.5);
+  EXPECT_DOUBLE_EQ(H.bucketFraction(1), 0.5);
+}
+
+TEST(HistogramTest, FractionOfEmptyHistogram) {
+  Histogram H(10.0, 2);
+  EXPECT_DOUBLE_EQ(H.bucketFraction(0), 0.0);
+}
+
+TEST(HistogramTest, BucketRanges) {
+  Histogram H(64.0, 8);
+  EXPECT_DOUBLE_EQ(H.bucketLow(0), 0.0);
+  EXPECT_DOUBLE_EQ(H.bucketHigh(0), 64.0);
+  EXPECT_DOUBLE_EQ(H.bucketLow(3), 192.0);
+}
+
+TEST(HistogramTest, RenderMentionsCountsAndOverflow) {
+  Histogram H(10.0, 2);
+  H.add(5.0);
+  H.add(25.0);
+  const std::string Out = H.render();
+  EXPECT_NE(Out.find(">= 20"), std::string::npos);
+  EXPECT_NE(Out.find('#'), std::string::npos);
+}
+
+TEST(HistogramTest, RenderEmptyDoesNotCrash) {
+  Histogram H(10.0, 3);
+  EXPECT_FALSE(H.render().empty());
+}

@@ -1,0 +1,93 @@
+//===- tests/support/RegressionTest.cpp - Linear regression tests ---------===//
+
+#include "support/Regression.h"
+
+#include "support/Random.h"
+#include "gtest/gtest.h"
+
+using namespace ccsim;
+
+TEST(RegressionTest, RecoversExactLine) {
+  RegressionAccumulator Acc;
+  for (int X = 0; X < 100; ++X)
+    Acc.add(X, 2.77 * X + 3055.0);
+  const LinearFit Fit = Acc.fit();
+  EXPECT_NEAR(Fit.Slope, 2.77, 1e-9);
+  EXPECT_NEAR(Fit.Intercept, 3055.0, 1e-6);
+  EXPECT_NEAR(Fit.R2, 1.0, 1e-12);
+  EXPECT_EQ(Fit.NumSamples, 100u);
+}
+
+TEST(RegressionTest, RecoversLineUnderNoise) {
+  Rng R(5);
+  RegressionAccumulator Acc;
+  for (int I = 0; I < 20000; ++I) {
+    const double X = R.nextDouble() * 1000.0;
+    const double Y = 75.4 * X + 1922.0 + R.nextNormal(0.0, 500.0);
+    Acc.add(X, Y);
+  }
+  const LinearFit Fit = Acc.fit();
+  EXPECT_NEAR(Fit.Slope, 75.4, 0.2);
+  EXPECT_NEAR(Fit.Intercept, 1922.0, 60.0);
+  EXPECT_GT(Fit.R2, 0.99);
+}
+
+TEST(RegressionTest, EmptyFit) {
+  RegressionAccumulator Acc;
+  const LinearFit Fit = Acc.fit();
+  EXPECT_DOUBLE_EQ(Fit.Slope, 0.0);
+  EXPECT_DOUBLE_EQ(Fit.Intercept, 0.0);
+  EXPECT_EQ(Fit.NumSamples, 0u);
+}
+
+TEST(RegressionTest, DegenerateSingleX) {
+  RegressionAccumulator Acc;
+  Acc.add(5.0, 10.0);
+  Acc.add(5.0, 20.0);
+  const LinearFit Fit = Acc.fit();
+  EXPECT_DOUBLE_EQ(Fit.Slope, 0.0);
+  EXPECT_DOUBLE_EQ(Fit.Intercept, 15.0);
+}
+
+TEST(RegressionTest, FlatData) {
+  RegressionAccumulator Acc;
+  for (int X = 0; X < 10; ++X)
+    Acc.add(X, 7.0);
+  const LinearFit Fit = Acc.fit();
+  EXPECT_NEAR(Fit.Slope, 0.0, 1e-12);
+  EXPECT_NEAR(Fit.Intercept, 7.0, 1e-9);
+}
+
+TEST(RegressionTest, NegativeSlope) {
+  RegressionAccumulator Acc;
+  for (int X = 0; X < 50; ++X)
+    Acc.add(X, 100.0 - 3.0 * X);
+  const LinearFit Fit = Acc.fit();
+  EXPECT_NEAR(Fit.Slope, -3.0, 1e-9);
+  EXPECT_NEAR(Fit.Intercept, 100.0, 1e-6);
+}
+
+TEST(RegressionTest, EvalUsesCoefficients) {
+  LinearFit Fit;
+  Fit.Slope = 2.0;
+  Fit.Intercept = 1.0;
+  EXPECT_DOUBLE_EQ(Fit.eval(10.0), 21.0);
+}
+
+TEST(RegressionTest, VectorHelperMatchesAccumulator) {
+  std::vector<double> Xs, Ys;
+  RegressionAccumulator Acc;
+  Rng R(9);
+  for (int I = 0; I < 500; ++I) {
+    const double X = R.nextDouble() * 10.0;
+    const double Y = 4.0 * X - 2.0 + R.nextNormal();
+    Xs.push_back(X);
+    Ys.push_back(Y);
+    Acc.add(X, Y);
+  }
+  const LinearFit A = linearFit(Xs, Ys);
+  const LinearFit B = Acc.fit();
+  EXPECT_DOUBLE_EQ(A.Slope, B.Slope);
+  EXPECT_DOUBLE_EQ(A.Intercept, B.Intercept);
+  EXPECT_DOUBLE_EQ(A.R2, B.R2);
+}

@@ -1,0 +1,132 @@
+//===- tests/support/StatisticsTest.cpp - Statistics utility tests --------===//
+
+#include "support/Statistics.h"
+
+#include "support/Random.h"
+#include "gtest/gtest.h"
+
+using namespace ccsim;
+
+TEST(StatisticsTest, MeanBasic) {
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({5.0}), 5.0);
+}
+
+TEST(StatisticsTest, MeanEmptyIsZero) { EXPECT_DOUBLE_EQ(mean({}), 0.0); }
+
+TEST(StatisticsTest, StddevBasic) {
+  // Population stddev of {2, 4, 4, 4, 5, 5, 7, 9} is 2.
+  EXPECT_DOUBLE_EQ(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.0);
+}
+
+TEST(StatisticsTest, StddevDegenerate) {
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({3.0}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({3.0, 3.0, 3.0}), 0.0);
+}
+
+TEST(StatisticsTest, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(StatisticsTest, MedianSingleAndEmpty) {
+  EXPECT_DOUBLE_EQ(median({7.0}), 7.0);
+  EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(StatisticsTest, QuantileEndpoints) {
+  std::vector<double> V = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(quantile(V, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(quantile(V, 1.0), 40.0);
+}
+
+TEST(StatisticsTest, QuantileInterpolates) {
+  std::vector<double> V = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(V, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(V, 0.5), 5.0);
+}
+
+TEST(StatisticsTest, QuantileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(quantile({9.0, 1.0, 5.0}, 0.5), 5.0);
+}
+
+TEST(StatisticsTest, MinMax) {
+  EXPECT_DOUBLE_EQ(minOf({3.0, -1.0, 2.0}), -1.0);
+  EXPECT_DOUBLE_EQ(maxOf({3.0, -1.0, 2.0}), 3.0);
+  EXPECT_DOUBLE_EQ(minOf({}), 0.0);
+  EXPECT_DOUBLE_EQ(maxOf({}), 0.0);
+}
+
+TEST(StatisticsTest, WeightedMeanBasic) {
+  EXPECT_DOUBLE_EQ(weightedMean({1.0, 3.0}, {1.0, 1.0}), 2.0);
+  EXPECT_DOUBLE_EQ(weightedMean({1.0, 3.0}, {3.0, 1.0}), 1.5);
+}
+
+TEST(StatisticsTest, WeightedMeanZeroWeights) {
+  EXPECT_DOUBLE_EQ(weightedMean({1.0, 3.0}, {0.0, 0.0}), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesDirectComputation) {
+  Rng R(7);
+  std::vector<double> Values;
+  RunningStats S;
+  for (int I = 0; I < 1000; ++I) {
+    const double V = R.nextNormal(5.0, 3.0);
+    Values.push_back(V);
+    S.add(V);
+  }
+  EXPECT_EQ(S.count(), Values.size());
+  EXPECT_NEAR(S.mean(), mean(Values), 1e-9);
+  EXPECT_NEAR(S.stddev(), stddev(Values), 1e-9);
+  EXPECT_DOUBLE_EQ(S.min(), minOf(Values));
+  EXPECT_DOUBLE_EQ(S.max(), maxOf(Values));
+}
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_DOUBLE_EQ(S.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(S.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(S.min(), 0.0);
+  EXPECT_DOUBLE_EQ(S.max(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats S;
+  S.add(42.0);
+  EXPECT_EQ(S.count(), 1u);
+  EXPECT_DOUBLE_EQ(S.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(S.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(S.min(), 42.0);
+  EXPECT_DOUBLE_EQ(S.max(), 42.0);
+  EXPECT_DOUBLE_EQ(S.sum(), 42.0);
+}
+
+TEST(RunningStatsTest, MergeEquivalentToSequential) {
+  Rng R(11);
+  RunningStats All, A, B;
+  for (int I = 0; I < 500; ++I) {
+    const double V = R.nextDouble() * 100.0;
+    All.add(V);
+    (I % 2 ? A : B).add(V);
+  }
+  A.merge(B);
+  EXPECT_EQ(A.count(), All.count());
+  EXPECT_NEAR(A.mean(), All.mean(), 1e-9);
+  EXPECT_NEAR(A.variance(), All.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(A.min(), All.min());
+  EXPECT_DOUBLE_EQ(A.max(), All.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats A, Empty;
+  A.add(1.0);
+  A.add(3.0);
+  A.merge(Empty);
+  EXPECT_EQ(A.count(), 2u);
+  EXPECT_DOUBLE_EQ(A.mean(), 2.0);
+  Empty.merge(A);
+  EXPECT_EQ(Empty.count(), 2u);
+  EXPECT_DOUBLE_EQ(Empty.mean(), 2.0);
+}

@@ -1,0 +1,74 @@
+//===- tests/support/TableTest.cpp - Table rendering tests -----------------===//
+
+#include "support/Table.h"
+
+#include "gtest/gtest.h"
+
+using namespace ccsim;
+
+TEST(TableTest, HeaderAndSeparatorPresent) {
+  Table T({"Name", "Value"});
+  T.addRow({"a", "1"});
+  const std::string Out = T.render();
+  EXPECT_NE(Out.find("Name"), std::string::npos);
+  EXPECT_NE(Out.find("Value"), std::string::npos);
+  EXPECT_NE(Out.find("---"), std::string::npos);
+}
+
+TEST(TableTest, RowBuilderProducesRows) {
+  Table T({"A", "B", "C"});
+  T.beginRow();
+  T.cell("x");
+  T.cell(3.14159, 2);
+  T.cell(uint64_t(12345));
+  T.beginRow();
+  T.cell("y");
+  T.cell(1.0, 1);
+  T.cell(int64_t(-7));
+  const std::string Out = T.render();
+  EXPECT_EQ(T.numRows(), 2u);
+  EXPECT_NE(Out.find("3.14"), std::string::npos);
+  EXPECT_NE(Out.find("12,345"), std::string::npos);
+  EXPECT_NE(Out.find("-7"), std::string::npos);
+}
+
+TEST(TableTest, ColumnsAligned) {
+  Table T({"N", "Long header"});
+  T.addRow({"1", "x"});
+  T.addRow({"22", "y"});
+  const std::string Out = T.render();
+  // Every line should be at least as wide as the header row needs.
+  size_t Start = 0;
+  int Lines = 0;
+  while (Start < Out.size()) {
+    const size_t End = Out.find('\n', Start);
+    ++Lines;
+    Start = End + 1;
+  }
+  EXPECT_EQ(Lines, 4); // Header + separator + 2 rows.
+}
+
+TEST(TableTest, NumericCellsRightAligned) {
+  Table T({"Value"});
+  T.addRow({"1"});
+  T.addRow({"10000"});
+  const std::string Out = T.render();
+  // "1" padded to width 5 -> four spaces before it on its line.
+  EXPECT_NE(Out.find("    1\n"), std::string::npos);
+}
+
+TEST(TableTest, TextCellsLeftAligned) {
+  Table T({"Name", "X"});
+  T.addRow({"ab", "1"});
+  T.addRow({"abcd", "2"});
+  const std::string Out = T.render();
+  EXPECT_NE(Out.find("ab    1"), std::string::npos);
+}
+
+TEST(TableTest, PendingRowFlushedOnRender) {
+  Table T({"A"});
+  T.beginRow();
+  T.cell("only");
+  const std::string Out = T.render();
+  EXPECT_NE(Out.find("only"), std::string::npos);
+}

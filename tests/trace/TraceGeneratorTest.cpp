@@ -1,0 +1,154 @@
+//===- tests/trace/TraceGeneratorTest.cpp - Trace synthesis tests ---------===//
+
+#include "trace/TraceGenerator.h"
+
+#include "support/Statistics.h"
+#include "gtest/gtest.h"
+
+using namespace ccsim;
+
+namespace {
+
+WorkloadModel testModel(uint32_t Blocks = 200) {
+  WorkloadModel M = scaledWorkload(*findWorkload("crafty"), 1.0);
+  M.NumSuperblocks = Blocks;
+  M.Name = "test";
+  return M;
+}
+
+} // namespace
+
+TEST(TraceGeneratorTest, GeneratedTraceValidates) {
+  TraceGenerator Gen(1);
+  const Trace T = Gen.generate(testModel());
+  EXPECT_TRUE(T.validate());
+  EXPECT_EQ(T.Name, "test");
+}
+
+TEST(TraceGeneratorTest, ExactBlockCount) {
+  TraceGenerator Gen(2);
+  EXPECT_EQ(Gen.generate(testModel(137)).numSuperblocks(), 137u);
+}
+
+TEST(TraceGeneratorTest, DeterministicForSeed) {
+  TraceGenerator A(7), B(7);
+  const Trace TA = A.generate(testModel());
+  const Trace TB = B.generate(testModel());
+  EXPECT_EQ(TA.Accesses, TB.Accesses);
+  ASSERT_EQ(TA.Blocks.size(), TB.Blocks.size());
+  for (size_t I = 0; I < TA.Blocks.size(); ++I) {
+    EXPECT_EQ(TA.Blocks[I].SizeBytes, TB.Blocks[I].SizeBytes);
+    EXPECT_EQ(TA.Blocks[I].OutEdges, TB.Blocks[I].OutEdges);
+  }
+}
+
+TEST(TraceGeneratorTest, DifferentSeedsDiffer) {
+  TraceGenerator A(7), B(8);
+  EXPECT_NE(A.generate(testModel()).Accesses,
+            B.generate(testModel()).Accesses);
+}
+
+TEST(TraceGeneratorTest, MedianSizeNearModel) {
+  WorkloadModel M = testModel(2000);
+  TraceGenerator Gen(11);
+  const Trace T = Gen.generate(M);
+  const double Median = median(T.sizesAsDoubles());
+  EXPECT_NEAR(Median / M.MedianBlockBytes, 1.0, 0.15);
+}
+
+TEST(TraceGeneratorTest, MeanSizeNearModel) {
+  WorkloadModel M = testModel(4000);
+  M.MaxBlockBytes = 1 << 20; // Avoid clamping bias for this check.
+  TraceGenerator Gen(13);
+  const Trace T = Gen.generate(M);
+  const double Mean = mean(T.sizesAsDoubles());
+  EXPECT_NEAR(Mean / M.MeanBlockBytes, 1.0, 0.15);
+}
+
+TEST(TraceGeneratorTest, SizesWithinClampBounds) {
+  WorkloadModel M = testModel(1000);
+  TraceGenerator Gen(17);
+  const Trace T = Gen.generate(M);
+  for (const SuperblockDef &B : T.Blocks) {
+    EXPECT_GE(B.SizeBytes, M.MinBlockBytes);
+    EXPECT_LE(B.SizeBytes, M.MaxBlockBytes);
+  }
+}
+
+TEST(TraceGeneratorTest, MeanOutDegreeNearModel) {
+  WorkloadModel M = testModel(3000);
+  TraceGenerator Gen(19);
+  const Trace T = Gen.generate(M);
+  EXPECT_NEAR(T.meanOutDegree(), M.MeanOutDegree, 0.25);
+}
+
+TEST(TraceGeneratorTest, SelfLoopFractionNearModel) {
+  WorkloadModel M = testModel(3000);
+  TraceGenerator Gen(23);
+  const Trace T = Gen.generate(M);
+  size_t SelfLoops = 0;
+  for (SuperblockId Id = 0; Id < T.Blocks.size(); ++Id)
+    for (SuperblockId Edge : T.Blocks[Id].OutEdges)
+      if (Edge == Id)
+        ++SelfLoops;
+  const double Fraction =
+      static_cast<double>(SelfLoops) / static_cast<double>(T.Blocks.size());
+  EXPECT_NEAR(Fraction, M.SelfLoopFraction, 0.05);
+}
+
+TEST(TraceGeneratorTest, DiscoveryOrderMatchesIds) {
+  // Ids are assigned in discovery order: the first access to id K must
+  // happen before the first access to any id > K.
+  TraceGenerator Gen(29);
+  const Trace T = Gen.generate(testModel(500));
+  SuperblockId MaxSeen = 0;
+  std::vector<bool> Seen(T.Blocks.size(), false);
+  for (SuperblockId Id : T.Accesses) {
+    if (!Seen[Id]) {
+      EXPECT_GE(Id + 1, MaxSeen + 1 > 1 ? MaxSeen : 0);
+      // A newly discovered id must be exactly MaxSeen (the next in
+      // order) or 0 for the very first.
+      if (Id > MaxSeen) {
+        EXPECT_EQ(Id, MaxSeen + 1);
+      }
+      Seen[Id] = true;
+      MaxSeen = std::max(MaxSeen, Id);
+    }
+  }
+}
+
+TEST(TraceGeneratorTest, AccessCountNearBudget) {
+  WorkloadModel M = testModel(400);
+  TraceGenerator Gen(31);
+  const Trace T = Gen.generate(M);
+  const double Budget = static_cast<double>(M.effectiveNumAccesses());
+  EXPECT_GT(static_cast<double>(T.numAccesses()), 0.9 * Budget);
+  EXPECT_LT(static_cast<double>(T.numAccesses()), 1.3 * Budget);
+}
+
+TEST(TraceGeneratorTest, AllTable1ModelsGenerateValidScaledTraces) {
+  for (const WorkloadModel &M : table1Workloads()) {
+    const WorkloadModel Scaled = scaledWorkload(M, 0.05);
+    const Trace T = TraceGenerator::generateBenchmark(Scaled, 42);
+    EXPECT_TRUE(T.validate()) << M.Name;
+    EXPECT_EQ(T.numSuperblocks(), Scaled.NumSuperblocks) << M.Name;
+  }
+}
+
+TEST(TraceGeneratorTest, BenchmarkSeedStableAcrossOrder) {
+  const WorkloadModel A = scaledWorkload(*findWorkload("gzip"), 0.2);
+  const WorkloadModel B = scaledWorkload(*findWorkload("mcf"), 0.2);
+  const Trace T1 = TraceGenerator::generateBenchmark(A, 5);
+  (void)TraceGenerator::generateBenchmark(B, 5);
+  const Trace T2 = TraceGenerator::generateBenchmark(A, 5);
+  EXPECT_EQ(T1.Accesses, T2.Accesses);
+}
+
+TEST(TraceGeneratorTest, FullSizeGzipMatchesPaperMaxCache) {
+  // The full-size gzip model must land near the paper's 171 KB maxCache.
+  const Trace T =
+      TraceGenerator::generateBenchmark(*findWorkload("gzip"), 42);
+  EXPECT_EQ(T.numSuperblocks(), 301u);
+  EXPECT_NEAR(static_cast<double>(T.maxCacheBytes()) / (171.0 * 1024.0),
+              1.0, 0.25);
+}

@@ -1,0 +1,102 @@
+//===- tests/trace/TraceIOTest.cpp - Trace serialization tests ------------===//
+
+#include "trace/TraceIO.h"
+
+#include "trace/TraceGenerator.h"
+#include "trace/WorkloadModel.h"
+#include "gtest/gtest.h"
+
+#include <cstdio>
+
+using namespace ccsim;
+
+namespace {
+
+Trace sampleTrace() {
+  Trace T;
+  T.Name = "roundtrip";
+  T.Blocks.resize(4);
+  for (size_t I = 0; I < 4; ++I)
+    T.Blocks[I].SizeBytes = static_cast<uint32_t>(40 + I * 13);
+  T.Blocks[0].OutEdges = {1, 2};
+  T.Blocks[3].OutEdges = {3};
+  T.Accesses = {0, 1, 2, 3, 0, 3, 3};
+  return T;
+}
+
+bool tracesEqual(const Trace &A, const Trace &B) {
+  if (A.Name != B.Name || A.Accesses != B.Accesses ||
+      A.Blocks.size() != B.Blocks.size())
+    return false;
+  for (size_t I = 0; I < A.Blocks.size(); ++I)
+    if (A.Blocks[I].SizeBytes != B.Blocks[I].SizeBytes ||
+        A.Blocks[I].OutEdges != B.Blocks[I].OutEdges)
+      return false;
+  return true;
+}
+
+} // namespace
+
+TEST(TraceIOTest, MemoryRoundTrip) {
+  const Trace T = sampleTrace();
+  auto Restored = deserializeTrace(serializeTrace(T));
+  ASSERT_TRUE(Restored.has_value());
+  EXPECT_TRUE(tracesEqual(T, *Restored));
+}
+
+TEST(TraceIOTest, FileRoundTrip) {
+  const std::string Path = ::testing::TempDir() + "/ccsim_trace_test.cct";
+  const Trace T = sampleTrace();
+  ASSERT_TRUE(writeTrace(T, Path));
+  auto Restored = readTrace(Path);
+  ASSERT_TRUE(Restored.has_value());
+  EXPECT_TRUE(tracesEqual(T, *Restored));
+  std::remove(Path.c_str());
+}
+
+TEST(TraceIOTest, MissingFileFails) {
+  EXPECT_FALSE(readTrace("/definitely/not/here.cct").has_value());
+}
+
+TEST(TraceIOTest, BadMagicRejected) {
+  auto Bytes = serializeTrace(sampleTrace());
+  Bytes[0] ^= 0xff;
+  EXPECT_FALSE(deserializeTrace(Bytes).has_value());
+}
+
+TEST(TraceIOTest, BadVersionRejected) {
+  auto Bytes = serializeTrace(sampleTrace());
+  Bytes[4] = 99; // Version field.
+  EXPECT_FALSE(deserializeTrace(Bytes).has_value());
+}
+
+TEST(TraceIOTest, TruncationRejected) {
+  auto Bytes = serializeTrace(sampleTrace());
+  for (size_t Cut : {Bytes.size() / 4, Bytes.size() / 2, Bytes.size() - 1}) {
+    std::vector<uint8_t> Short(Bytes.begin(), Bytes.begin() + Cut);
+    EXPECT_FALSE(deserializeTrace(Short).has_value()) << "cut " << Cut;
+  }
+}
+
+TEST(TraceIOTest, InvalidPayloadRejected) {
+  Trace T = sampleTrace();
+  T.Blocks[0].OutEdges = {200}; // Out-of-range edge.
+  EXPECT_FALSE(deserializeTrace(serializeTrace(T)).has_value());
+}
+
+TEST(TraceIOTest, EmptyTraceRoundTrips) {
+  Trace T;
+  T.Name = "empty";
+  auto Restored = deserializeTrace(serializeTrace(T));
+  ASSERT_TRUE(Restored.has_value());
+  EXPECT_EQ(Restored->Name, "empty");
+  EXPECT_TRUE(Restored->Blocks.empty());
+}
+
+TEST(TraceIOTest, GeneratedBenchmarkRoundTrips) {
+  const WorkloadModel Model = scaledWorkload(*findWorkload("gzip"), 0.2);
+  const Trace T = TraceGenerator::generateBenchmark(Model, 99);
+  auto Restored = deserializeTrace(serializeTrace(T));
+  ASSERT_TRUE(Restored.has_value());
+  EXPECT_TRUE(tracesEqual(T, *Restored));
+}

@@ -1,0 +1,82 @@
+//===- tests/trace/TraceTest.cpp - Trace structure tests -------------------===//
+
+#include "trace/Trace.h"
+
+#include "gtest/gtest.h"
+
+using namespace ccsim;
+
+namespace {
+
+Trace smallTrace() {
+  Trace T;
+  T.Name = "unit";
+  T.Blocks.resize(3);
+  T.Blocks[0].SizeBytes = 100;
+  T.Blocks[0].OutEdges = {1};
+  T.Blocks[1].SizeBytes = 200;
+  T.Blocks[1].OutEdges = {0, 2};
+  T.Blocks[2].SizeBytes = 50;
+  T.Accesses = {0, 1, 2, 1, 0};
+  return T;
+}
+
+} // namespace
+
+TEST(TraceTest, MaxCacheBytesIsSumOfSizes) {
+  EXPECT_EQ(smallTrace().maxCacheBytes(), 350u);
+}
+
+TEST(TraceTest, RecordForAliasesBlock) {
+  const Trace T = smallTrace();
+  const SuperblockRecord R = T.recordFor(1);
+  EXPECT_EQ(R.Id, 1u);
+  EXPECT_EQ(R.SizeBytes, 200u);
+  ASSERT_EQ(R.OutEdges.size(), 2u);
+  EXPECT_EQ(R.OutEdges[0], 0u);
+  EXPECT_EQ(R.OutEdges[1], 2u);
+}
+
+TEST(TraceTest, ValidTraceValidates) { EXPECT_TRUE(smallTrace().validate()); }
+
+TEST(TraceTest, EdgeOutOfRangeInvalid) {
+  Trace T = smallTrace();
+  T.Blocks[0].OutEdges.push_back(99);
+  EXPECT_FALSE(T.validate());
+}
+
+TEST(TraceTest, AccessOutOfRangeInvalid) {
+  Trace T = smallTrace();
+  T.Accesses.push_back(3);
+  EXPECT_FALSE(T.validate());
+}
+
+TEST(TraceTest, UntouchedBlockInvalid) {
+  Trace T = smallTrace();
+  T.Accesses = {0, 1}; // Block 2 never executes.
+  EXPECT_FALSE(T.validate());
+}
+
+TEST(TraceTest, ZeroSizeBlockInvalid) {
+  Trace T = smallTrace();
+  T.Blocks[1].SizeBytes = 0;
+  EXPECT_FALSE(T.validate());
+}
+
+TEST(TraceTest, EmptyTraceIsValid) {
+  Trace T;
+  EXPECT_TRUE(T.validate());
+  EXPECT_EQ(T.maxCacheBytes(), 0u);
+  EXPECT_DOUBLE_EQ(T.meanOutDegree(), 0.0);
+}
+
+TEST(TraceTest, MeanOutDegree) {
+  EXPECT_DOUBLE_EQ(smallTrace().meanOutDegree(), 1.0); // (1+2+0)/3.
+}
+
+TEST(TraceTest, SizesAsDoubles) {
+  const auto Sizes = smallTrace().sizesAsDoubles();
+  ASSERT_EQ(Sizes.size(), 3u);
+  EXPECT_DOUBLE_EQ(Sizes[0], 100.0);
+  EXPECT_DOUBLE_EQ(Sizes[2], 50.0);
+}

@@ -1,0 +1,139 @@
+//===- tests/trace/WorkloadModelTest.cpp - Table 1 model tests ------------===//
+
+#include "trace/WorkloadModel.h"
+
+#include "gtest/gtest.h"
+
+using namespace ccsim;
+
+TEST(WorkloadModelTest, TwentyBenchmarks) {
+  EXPECT_EQ(table1Workloads().size(), 20u);
+}
+
+TEST(WorkloadModelTest, SuiteSplitIsTwelvePlusEight) {
+  size_t Spec = 0, Windows = 0;
+  for (const WorkloadModel &M : table1Workloads())
+    (M.Suite == SuiteKind::SpecInt2000 ? Spec : Windows) += 1;
+  EXPECT_EQ(Spec, 12u);
+  EXPECT_EQ(Windows, 8u);
+}
+
+TEST(WorkloadModelTest, Table1SuperblockCountsExact) {
+  // Table 1 of the paper, verbatim.
+  const std::pair<const char *, uint32_t> Expected[] = {
+      {"gzip", 301},      {"vpr", 449},        {"gcc", 8751},
+      {"mcf", 158},       {"crafty", 1488},    {"parser", 2418},
+      {"eon", 448},       {"perlbmk", 2144},   {"gap", 667},
+      {"vortex", 1985},   {"bzip2", 224},      {"twolf", 574},
+      {"iexplore", 14846}, {"outlook", 13233}, {"photoshop", 9434},
+      {"pinball", 1086},  {"powerpoint", 14475}, {"visualstudio", 7063},
+      {"winzip", 3198},   {"word", 18043},
+  };
+  for (const auto &[Name, Count] : Expected) {
+    const WorkloadModel *M = findWorkload(Name);
+    ASSERT_NE(M, nullptr) << Name;
+    EXPECT_EQ(M->NumSuperblocks, Count) << Name;
+  }
+}
+
+TEST(WorkloadModelTest, Table1DescriptionsPresent) {
+  EXPECT_EQ(findWorkload("gzip")->Description, "Compression");
+  EXPECT_EQ(findWorkload("mcf")->Description, "Combinatorial Optimization");
+  EXPECT_EQ(findWorkload("word")->Description, "Word Processor");
+}
+
+TEST(WorkloadModelTest, FindUnknownReturnsNull) {
+  EXPECT_EQ(findWorkload("doom"), nullptr);
+}
+
+TEST(WorkloadModelTest, MaxCacheCalibrationGzip) {
+  // Section 4.2: maxCache for gzip is 171 KB.
+  const WorkloadModel *M = findWorkload("gzip");
+  const double MaxCache = M->NumSuperblocks * M->MeanBlockBytes;
+  EXPECT_NEAR(MaxCache / (171.0 * 1024.0), 1.0, 0.05);
+}
+
+TEST(WorkloadModelTest, MaxCacheCalibrationWord) {
+  // Section 4.2: maxCache for word is 34.2 MB.
+  const WorkloadModel *M = findWorkload("word");
+  const double MaxCache = M->NumSuperblocks * M->MeanBlockBytes;
+  EXPECT_NEAR(MaxCache / (34.2 * 1024.0 * 1024.0), 1.0, 0.05);
+}
+
+TEST(WorkloadModelTest, MaxCacheOrderingSpansPaperRange) {
+  // gzip has the smallest maxCache and word the largest... among the
+  // suite per the paper's Section 4.2 quote ("ranges from 171 KB for the
+  // smallest benchmark -- gzip -- to 34.2 MB for the largest -- word").
+  double Smallest = 1e18, Largest = 0;
+  std::string SmallestName, LargestName;
+  for (const WorkloadModel &M : table1Workloads()) {
+    const double MaxCache = M.NumSuperblocks * M.MeanBlockBytes;
+    if (MaxCache < Smallest) {
+      // mcf/bzip2 are smaller in superblock count but gzip is the named
+      // smallest in the paper; just check word is the largest and gzip
+      // is within the small tail.
+      Smallest = MaxCache;
+      SmallestName = M.Name;
+    }
+    if (MaxCache > Largest) {
+      Largest = MaxCache;
+      LargestName = M.Name;
+    }
+  }
+  EXPECT_EQ(LargestName, "word");
+  EXPECT_LT(Smallest, 200.0 * 1024.0);
+}
+
+TEST(WorkloadModelTest, MedianSizesInFigure4Range) {
+  for (const WorkloadModel &M : table1Workloads()) {
+    if (M.Suite == SuiteKind::SpecInt2000) {
+      EXPECT_GE(M.MedianBlockBytes, 180.0) << M.Name;
+      EXPECT_LE(M.MedianBlockBytes, 260.0) << M.Name;
+    } else {
+      EXPECT_GE(M.MedianBlockBytes, 250.0) << M.Name;
+      EXPECT_LE(M.MedianBlockBytes, 340.0) << M.Name;
+    }
+  }
+}
+
+TEST(WorkloadModelTest, MeanOutDegreeAveragesNearPaper) {
+  // Figure 12: "an average of 1.7 links originating from each superblock".
+  double Sum = 0;
+  for (const WorkloadModel &M : table1Workloads())
+    Sum += M.MeanOutDegree;
+  EXPECT_NEAR(Sum / table1Workloads().size(), 1.7, 0.1);
+}
+
+TEST(WorkloadModelTest, EffectiveAccessesClamped) {
+  WorkloadModel M;
+  M.NumSuperblocks = 10; // 2200 proportional -> floor 40000.
+  EXPECT_EQ(M.effectiveNumAccesses(), 40000u);
+  M.NumSuperblocks = 100000; // 22M proportional -> cap 2.2M.
+  EXPECT_EQ(M.effectiveNumAccesses(), 2200000u);
+  M.NumAccesses = 777;
+  EXPECT_EQ(M.effectiveNumAccesses(), 777u);
+}
+
+TEST(WorkloadModelTest, ScaledWorkloadShrinks) {
+  const WorkloadModel Scaled = scaledWorkload(*findWorkload("word"), 0.1);
+  EXPECT_EQ(Scaled.NumSuperblocks, 1804u);
+  EXPECT_EQ(Scaled.Name, "word-scaled");
+  EXPECT_EQ(Scaled.NumAccesses, 0u);
+}
+
+TEST(WorkloadModelTest, ScaledWorkloadHasFloor) {
+  const WorkloadModel Scaled = scaledWorkload(*findWorkload("mcf"), 0.01);
+  EXPECT_EQ(Scaled.NumSuperblocks, 32u);
+}
+
+TEST(WorkloadModelTest, HotCoreParametersSane) {
+  for (const WorkloadModel &M : table1Workloads()) {
+    EXPECT_GT(M.HotCoreFraction, 0.0) << M.Name;
+    EXPECT_LT(M.HotCoreFraction, 1.0) << M.Name;
+    EXPECT_GT(M.TailProb, 0.0) << M.Name;
+    EXPECT_LE(M.HotCoreProb, 1.0) << M.Name;
+    EXPECT_GE(M.MeanInnerRepeats, 1.0) << M.Name;
+    EXPECT_GT(M.WorkingSetFraction, 0.0) << M.Name;
+    EXPECT_LE(M.WorkingSetFraction, 1.0) << M.Name;
+  }
+}
