@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_lru_fragmentation.dir/ablation_lru_fragmentation.cpp.o"
+  "CMakeFiles/ablation_lru_fragmentation.dir/ablation_lru_fragmentation.cpp.o.d"
+  "ablation_lru_fragmentation"
+  "ablation_lru_fragmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lru_fragmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

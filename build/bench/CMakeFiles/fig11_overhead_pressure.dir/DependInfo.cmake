@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig11_overhead_pressure.cpp" "bench/CMakeFiles/fig11_overhead_pressure.dir/fig11_overhead_pressure.cpp.o" "gcc" "bench/CMakeFiles/fig11_overhead_pressure.dir/fig11_overhead_pressure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/ccsim_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ccsim_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ccsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ccsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ccsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ccsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

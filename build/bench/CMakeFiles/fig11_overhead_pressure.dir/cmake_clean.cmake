@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_overhead_pressure.dir/fig11_overhead_pressure.cpp.o"
+  "CMakeFiles/fig11_overhead_pressure.dir/fig11_overhead_pressure.cpp.o.d"
+  "fig11_overhead_pressure"
+  "fig11_overhead_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_overhead_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_outbound_links.dir/fig12_outbound_links.cpp.o"
+  "CMakeFiles/fig12_outbound_links.dir/fig12_outbound_links.cpp.o.d"
+  "fig12_outbound_links"
+  "fig12_outbound_links.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_outbound_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

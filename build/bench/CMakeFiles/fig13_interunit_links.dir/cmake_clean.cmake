@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_interunit_links.dir/fig13_interunit_links.cpp.o"
+  "CMakeFiles/fig13_interunit_links.dir/fig13_interunit_links.cpp.o.d"
+  "fig13_interunit_links"
+  "fig13_interunit_links.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_interunit_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

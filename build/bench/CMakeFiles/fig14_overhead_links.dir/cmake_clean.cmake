@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_overhead_links.dir/fig14_overhead_links.cpp.o"
+  "CMakeFiles/fig14_overhead_links.dir/fig14_overhead_links.cpp.o.d"
+  "fig14_overhead_links"
+  "fig14_overhead_links.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_overhead_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

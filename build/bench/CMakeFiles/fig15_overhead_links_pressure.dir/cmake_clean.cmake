@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_overhead_links_pressure.dir/fig15_overhead_links_pressure.cpp.o"
+  "CMakeFiles/fig15_overhead_links_pressure.dir/fig15_overhead_links_pressure.cpp.o.d"
+  "fig15_overhead_links_pressure"
+  "fig15_overhead_links_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_overhead_links_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_median_sizes.dir/fig4_median_sizes.cpp.o"
+  "CMakeFiles/fig4_median_sizes.dir/fig4_median_sizes.cpp.o.d"
+  "fig4_median_sizes"
+  "fig4_median_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_median_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_miss_pressure.dir/fig7_miss_pressure.cpp.o"
+  "CMakeFiles/fig7_miss_pressure.dir/fig7_miss_pressure.cpp.o.d"
+  "fig7_miss_pressure"
+  "fig7_miss_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_miss_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

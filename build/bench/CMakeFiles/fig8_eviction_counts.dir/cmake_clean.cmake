@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_eviction_counts.dir/fig8_eviction_counts.cpp.o"
+  "CMakeFiles/fig8_eviction_counts.dir/fig8_eviction_counts.cpp.o.d"
+  "fig8_eviction_counts"
+  "fig8_eviction_counts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_eviction_counts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_eviction_regression.dir/fig9_eviction_regression.cpp.o"
+  "CMakeFiles/fig9_eviction_regression.dir/fig9_eviction_regression.cpp.o.d"
+  "fig9_eviction_regression"
+  "fig9_eviction_regression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_eviction_regression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec53_execution_time.dir/sec53_execution_time.cpp.o"
+  "CMakeFiles/sec53_execution_time.dir/sec53_execution_time.cpp.o.d"
+  "sec53_execution_time"
+  "sec53_execution_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec53_execution_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sensitivity_hotness.dir/sensitivity_hotness.cpp.o"
+  "CMakeFiles/sensitivity_hotness.dir/sensitivity_hotness.cpp.o.d"
+  "sensitivity_hotness"
+  "sensitivity_hotness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sensitivity_hotness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_chaining.dir/table2_chaining.cpp.o"
+  "CMakeFiles/table2_chaining.dir/table2_chaining.cpp.o.d"
+  "table2_chaining"
+  "table2_chaining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_chaining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsim_cli.dir/ccsim_cli.cpp.o"
+  "CMakeFiles/ccsim_cli.dir/ccsim_cli.cpp.o.d"
+  "ccsim_cli"
+  "ccsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbt_demo.dir/dbt_demo.cpp.o"
+  "CMakeFiles/dbt_demo.dir/dbt_demo.cpp.o.d"
+  "dbt_demo"
+  "dbt_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbt_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

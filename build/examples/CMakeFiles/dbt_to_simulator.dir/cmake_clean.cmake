@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dbt_to_simulator.dir/dbt_to_simulator.cpp.o"
+  "CMakeFiles/dbt_to_simulator.dir/dbt_to_simulator.cpp.o.d"
+  "dbt_to_simulator"
+  "dbt_to_simulator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dbt_to_simulator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for dbt_to_simulator.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsim_analysis.dir/Aggregate.cpp.o"
+  "CMakeFiles/ccsim_analysis.dir/Aggregate.cpp.o.d"
+  "CMakeFiles/ccsim_analysis.dir/OverheadFit.cpp.o"
+  "CMakeFiles/ccsim_analysis.dir/OverheadFit.cpp.o.d"
+  "libccsim_analysis.a"
+  "libccsim_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsim_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

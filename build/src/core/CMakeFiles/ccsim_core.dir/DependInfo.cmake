@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/CacheManager.cpp" "src/core/CMakeFiles/ccsim_core.dir/CacheManager.cpp.o" "gcc" "src/core/CMakeFiles/ccsim_core.dir/CacheManager.cpp.o.d"
+  "/root/repo/src/core/CacheStats.cpp" "src/core/CMakeFiles/ccsim_core.dir/CacheStats.cpp.o" "gcc" "src/core/CMakeFiles/ccsim_core.dir/CacheStats.cpp.o.d"
+  "/root/repo/src/core/CodeCache.cpp" "src/core/CMakeFiles/ccsim_core.dir/CodeCache.cpp.o" "gcc" "src/core/CMakeFiles/ccsim_core.dir/CodeCache.cpp.o.d"
+  "/root/repo/src/core/EvictionPolicy.cpp" "src/core/CMakeFiles/ccsim_core.dir/EvictionPolicy.cpp.o" "gcc" "src/core/CMakeFiles/ccsim_core.dir/EvictionPolicy.cpp.o.d"
+  "/root/repo/src/core/FreeListCache.cpp" "src/core/CMakeFiles/ccsim_core.dir/FreeListCache.cpp.o" "gcc" "src/core/CMakeFiles/ccsim_core.dir/FreeListCache.cpp.o.d"
+  "/root/repo/src/core/GenerationalCache.cpp" "src/core/CMakeFiles/ccsim_core.dir/GenerationalCache.cpp.o" "gcc" "src/core/CMakeFiles/ccsim_core.dir/GenerationalCache.cpp.o.d"
+  "/root/repo/src/core/LinkGraph.cpp" "src/core/CMakeFiles/ccsim_core.dir/LinkGraph.cpp.o" "gcc" "src/core/CMakeFiles/ccsim_core.dir/LinkGraph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ccsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

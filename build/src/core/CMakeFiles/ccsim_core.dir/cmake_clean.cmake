@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsim_core.dir/CacheManager.cpp.o"
+  "CMakeFiles/ccsim_core.dir/CacheManager.cpp.o.d"
+  "CMakeFiles/ccsim_core.dir/CacheStats.cpp.o"
+  "CMakeFiles/ccsim_core.dir/CacheStats.cpp.o.d"
+  "CMakeFiles/ccsim_core.dir/CodeCache.cpp.o"
+  "CMakeFiles/ccsim_core.dir/CodeCache.cpp.o.d"
+  "CMakeFiles/ccsim_core.dir/EvictionPolicy.cpp.o"
+  "CMakeFiles/ccsim_core.dir/EvictionPolicy.cpp.o.d"
+  "CMakeFiles/ccsim_core.dir/FreeListCache.cpp.o"
+  "CMakeFiles/ccsim_core.dir/FreeListCache.cpp.o.d"
+  "CMakeFiles/ccsim_core.dir/GenerationalCache.cpp.o"
+  "CMakeFiles/ccsim_core.dir/GenerationalCache.cpp.o.d"
+  "CMakeFiles/ccsim_core.dir/LinkGraph.cpp.o"
+  "CMakeFiles/ccsim_core.dir/LinkGraph.cpp.o.d"
+  "libccsim_core.a"
+  "libccsim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

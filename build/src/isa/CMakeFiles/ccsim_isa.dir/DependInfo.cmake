@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/Isa.cpp" "src/isa/CMakeFiles/ccsim_isa.dir/Isa.cpp.o" "gcc" "src/isa/CMakeFiles/ccsim_isa.dir/Isa.cpp.o.d"
+  "/root/repo/src/isa/Program.cpp" "src/isa/CMakeFiles/ccsim_isa.dir/Program.cpp.o" "gcc" "src/isa/CMakeFiles/ccsim_isa.dir/Program.cpp.o.d"
+  "/root/repo/src/isa/ProgramGenerator.cpp" "src/isa/CMakeFiles/ccsim_isa.dir/ProgramGenerator.cpp.o" "gcc" "src/isa/CMakeFiles/ccsim_isa.dir/ProgramGenerator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ccsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsim_isa.dir/Isa.cpp.o"
+  "CMakeFiles/ccsim_isa.dir/Isa.cpp.o.d"
+  "CMakeFiles/ccsim_isa.dir/Program.cpp.o"
+  "CMakeFiles/ccsim_isa.dir/Program.cpp.o.d"
+  "CMakeFiles/ccsim_isa.dir/ProgramGenerator.cpp.o"
+  "CMakeFiles/ccsim_isa.dir/ProgramGenerator.cpp.o.d"
+  "libccsim_isa.a"
+  "libccsim_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsim_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

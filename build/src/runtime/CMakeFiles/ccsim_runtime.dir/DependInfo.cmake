@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/DispatchTable.cpp" "src/runtime/CMakeFiles/ccsim_runtime.dir/DispatchTable.cpp.o" "gcc" "src/runtime/CMakeFiles/ccsim_runtime.dir/DispatchTable.cpp.o.d"
+  "/root/repo/src/runtime/GuestState.cpp" "src/runtime/CMakeFiles/ccsim_runtime.dir/GuestState.cpp.o" "gcc" "src/runtime/CMakeFiles/ccsim_runtime.dir/GuestState.cpp.o.d"
+  "/root/repo/src/runtime/Interpreter.cpp" "src/runtime/CMakeFiles/ccsim_runtime.dir/Interpreter.cpp.o" "gcc" "src/runtime/CMakeFiles/ccsim_runtime.dir/Interpreter.cpp.o.d"
+  "/root/repo/src/runtime/SystemProfiles.cpp" "src/runtime/CMakeFiles/ccsim_runtime.dir/SystemProfiles.cpp.o" "gcc" "src/runtime/CMakeFiles/ccsim_runtime.dir/SystemProfiles.cpp.o.d"
+  "/root/repo/src/runtime/Translator.cpp" "src/runtime/CMakeFiles/ccsim_runtime.dir/Translator.cpp.o" "gcc" "src/runtime/CMakeFiles/ccsim_runtime.dir/Translator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/ccsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ccsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ccsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ccsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

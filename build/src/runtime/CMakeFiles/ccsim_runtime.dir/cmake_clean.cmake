@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsim_runtime.dir/DispatchTable.cpp.o"
+  "CMakeFiles/ccsim_runtime.dir/DispatchTable.cpp.o.d"
+  "CMakeFiles/ccsim_runtime.dir/GuestState.cpp.o"
+  "CMakeFiles/ccsim_runtime.dir/GuestState.cpp.o.d"
+  "CMakeFiles/ccsim_runtime.dir/Interpreter.cpp.o"
+  "CMakeFiles/ccsim_runtime.dir/Interpreter.cpp.o.d"
+  "CMakeFiles/ccsim_runtime.dir/SystemProfiles.cpp.o"
+  "CMakeFiles/ccsim_runtime.dir/SystemProfiles.cpp.o.d"
+  "CMakeFiles/ccsim_runtime.dir/Translator.cpp.o"
+  "CMakeFiles/ccsim_runtime.dir/Translator.cpp.o.d"
+  "libccsim_runtime.a"
+  "libccsim_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsim_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

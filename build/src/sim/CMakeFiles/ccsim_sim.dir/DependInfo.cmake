@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/Simulator.cpp" "src/sim/CMakeFiles/ccsim_sim.dir/Simulator.cpp.o" "gcc" "src/sim/CMakeFiles/ccsim_sim.dir/Simulator.cpp.o.d"
+  "/root/repo/src/sim/Sweep.cpp" "src/sim/CMakeFiles/ccsim_sim.dir/Sweep.cpp.o" "gcc" "src/sim/CMakeFiles/ccsim_sim.dir/Sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/ccsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ccsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ccsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

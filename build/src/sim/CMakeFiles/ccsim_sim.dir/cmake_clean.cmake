@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsim_sim.dir/Simulator.cpp.o"
+  "CMakeFiles/ccsim_sim.dir/Simulator.cpp.o.d"
+  "CMakeFiles/ccsim_sim.dir/Sweep.cpp.o"
+  "CMakeFiles/ccsim_sim.dir/Sweep.cpp.o.d"
+  "libccsim_sim.a"
+  "libccsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/support/AsciiChart.cpp" "src/support/CMakeFiles/ccsim_support.dir/AsciiChart.cpp.o" "gcc" "src/support/CMakeFiles/ccsim_support.dir/AsciiChart.cpp.o.d"
+  "/root/repo/src/support/BinaryIO.cpp" "src/support/CMakeFiles/ccsim_support.dir/BinaryIO.cpp.o" "gcc" "src/support/CMakeFiles/ccsim_support.dir/BinaryIO.cpp.o.d"
+  "/root/repo/src/support/Csv.cpp" "src/support/CMakeFiles/ccsim_support.dir/Csv.cpp.o" "gcc" "src/support/CMakeFiles/ccsim_support.dir/Csv.cpp.o.d"
+  "/root/repo/src/support/Flags.cpp" "src/support/CMakeFiles/ccsim_support.dir/Flags.cpp.o" "gcc" "src/support/CMakeFiles/ccsim_support.dir/Flags.cpp.o.d"
+  "/root/repo/src/support/Histogram.cpp" "src/support/CMakeFiles/ccsim_support.dir/Histogram.cpp.o" "gcc" "src/support/CMakeFiles/ccsim_support.dir/Histogram.cpp.o.d"
+  "/root/repo/src/support/Random.cpp" "src/support/CMakeFiles/ccsim_support.dir/Random.cpp.o" "gcc" "src/support/CMakeFiles/ccsim_support.dir/Random.cpp.o.d"
+  "/root/repo/src/support/Regression.cpp" "src/support/CMakeFiles/ccsim_support.dir/Regression.cpp.o" "gcc" "src/support/CMakeFiles/ccsim_support.dir/Regression.cpp.o.d"
+  "/root/repo/src/support/Statistics.cpp" "src/support/CMakeFiles/ccsim_support.dir/Statistics.cpp.o" "gcc" "src/support/CMakeFiles/ccsim_support.dir/Statistics.cpp.o.d"
+  "/root/repo/src/support/StringUtils.cpp" "src/support/CMakeFiles/ccsim_support.dir/StringUtils.cpp.o" "gcc" "src/support/CMakeFiles/ccsim_support.dir/StringUtils.cpp.o.d"
+  "/root/repo/src/support/Table.cpp" "src/support/CMakeFiles/ccsim_support.dir/Table.cpp.o" "gcc" "src/support/CMakeFiles/ccsim_support.dir/Table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

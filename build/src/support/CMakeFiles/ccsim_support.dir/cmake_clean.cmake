@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsim_support.dir/AsciiChart.cpp.o"
+  "CMakeFiles/ccsim_support.dir/AsciiChart.cpp.o.d"
+  "CMakeFiles/ccsim_support.dir/BinaryIO.cpp.o"
+  "CMakeFiles/ccsim_support.dir/BinaryIO.cpp.o.d"
+  "CMakeFiles/ccsim_support.dir/Csv.cpp.o"
+  "CMakeFiles/ccsim_support.dir/Csv.cpp.o.d"
+  "CMakeFiles/ccsim_support.dir/Flags.cpp.o"
+  "CMakeFiles/ccsim_support.dir/Flags.cpp.o.d"
+  "CMakeFiles/ccsim_support.dir/Histogram.cpp.o"
+  "CMakeFiles/ccsim_support.dir/Histogram.cpp.o.d"
+  "CMakeFiles/ccsim_support.dir/Random.cpp.o"
+  "CMakeFiles/ccsim_support.dir/Random.cpp.o.d"
+  "CMakeFiles/ccsim_support.dir/Regression.cpp.o"
+  "CMakeFiles/ccsim_support.dir/Regression.cpp.o.d"
+  "CMakeFiles/ccsim_support.dir/Statistics.cpp.o"
+  "CMakeFiles/ccsim_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/ccsim_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/ccsim_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/ccsim_support.dir/Table.cpp.o"
+  "CMakeFiles/ccsim_support.dir/Table.cpp.o.d"
+  "libccsim_support.a"
+  "libccsim_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsim_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

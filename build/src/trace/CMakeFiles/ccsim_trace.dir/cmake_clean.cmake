@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ccsim_trace.dir/Trace.cpp.o"
+  "CMakeFiles/ccsim_trace.dir/Trace.cpp.o.d"
+  "CMakeFiles/ccsim_trace.dir/TraceGenerator.cpp.o"
+  "CMakeFiles/ccsim_trace.dir/TraceGenerator.cpp.o.d"
+  "CMakeFiles/ccsim_trace.dir/TraceIO.cpp.o"
+  "CMakeFiles/ccsim_trace.dir/TraceIO.cpp.o.d"
+  "CMakeFiles/ccsim_trace.dir/WorkloadModel.cpp.o"
+  "CMakeFiles/ccsim_trace.dir/WorkloadModel.cpp.o.d"
+  "libccsim_trace.a"
+  "libccsim_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ccsim_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

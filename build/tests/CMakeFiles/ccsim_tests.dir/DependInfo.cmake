@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/analysis/AnalysisTest.cpp" "tests/CMakeFiles/ccsim_tests.dir/analysis/AnalysisTest.cpp.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/analysis/AnalysisTest.cpp.o.d"
+  "/root/repo/tests/core/CacheManagerTest.cpp" "tests/CMakeFiles/ccsim_tests.dir/core/CacheManagerTest.cpp.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/core/CacheManagerTest.cpp.o.d"
+  "/root/repo/tests/core/CodeCachePropertyTest.cpp" "tests/CMakeFiles/ccsim_tests.dir/core/CodeCachePropertyTest.cpp.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/core/CodeCachePropertyTest.cpp.o.d"
+  "/root/repo/tests/core/CodeCacheTest.cpp" "tests/CMakeFiles/ccsim_tests.dir/core/CodeCacheTest.cpp.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/core/CodeCacheTest.cpp.o.d"
+  "/root/repo/tests/core/CostModelTest.cpp" "tests/CMakeFiles/ccsim_tests.dir/core/CostModelTest.cpp.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/core/CostModelTest.cpp.o.d"
+  "/root/repo/tests/core/EvictionPolicyTest.cpp" "tests/CMakeFiles/ccsim_tests.dir/core/EvictionPolicyTest.cpp.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/core/EvictionPolicyTest.cpp.o.d"
+  "/root/repo/tests/core/FreeListCacheTest.cpp" "tests/CMakeFiles/ccsim_tests.dir/core/FreeListCacheTest.cpp.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/core/FreeListCacheTest.cpp.o.d"
+  "/root/repo/tests/core/GenerationalCacheTest.cpp" "tests/CMakeFiles/ccsim_tests.dir/core/GenerationalCacheTest.cpp.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/core/GenerationalCacheTest.cpp.o.d"
+  "/root/repo/tests/core/LinkGraphTest.cpp" "tests/CMakeFiles/ccsim_tests.dir/core/LinkGraphTest.cpp.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/core/LinkGraphTest.cpp.o.d"
+  "/root/repo/tests/integration/EndToEndTest.cpp" "tests/CMakeFiles/ccsim_tests.dir/integration/EndToEndTest.cpp.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/integration/EndToEndTest.cpp.o.d"
+  "/root/repo/tests/isa/IsaTest.cpp" "tests/CMakeFiles/ccsim_tests.dir/isa/IsaTest.cpp.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/isa/IsaTest.cpp.o.d"
+  "/root/repo/tests/isa/ProgramBuilderTest.cpp" "tests/CMakeFiles/ccsim_tests.dir/isa/ProgramBuilderTest.cpp.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/isa/ProgramBuilderTest.cpp.o.d"
+  "/root/repo/tests/isa/ProgramGeneratorTest.cpp" "tests/CMakeFiles/ccsim_tests.dir/isa/ProgramGeneratorTest.cpp.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/isa/ProgramGeneratorTest.cpp.o.d"
+  "/root/repo/tests/runtime/DispatchTableTest.cpp" "tests/CMakeFiles/ccsim_tests.dir/runtime/DispatchTableTest.cpp.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/runtime/DispatchTableTest.cpp.o.d"
+  "/root/repo/tests/runtime/FuzzTest.cpp" "tests/CMakeFiles/ccsim_tests.dir/runtime/FuzzTest.cpp.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/runtime/FuzzTest.cpp.o.d"
+  "/root/repo/tests/runtime/GuestStateTest.cpp" "tests/CMakeFiles/ccsim_tests.dir/runtime/GuestStateTest.cpp.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/runtime/GuestStateTest.cpp.o.d"
+  "/root/repo/tests/runtime/InterpreterTest.cpp" "tests/CMakeFiles/ccsim_tests.dir/runtime/InterpreterTest.cpp.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/runtime/InterpreterTest.cpp.o.d"
+  "/root/repo/tests/runtime/SystemProfilesTest.cpp" "tests/CMakeFiles/ccsim_tests.dir/runtime/SystemProfilesTest.cpp.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/runtime/SystemProfilesTest.cpp.o.d"
+  "/root/repo/tests/runtime/TranslatorTest.cpp" "tests/CMakeFiles/ccsim_tests.dir/runtime/TranslatorTest.cpp.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/runtime/TranslatorTest.cpp.o.d"
+  "/root/repo/tests/sim/SimulatorTest.cpp" "tests/CMakeFiles/ccsim_tests.dir/sim/SimulatorTest.cpp.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/sim/SimulatorTest.cpp.o.d"
+  "/root/repo/tests/sim/SweepTest.cpp" "tests/CMakeFiles/ccsim_tests.dir/sim/SweepTest.cpp.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/sim/SweepTest.cpp.o.d"
+  "/root/repo/tests/support/AsciiChartTest.cpp" "tests/CMakeFiles/ccsim_tests.dir/support/AsciiChartTest.cpp.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/support/AsciiChartTest.cpp.o.d"
+  "/root/repo/tests/support/BinaryIOTest.cpp" "tests/CMakeFiles/ccsim_tests.dir/support/BinaryIOTest.cpp.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/support/BinaryIOTest.cpp.o.d"
+  "/root/repo/tests/support/CsvTest.cpp" "tests/CMakeFiles/ccsim_tests.dir/support/CsvTest.cpp.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/support/CsvTest.cpp.o.d"
+  "/root/repo/tests/support/FlagsTest.cpp" "tests/CMakeFiles/ccsim_tests.dir/support/FlagsTest.cpp.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/support/FlagsTest.cpp.o.d"
+  "/root/repo/tests/support/HistogramTest.cpp" "tests/CMakeFiles/ccsim_tests.dir/support/HistogramTest.cpp.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/support/HistogramTest.cpp.o.d"
+  "/root/repo/tests/support/RandomTest.cpp" "tests/CMakeFiles/ccsim_tests.dir/support/RandomTest.cpp.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/support/RandomTest.cpp.o.d"
+  "/root/repo/tests/support/RegressionTest.cpp" "tests/CMakeFiles/ccsim_tests.dir/support/RegressionTest.cpp.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/support/RegressionTest.cpp.o.d"
+  "/root/repo/tests/support/StatisticsTest.cpp" "tests/CMakeFiles/ccsim_tests.dir/support/StatisticsTest.cpp.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/support/StatisticsTest.cpp.o.d"
+  "/root/repo/tests/support/StringUtilsTest.cpp" "tests/CMakeFiles/ccsim_tests.dir/support/StringUtilsTest.cpp.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/support/StringUtilsTest.cpp.o.d"
+  "/root/repo/tests/support/TableTest.cpp" "tests/CMakeFiles/ccsim_tests.dir/support/TableTest.cpp.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/support/TableTest.cpp.o.d"
+  "/root/repo/tests/trace/TraceGeneratorTest.cpp" "tests/CMakeFiles/ccsim_tests.dir/trace/TraceGeneratorTest.cpp.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/trace/TraceGeneratorTest.cpp.o.d"
+  "/root/repo/tests/trace/TraceIOTest.cpp" "tests/CMakeFiles/ccsim_tests.dir/trace/TraceIOTest.cpp.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/trace/TraceIOTest.cpp.o.d"
+  "/root/repo/tests/trace/TraceTest.cpp" "tests/CMakeFiles/ccsim_tests.dir/trace/TraceTest.cpp.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/trace/TraceTest.cpp.o.d"
+  "/root/repo/tests/trace/WorkloadModelTest.cpp" "tests/CMakeFiles/ccsim_tests.dir/trace/WorkloadModelTest.cpp.o" "gcc" "tests/CMakeFiles/ccsim_tests.dir/trace/WorkloadModelTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/analysis/CMakeFiles/ccsim_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/ccsim_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/ccsim_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/ccsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/ccsim_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/ccsim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ccsim_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
