@@ -1,0 +1,182 @@
+//===- bench/multitenant_contention.cpp - Shared vs partitioned caches ----===//
+//
+// Extension experiment (multi-tenant serving): K Table 1 benchmarks run as
+// tenants of ONE code cache, their dispatch streams deterministically
+// interleaved. We compare the paper's eviction granularities under three
+// capacity regimes:
+//
+//   shared           one FIFO over everyone's code: tenants evict each
+//                    other (the cross-tenant matrix quantifies it),
+//   static-partition capacity split by weight, full isolation,
+//   unit-quota       capacity split in whole eviction units, unit-FIFO
+//                    eviction inside each tenant's own quota.
+//
+// Output per (granularity, mode): per-tenant and aggregate miss rates and
+// modeled overheads (Eqs. 2-4), plus blocks lost to other tenants.
+//
+// Run: ./multitenant_contention --tenants=gzip,vpr,crafty,twolf --scale=0.2
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+#include "concurrent/MultiTenantSimulator.h"
+#include "trace/TraceGenerator.h"
+
+#include <cstdio>
+
+using namespace ccsim;
+
+namespace {
+
+std::vector<std::string> splitList(const std::string &Text) {
+  std::vector<std::string> Parts;
+  std::string Cur;
+  for (char C : Text) {
+    if (C == ',') {
+      if (!Cur.empty())
+        Parts.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur.push_back(C);
+    }
+  }
+  if (!Cur.empty())
+    Parts.push_back(Cur);
+  return Parts;
+}
+
+GranularitySpec parseGranularity(const std::string &Text) {
+  if (Text == "flush" || Text == "FLUSH")
+    return GranularitySpec::flush();
+  if (Text == "fine" || Text == "fifo" || Text == "FIFO")
+    return GranularitySpec::fine();
+  const long Units = std::strtol(Text.c_str(), nullptr, 10);
+  if (Units >= 1)
+    return GranularitySpec::units(static_cast<unsigned>(Units));
+  std::fprintf(stderr, "warning: bad granularity '%s', using 8 units\n",
+               Text.c_str());
+  return GranularitySpec::units(8);
+}
+
+void printRun(const MultiTenantResult &R) {
+  std::printf("-- %s / %s (schedule %s, capacity %s)\n", R.PolicyLabel.c_str(),
+              R.ModeLabel.c_str(), R.ScheduleLabel.c_str(),
+              formatBytes(R.TotalCapacityBytes).c_str());
+  Table Out({"Tenant", "Capacity", "Miss rate", "Evictions", "Lost blocks",
+             "Lost to others", "Overhead (instr)"});
+  for (size_t T = 0; T < R.Tenants.size(); ++T) {
+    const TenantResult &TR = R.Tenants[T];
+    Out.beginRow();
+    Out.cell(TR.Name);
+    Out.cell(TR.CapacityBytes ? formatBytes(TR.CapacityBytes)
+                              : std::string("(shared)"));
+    Out.cell(formatPercent(TR.missRate(), 3));
+    Out.cell(TR.EvictionInvocationsTriggered);
+    Out.cell(TR.BlocksEvicted);
+    Out.cell(TR.BlocksLostToOthers);
+    Out.cell(TR.totalOverhead(true), 0);
+  }
+  double TenantOverhead = 0.0;
+  uint64_t LostToOthers = 0;
+  for (const TenantResult &TR : R.Tenants) {
+    TenantOverhead += TR.totalOverhead(true);
+    LostToOthers += TR.BlocksLostToOthers;
+  }
+  Out.beginRow();
+  Out.cell("ALL");
+  Out.cell(formatBytes(R.TotalCapacityBytes));
+  Out.cell(formatPercent(R.aggregateMissRate(), 3));
+  Out.cell(R.Global.EvictionInvocations);
+  Out.cell(R.Global.EvictedBlocks);
+  Out.cell(LostToOthers);
+  Out.cell(TenantOverhead, 0);
+  std::fputs(Out.render().c_str(), stdout);
+
+  if (LostToOthers > 0) {
+    std::printf("cross-tenant evictions (row evicts column, blocks):\n");
+    std::vector<std::string> Header = {"evictor \\ victim"};
+    for (const TenantResult &TR : R.Tenants)
+      Header.push_back(TR.Name);
+    Table Cross(Header);
+    for (size_t E = 0; E < R.Tenants.size(); ++E) {
+      Cross.beginRow();
+      Cross.cell(R.Tenants[E].Name);
+      for (size_t V = 0; V < R.Tenants.size(); ++V)
+        Cross.cell(R.crossEvictions(E, V));
+    }
+    std::fputs(Cross.render().c_str(), stdout);
+  }
+  std::printf("\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  FlagSet Flags("Multi-tenant contention: shared vs partitioned code "
+                "caches across eviction granularities.");
+  Flags.addString("tenants", "gzip,vpr,crafty,twolf",
+                  "Comma-separated Table 1 benchmark names.");
+  Flags.addString("granularities", "flush,8,fine",
+                  "Comma-separated granularities (flush | fine | <units>).");
+  Flags.addString("modes", "shared,static,quota",
+                  "Comma-separated partition modes.");
+  Flags.addString("schedule", "rr", "Interleaving: rr | weighted.");
+  Flags.addDouble("pressure", 2.0,
+                  "Cache pressure (capacity = sum maxCache / pressure).");
+  Flags.addDouble("scale", 0.25, "Workload size multiplier.");
+  Flags.addInt("seed", 42, "Trace generation seed.");
+  Flags.addInt("schedule-seed", 0x7e9a9751LL, "Weighted schedule seed.");
+  if (!Flags.parse(Argc, Argv))
+    return 1;
+
+  benchutil::printHeader(
+      "Multi-tenant contention: shared code caches across guests",
+      "extension of Sections 4-5 (ShareJIT/Memshare-style multi-tenancy)");
+
+  std::vector<Trace> Traces;
+  for (const std::string &Name : splitList(Flags.getString("tenants"))) {
+    const WorkloadModel *M = findWorkload(Name);
+    if (!M) {
+      std::fprintf(stderr, "error: unknown benchmark '%s'\n", Name.c_str());
+      return 1;
+    }
+    WorkloadModel Chosen = *M;
+    if (Flags.getDouble("scale") < 0.999)
+      Chosen = scaledWorkload(*M, Flags.getDouble("scale"));
+    Traces.push_back(TraceGenerator::generateBenchmark(
+        Chosen, static_cast<uint64_t>(Flags.getInt("seed"))));
+  }
+  if (Traces.size() < 2) {
+    std::fprintf(stderr, "error: need at least two tenants\n");
+    return 1;
+  }
+
+  for (const std::string &GranText :
+       splitList(Flags.getString("granularities"))) {
+    for (const std::string &ModeText : splitList(Flags.getString("modes"))) {
+      MultiTenantConfig Config;
+      Config.Granularity = parseGranularity(GranText);
+      if (ModeText == "shared")
+        Config.Mode = PartitionMode::Shared;
+      else if (ModeText == "static")
+        Config.Mode = PartitionMode::StaticPartition;
+      else if (ModeText == "quota")
+        Config.Mode = PartitionMode::UnitQuota;
+      else {
+        std::fprintf(stderr, "warning: unknown mode '%s', skipping\n",
+                     ModeText.c_str());
+        continue;
+      }
+      Config.Schedule = Flags.getString("schedule") == "weighted"
+                            ? InterleaveKind::Weighted
+                            : InterleaveKind::RoundRobin;
+      Config.ScheduleSeed =
+          static_cast<uint64_t>(Flags.getInt("schedule-seed"));
+      Config.PressureFactor = Flags.getDouble("pressure");
+
+      MultiTenantSimulator Sim(Traces, Config);
+      printRun(Sim.run());
+    }
+  }
+  return 0;
+}

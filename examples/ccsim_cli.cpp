@@ -11,13 +11,19 @@
 //       Replay a saved log through the cache simulator.
 //   ccsim_cli fit
 //       Re-derive the paper's overhead equations from a mini-DBT run.
-//   ccsim_cli suite --pressure=2 [--scale=0.2]
-//       Granularity sweep over the whole Table 1 suite.
+//   ccsim_cli suite --pressure=2 [--scale=0.2] [--jobs=N]
+//       Granularity sweep over the whole Table 1 suite, parallelized over
+//       N worker threads (default: hardware concurrency).
+//   ccsim_cli tenants --tenants=gzip,vpr,crafty --mode=shared
+//       Multi-tenant simulation: interleave several benchmarks into one
+//       shared (or partitioned) code cache.
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Aggregate.h"
 #include "analysis/OverheadFit.h"
+#include "concurrent/MultiTenantSimulator.h"
+#include "concurrent/ThreadPool.h"
 #include "isa/ProgramGenerator.h"
 #include "runtime/SystemProfiles.h"
 #include "runtime/Translator.h"
@@ -177,18 +183,25 @@ int cmdSuite(int Argc, char **Argv) {
   Flags.addDouble("scale", 1.0, "Suite size multiplier.");
   Flags.addInt("seed", static_cast<int64_t>(DefaultSuiteSeed),
                "Suite seed.");
+  Flags.addInt("jobs", 0,
+               "Worker threads (0 = hardware concurrency, 1 = serial).");
   if (!Flags.parse(Argc, Argv))
     return 1;
-  const SweepEngine Engine =
+  SweepEngine Engine =
       Flags.getDouble("scale") >= 0.999
           ? SweepEngine::forTable1(
                 static_cast<uint64_t>(Flags.getInt("seed")))
           : SweepEngine::forScaledTable1(
                 Flags.getDouble("scale"),
                 static_cast<uint64_t>(Flags.getInt("seed")));
+  Engine.setNumThreads(
+      Flags.getInt("jobs") > 0 ? static_cast<unsigned>(Flags.getInt("jobs"))
+                               : ThreadPool::hardwareThreads());
   SimConfig Config;
-  Config.PressureFactor = Flags.getDouble("pressure");
-  const auto Results = Engine.sweepGranularities(Config);
+  // The whole granularity x benchmark grid runs as one parallel batch;
+  // results are bit-identical to the serial sweep.
+  const auto Results = Engine.runParallel(makeSweepGrid(
+      standardGranularitySweep(), {Flags.getDouble("pressure")}, Config));
   const auto Rel = relativeOverheadPerBenchmarkMean(Results, true);
   Table Out({"Granularity", "Miss rate", "Evictions", "Rel overhead"});
   for (size_t I = 0; I < Results.size(); ++I) {
@@ -202,13 +215,118 @@ int cmdSuite(int Argc, char **Argv) {
   return 0;
 }
 
+std::vector<std::string> splitList(const std::string &Text) {
+  std::vector<std::string> Parts;
+  std::string Cur;
+  for (char C : Text) {
+    if (C == ',') {
+      if (!Cur.empty())
+        Parts.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur.push_back(C);
+    }
+  }
+  if (!Cur.empty())
+    Parts.push_back(Cur);
+  return Parts;
+}
+
+int cmdTenants(int Argc, char **Argv) {
+  FlagSet Flags("ccsim_cli tenants: multi-tenant shared-cache simulation.");
+  Flags.addString("tenants", "gzip,vpr,crafty",
+                  "Comma-separated Table 1 benchmark names.");
+  Flags.addString("mode", "shared", "shared | static | quota.");
+  Flags.addString("policy", "8", "flush | fine | <unit count>.");
+  Flags.addString("schedule", "rr", "Interleaving: rr | weighted.");
+  Flags.addDouble("pressure", 2.0,
+                  "Pressure (capacity = sum maxCache / pressure).");
+  Flags.addDouble("scale", 1.0, "Workload size multiplier.");
+  Flags.addInt("seed", 42, "Trace seed.");
+  if (!Flags.parse(Argc, Argv))
+    return 1;
+
+  std::vector<Trace> Traces;
+  for (const std::string &Name : splitList(Flags.getString("tenants"))) {
+    const WorkloadModel *M = findWorkload(Name);
+    if (!M) {
+      std::fprintf(stderr, "error: unknown benchmark '%s'\n", Name.c_str());
+      return 1;
+    }
+    WorkloadModel Chosen = *M;
+    if (Flags.getDouble("scale") < 0.999)
+      Chosen = scaledWorkload(*M, Flags.getDouble("scale"));
+    Traces.push_back(TraceGenerator::generateBenchmark(
+        Chosen, static_cast<uint64_t>(Flags.getInt("seed"))));
+  }
+  if (Traces.size() < 2) {
+    std::fprintf(stderr, "error: need at least two tenants\n");
+    return 1;
+  }
+
+  MultiTenantConfig Config;
+  Config.Granularity = parsePolicy(Flags.getString("policy"));
+  const std::string Mode = Flags.getString("mode");
+  if (Mode == "static")
+    Config.Mode = PartitionMode::StaticPartition;
+  else if (Mode == "quota")
+    Config.Mode = PartitionMode::UnitQuota;
+  else if (Mode == "shared")
+    Config.Mode = PartitionMode::Shared;
+  else {
+    std::fprintf(stderr, "error: unknown mode '%s' (shared|static|quota)\n",
+                 Mode.c_str());
+    return 1;
+  }
+  const std::string Schedule = Flags.getString("schedule");
+  if (Schedule == "weighted")
+    Config.Schedule = InterleaveKind::Weighted;
+  else if (Schedule == "rr" || Schedule == "round-robin")
+    Config.Schedule = InterleaveKind::RoundRobin;
+  else {
+    std::fprintf(stderr, "error: unknown schedule '%s' (rr|weighted)\n",
+                 Schedule.c_str());
+    return 1;
+  }
+  Config.PressureFactor = Flags.getDouble("pressure");
+
+  MultiTenantSimulator Sim(Traces, Config);
+  const MultiTenantResult R = Sim.run();
+  std::printf("%s / %s over %zu tenants (capacity %s, schedule %s)\n",
+              R.PolicyLabel.c_str(), R.ModeLabel.c_str(), R.Tenants.size(),
+              formatBytes(R.TotalCapacityBytes).c_str(),
+              R.ScheduleLabel.c_str());
+  Table Out({"Tenant", "Miss rate", "Lost blocks", "Lost to others",
+             "Overhead (instr)"});
+  for (const TenantResult &TR : R.Tenants) {
+    Out.beginRow();
+    Out.cell(TR.Name);
+    Out.cell(formatPercent(TR.missRate(), 3));
+    Out.cell(TR.BlocksEvicted);
+    Out.cell(TR.BlocksLostToOthers);
+    Out.cell(TR.totalOverhead(true), 0);
+  }
+  Out.beginRow();
+  Out.cell("ALL");
+  Out.cell(formatPercent(R.aggregateMissRate(), 3));
+  Out.cell(R.Global.EvictedBlocks);
+  uint64_t Lost = 0;
+  for (size_t T = 0; T < R.Tenants.size(); ++T)
+    Lost += R.Tenants[T].BlocksLostToOthers;
+  Out.cell(Lost);
+  Out.cell(R.Global.totalOverhead(true), 0);
+  std::fputs(Out.render().c_str(), stdout);
+  return 0;
+}
+
 void usage() {
-  std::fputs("ccsim_cli <simulate|record|replay|fit|suite> [flags]\n"
+  std::fputs("ccsim_cli <simulate|record|replay|fit|suite|tenants> [flags]\n"
              "  simulate  trace-driven simulation of a Table 1 benchmark\n"
              "  record    run the mini-DBT, save its superblock log\n"
              "  replay    replay a saved log through the simulator\n"
              "  fit       re-derive the paper's overhead equations\n"
-             "  suite     granularity sweep over the whole suite\n",
+             "  suite     granularity sweep over the whole suite (--jobs)\n"
+             "  tenants   multi-tenant shared-cache simulation\n",
              stderr);
 }
 
@@ -231,6 +349,8 @@ int main(int Argc, char **Argv) {
     return cmdFit(Argc - 1, Argv + 1);
   if (std::strcmp(Cmd, "suite") == 0)
     return cmdSuite(Argc - 1, Argv + 1);
+  if (std::strcmp(Cmd, "tenants") == 0)
+    return cmdTenants(Argc - 1, Argv + 1);
   usage();
   return 1;
 }

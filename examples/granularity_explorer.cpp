@@ -9,6 +9,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "concurrent/ThreadPool.h"
 #include "sim/Simulator.h"
 #include "support/Flags.h"
 #include "support/StringUtils.h"
@@ -16,6 +17,7 @@
 #include "trace/TraceGenerator.h"
 
 #include <cstdio>
+#include <vector>
 
 using namespace ccsim;
 
@@ -28,6 +30,8 @@ int main(int Argc, char **Argv) {
                   "Cache pressure factor (cache = maxCache / pressure).");
   Flags.addDouble("scale", 1.0, "Workload size multiplier.");
   Flags.addInt("seed", 42, "Trace generation seed.");
+  Flags.addInt("jobs", 0,
+               "Worker threads (0 = hardware concurrency, 1 = serial).");
   if (!Flags.parse(Argc, Argv))
     return 1;
 
@@ -55,21 +59,33 @@ int main(int Argc, char **Argv) {
               formatBytes(sim::capacityFor(T, Config)).c_str(),
               Config.PressureFactor);
 
+  // Every sweep point is an independent simulation; fan them out and
+  // render in canonical order afterwards.
+  const std::vector<GranularitySpec> Specs = standardGranularitySweep();
+  std::vector<SimResult> Results(Specs.size());
+  ThreadPool Pool(Flags.getInt("jobs") > 0
+                      ? static_cast<unsigned>(Flags.getInt("jobs"))
+                      : ThreadPool::hardwareThreads());
+  Pool.parallelFor(
+      Specs.size(),
+      [&](size_t I) { Results[I] = sim::run(T, Specs[I], Config); },
+      /*ChunkSize=*/1);
+
   Table Out({"Granularity", "Miss rate", "Evictions", "Backptr peak",
              "Overhead (instr)", "Relative"});
   double Best = 0.0, FlushOverhead = 0.0;
   std::string BestLabel;
-  for (const GranularitySpec &Spec : standardGranularitySweep()) {
-    const SimResult R = sim::run(T, Spec, Config);
+  for (size_t I = 0; I < Specs.size(); ++I) {
+    const SimResult &R = Results[I];
     const double Overhead = R.Stats.totalOverhead(true);
-    if (Spec.Kind == GranularitySpec::KindType::Flush)
+    if (Specs[I].Kind == GranularitySpec::KindType::Flush)
       FlushOverhead = Overhead;
     if (BestLabel.empty() || Overhead < Best) {
       Best = Overhead;
-      BestLabel = Spec.label();
+      BestLabel = Specs[I].label();
     }
     Out.beginRow();
-    Out.cell(Spec.label());
+    Out.cell(Specs[I].label());
     Out.cell(formatPercent(R.Stats.missRate(), 2));
     Out.cell(R.Stats.EvictionInvocations);
     Out.cell(formatBytes(R.Stats.BackPointerBytesPeak));

@@ -1,0 +1,284 @@
+//===- concurrent/MultiTenantSimulator.cpp - Shared-cache multi-tenancy ---===//
+
+#include "concurrent/MultiTenantSimulator.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace ccsim;
+
+uint64_t MultiTenantResult::blocksLostToOthers(size_t Victim) const {
+  const size_t K = Tenants.size();
+  uint64_t Lost = 0;
+  for (size_t Evictor = 0; Evictor < K; ++Evictor)
+    if (Evictor != Victim)
+      Lost += CrossEvictedBlocks[Evictor * K + Victim];
+  return Lost;
+}
+
+MultiTenantSimulator::MultiTenantSimulator(const std::vector<Trace> &Traces,
+                                           const MultiTenantConfig &Config)
+    : Traces(Traces), Config(Config) {
+  assert(!Traces.empty() && "multi-tenant run needs at least one trace");
+
+  const size_t K = Traces.size();
+  Weights.resize(K, 1.0);
+  for (size_t I = 0; I < std::min(K, Config.Tenants.size()); ++I) {
+    assert(Config.Tenants[I].Weight > 0.0 && "weights must be positive");
+    Weights[I] = Config.Tenants[I].Weight;
+  }
+
+  // Tenants keep their trace-local dense ids but are shifted into disjoint
+  // global ranges, so one shared CacheManager can tell them apart. Edge
+  // lists are remapped once up front; the per-access records then alias
+  // these vectors.
+  IdBase.resize(K, 0);
+  RemappedEdges.resize(K);
+  SuperblockId NextBase = 0;
+  for (size_t T = 0; T < K; ++T) {
+    IdBase[T] = NextBase;
+    NextBase += static_cast<SuperblockId>(Traces[T].Blocks.size());
+    RemappedEdges[T].reserve(Traces[T].Blocks.size());
+    for (const SuperblockDef &B : Traces[T].Blocks) {
+      std::vector<SuperblockId> Edges;
+      Edges.reserve(B.OutEdges.size());
+      for (SuperblockId E : B.OutEdges)
+        Edges.push_back(E + IdBase[T]);
+      RemappedEdges[T].push_back(std::move(Edges));
+    }
+  }
+
+  TotalCapacity = deriveTotalCapacity();
+  planPartitions();
+}
+
+uint64_t MultiTenantSimulator::deriveTotalCapacity() const {
+  if (Config.ExplicitCapacityBytes != 0)
+    return Config.ExplicitCapacityBytes;
+  assert(Config.PressureFactor >= 1.0 &&
+         "pressure factor below 1 would be an over-provisioned cache");
+  uint64_t SuiteMaxCache = 0;
+  for (const Trace &T : Traces)
+    SuiteMaxCache += T.maxCacheBytes();
+  const double Derived =
+      static_cast<double>(SuiteMaxCache) / Config.PressureFactor;
+  return std::max<uint64_t>(1, static_cast<uint64_t>(Derived));
+}
+
+void MultiTenantSimulator::planPartitions() {
+  const size_t K = Traces.size();
+  TenantCapacities.assign(K, TotalCapacity);
+  ManagerOf.resize(K);
+  if (Config.Mode == PartitionMode::Shared) {
+    std::fill(ManagerOf.begin(), ManagerOf.end(), size_t(0));
+    return;
+  }
+  for (size_t T = 0; T < K; ++T)
+    ManagerOf[T] = T;
+
+  double WeightSum = 0.0;
+  for (double W : Weights)
+    WeightSum += W;
+
+  const bool QuotaInUnits =
+      Config.Mode == PartitionMode::UnitQuota &&
+      Config.Granularity.Kind == GranularitySpec::KindType::Units &&
+      Config.Granularity.Units >= 2;
+  if (QuotaInUnits) {
+    // Quotas are expressed in whole eviction units of the shared cache:
+    // at N units, the unit currency is C / N bytes and tenant i receives
+    // round(N * share_i) of them (at least one). Eviction stays unit-FIFO
+    // within each tenant's own units, so cross-tenant eviction is
+    // impossible by construction.
+    const uint64_t UnitBytes =
+        std::max<uint64_t>(1, TotalCapacity / Config.Granularity.Units);
+    for (size_t T = 0; T < K; ++T) {
+      const double Share = Weights[T] / WeightSum;
+      const double Units = static_cast<double>(Config.Granularity.Units);
+      const uint64_t Quota = std::max<uint64_t>(
+          1, static_cast<uint64_t>(std::llround(Units * Share)));
+      TenantCapacities[T] = Quota * UnitBytes;
+    }
+    return;
+  }
+  // Static partition (and the quota mode's byte-granular degenerate cases
+  // FLUSH and fine FIFO): capacity split proportionally to weight.
+  for (size_t T = 0; T < K; ++T) {
+    const double Share = Weights[T] / WeightSum;
+    TenantCapacities[T] = std::max<uint64_t>(
+        1, static_cast<uint64_t>(static_cast<double>(TotalCapacity) * Share));
+  }
+}
+
+std::string MultiTenantSimulator::modeLabel() const {
+  switch (Config.Mode) {
+  case PartitionMode::Shared:
+    return "shared";
+  case PartitionMode::StaticPartition:
+    return "static-partition";
+  case PartitionMode::UnitQuota:
+    return "unit-quota";
+  }
+  return "unknown";
+}
+
+std::string MultiTenantSimulator::scheduleLabel() const {
+  return Config.Schedule == InterleaveKind::RoundRobin ? "round-robin"
+                                                       : "weighted";
+}
+
+MultiTenantResult MultiTenantSimulator::run() {
+  const size_t K = Traces.size();
+
+  MultiTenantResult Result;
+  Result.ModeLabel = modeLabel();
+  Result.PolicyLabel = Config.Granularity.label();
+  Result.ScheduleLabel = scheduleLabel();
+  Result.TotalCapacityBytes = TotalCapacity;
+  Result.Tenants.resize(K);
+  Result.CrossEvictedBlocks.assign(K * K, 0);
+
+  for (size_t T = 0; T < K; ++T) {
+    TenantResult &TR = Result.Tenants[T];
+    TR.Name = Traces[T].Name;
+    TR.MaxCacheBytes = Traces[T].maxCacheBytes();
+    TR.CapacityBytes =
+        Config.Mode == PartitionMode::Shared ? 0 : TenantCapacities[T];
+  }
+
+  // Eviction attribution: the observer charges invocation costs to the
+  // evictor and victim costs to each victim's owner.
+  auto Observer = [&Result, K, this](const EvictionBatchEvent &Event) {
+    TenantResult &Evictor = Result.Tenants[Event.Evictor];
+    ++Evictor.EvictionInvocationsTriggered;
+    uint64_t BatchBytes = 0;
+    for (size_t I = 0; I < Event.Victims.size(); ++I) {
+      const CodeCache::Resident &V = Event.Victims[I];
+      const TenantId Owner = Event.VictimTenants[I];
+      TenantResult &Victim = Result.Tenants[Owner];
+      BatchBytes += V.Size;
+      ++Victim.BlocksEvicted;
+      Victim.BytesEvicted += V.Size;
+      if (Owner != Event.Evictor)
+        ++Victim.BlocksLostToOthers;
+      ++Result.CrossEvictedBlocks[size_t(Event.Evictor) * K + Owner];
+      if (I < Event.DanglingLinks.size() && Event.DanglingLinks[I] > 0) {
+        ++Victim.UnlinkOperations;
+        Victim.UnlinkedLinks += Event.DanglingLinks[I];
+        Victim.UnlinkOverhead +=
+            Config.Costs.unlinkingOverhead(Event.DanglingLinks[I]);
+      }
+    }
+    Evictor.EvictionOverhead += Config.Costs.evictionOverhead(BatchBytes);
+  };
+
+  // Build the manager(s).
+  const size_t NumManagers = Config.Mode == PartitionMode::Shared ? 1 : K;
+  std::vector<std::unique_ptr<CacheManager>> Managers;
+  Managers.reserve(NumManagers);
+  const bool QuotaInUnits =
+      Config.Mode == PartitionMode::UnitQuota &&
+      Config.Granularity.Kind == GranularitySpec::KindType::Units &&
+      Config.Granularity.Units >= 2;
+  for (size_t M = 0; M < NumManagers; ++M) {
+    CacheManagerConfig MC;
+    MC.CapacityBytes =
+        Config.Mode == PartitionMode::Shared ? TotalCapacity
+                                             : TenantCapacities[M];
+    MC.Costs = Config.Costs;
+    MC.EnableChaining = Config.EnableChaining;
+    MC.OnEviction = Observer;
+    std::unique_ptr<EvictionPolicy> Policy;
+    if (QuotaInUnits) {
+      // Keep the shared unit size: a tenant holding Q units runs Q-unit
+      // FIFO over its own region.
+      const uint64_t UnitBytes =
+          std::max<uint64_t>(1, TotalCapacity / Config.Granularity.Units);
+      const unsigned Quota = static_cast<unsigned>(
+          std::max<uint64_t>(1, TenantCapacities[M] / UnitBytes));
+      Policy = std::make_unique<UnitFifoPolicy>(Quota);
+    } else {
+      Policy = makePolicy(Config.Granularity);
+    }
+    Managers.push_back(
+        std::make_unique<CacheManager>(MC, std::move(Policy)));
+  }
+
+  // Replay the deterministic interleaving until every stream is consumed.
+  std::vector<size_t> Cursor(K, 0);
+  std::vector<uint8_t> SeenGlobal; // Cold-miss detection over global ids.
+  size_t LiveCount = 0;
+  for (size_t T = 0; T < K; ++T)
+    if (!Traces[T].Accesses.empty())
+      ++LiveCount;
+
+  auto Step = [&](size_t T) {
+    const Trace &Tr = Traces[T];
+    const SuperblockId Local = Tr.Accesses[Cursor[T]++];
+    const SuperblockDef &Def = Tr.Blocks[Local];
+    SuperblockRecord Rec;
+    Rec.Id = IdBase[T] + Local;
+    Rec.SizeBytes = Def.SizeBytes;
+    Rec.OutEdges = RemappedEdges[T][Local];
+    Rec.Tenant = static_cast<TenantId>(T);
+
+    const AccessKind Kind = Managers[ManagerOf[T]]->access(Rec);
+
+    TenantResult &TR = Result.Tenants[T];
+    ++TR.Accesses;
+    if (Kind == AccessKind::Hit) {
+      ++TR.Hits;
+    } else {
+      ++TR.Misses;
+      TR.MissOverhead += Config.Costs.missOverhead(Rec.SizeBytes);
+      if (Rec.Id >= SeenGlobal.size())
+        SeenGlobal.resize(
+            std::max<size_t>(Rec.Id + 1, SeenGlobal.size() * 2), 0);
+      if (SeenGlobal[Rec.Id])
+        ++TR.CapacityMisses;
+      else
+        ++TR.ColdMisses;
+      SeenGlobal[Rec.Id] = 1;
+    }
+    if (Cursor[T] == Tr.Accesses.size())
+      --LiveCount;
+  };
+
+  if (Config.Schedule == InterleaveKind::RoundRobin) {
+    while (LiveCount > 0) {
+      for (size_t T = 0; T < K; ++T)
+        if (Cursor[T] < Traces[T].Accesses.size())
+          Step(T);
+    }
+  } else {
+    Rng R(Config.ScheduleSeed);
+    double LiveWeight = 0.0;
+    for (size_t T = 0; T < K; ++T)
+      if (!Traces[T].Accesses.empty())
+        LiveWeight += Weights[T];
+    while (LiveCount > 0) {
+      // Weighted draw over the still-live tenants.
+      double Pick = R.nextDouble() * LiveWeight;
+      size_t Chosen = K;
+      for (size_t T = 0; T < K; ++T) {
+        if (Cursor[T] >= Traces[T].Accesses.size())
+          continue;
+        Chosen = T; // Fall back to the last live tenant on FP round-off.
+        Pick -= Weights[T];
+        if (Pick < 0.0)
+          break;
+      }
+      assert(Chosen < K && "live count and cursors disagree");
+      Step(Chosen);
+      if (Cursor[Chosen] == Traces[Chosen].Accesses.size())
+        LiveWeight -= Weights[Chosen];
+    }
+  }
+
+  for (const auto &M : Managers)
+    Result.Global.merge(M->stats());
+  return Result;
+}

@@ -1,0 +1,194 @@
+//===- concurrent/MultiTenantSimulator.h - Shared-cache multi-tenancy -----===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper evaluates one guest process at a time; production dynamic
+/// optimization systems (ShareJIT-style cross-process code caches,
+/// Memshare-style multi-tenant memory partitioning) serve many guests at
+/// once. This simulator asks the paper's granularity question under
+/// contention: K benchmark traces are deterministically interleaved into
+/// one code cache, and the cache is either fully shared, statically
+/// partitioned per tenant, or partitioned in whole eviction units
+/// ("unit quotas" layered on UnitFifoPolicy).
+///
+/// Everything is deterministic: the interleaving is a pure function of the
+/// schedule kind, tenant weights, and a seed, so every run of the same
+/// configuration produces identical counters. Attribution works through
+/// the CacheManager eviction observer: each superblock is tagged with its
+/// owning tenant, and every eviction batch reports which tenant triggered
+/// it and which tenants lost blocks — the "who evicted whom" matrix.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_CONCURRENT_MULTITENANTSIMULATOR_H
+#define CCSIM_CONCURRENT_MULTITENANTSIMULATOR_H
+
+#include "core/CacheManager.h"
+#include "trace/Trace.h"
+
+#include <string>
+#include <vector>
+
+namespace ccsim {
+
+/// How the shared capacity is divided between tenants.
+enum class PartitionMode {
+  Shared,          ///< One cache, one FIFO: any tenant may evict any other.
+  StaticPartition, ///< Capacity split by weight; full isolation.
+  UnitQuota,       ///< Capacity split in whole eviction units; each tenant
+                   ///< keeps unit-FIFO eviction inside its own quota.
+};
+
+/// How tenant access streams are interleaved.
+enum class InterleaveKind {
+  RoundRobin, ///< One access per live tenant, in tenant order.
+  Weighted,   ///< Seeded draw proportional to tenant weight.
+};
+
+/// Per-tenant configuration. Weight scales both the Weighted schedule and
+/// the tenant's capacity share under the partitioned modes.
+struct TenantSpec {
+  double Weight = 1.0;
+};
+
+/// Configuration of one multi-tenant run.
+struct MultiTenantConfig {
+  PartitionMode Mode = PartitionMode::Shared;
+  InterleaveKind Schedule = InterleaveKind::RoundRobin;
+  uint64_t ScheduleSeed = 0x7e9a9751ULL;
+
+  /// Eviction granularity. Under UnitQuota the unit count also defines the
+  /// quota currency: a cache of capacity C run at N units has units of
+  /// C / N bytes, and tenant i receives round(N * share_i) of them.
+  GranularitySpec Granularity = GranularitySpec::units(8);
+
+  /// Shared capacity = sum of tenant maxCache / PressureFactor, unless
+  /// ExplicitCapacityBytes overrides it.
+  double PressureFactor = 2.0;
+  uint64_t ExplicitCapacityBytes = 0;
+
+  CostModel Costs = CostModel::paperDefaults();
+  bool EnableChaining = true;
+
+  /// Optional per-tenant weights; defaults to 1.0 each.
+  std::vector<TenantSpec> Tenants;
+};
+
+/// Counters attributed to one tenant. Access-side counters (accesses,
+/// misses, miss overhead, triggered evictions) are charged to the tenant
+/// whose dispatch caused them; victim-side counters (blocks/bytes lost,
+/// unlink work) are charged to the tenant that owned the evicted block.
+struct TenantResult {
+  std::string Name;
+  uint64_t CapacityBytes = 0; ///< This tenant's partition; 0 when shared.
+  uint64_t MaxCacheBytes = 0; ///< Unbounded-cache size of its trace.
+
+  uint64_t Accesses = 0;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t ColdMisses = 0;
+  uint64_t CapacityMisses = 0;
+
+  uint64_t EvictionInvocationsTriggered = 0; ///< Batches this tenant caused.
+  uint64_t BlocksEvicted = 0;        ///< Own blocks removed (any evictor).
+  uint64_t BytesEvicted = 0;         ///< Own bytes removed.
+  uint64_t BlocksLostToOthers = 0;   ///< Own blocks evicted by another
+                                     ///< tenant's miss (contention damage).
+  uint64_t UnlinkOperations = 0;     ///< Own evicted blocks with dangling
+                                     ///< incoming links.
+  uint64_t UnlinkedLinks = 0;
+
+  // Modeled instruction overheads (Eqs. 2-4): miss and eviction charges go
+  // to the evictor, unlink charges to the victim's owner.
+  double MissOverhead = 0.0;
+  double EvictionOverhead = 0.0;
+  double UnlinkOverhead = 0.0;
+
+  double missRate() const {
+    return Accesses ? static_cast<double>(Misses) /
+                          static_cast<double>(Accesses)
+                    : 0.0;
+  }
+
+  double totalOverhead(bool IncludeLinkMaintenance) const {
+    double Total = MissOverhead + EvictionOverhead;
+    if (IncludeLinkMaintenance)
+      Total += UnlinkOverhead;
+    return Total;
+  }
+};
+
+/// Outcome of one multi-tenant run.
+struct MultiTenantResult {
+  std::string ModeLabel;
+  std::string PolicyLabel;
+  std::string ScheduleLabel;
+  uint64_t TotalCapacityBytes = 0;
+
+  std::vector<TenantResult> Tenants;
+
+  /// Merged counters of the underlying cache manager(s); per-tenant
+  /// integer counters sum exactly to these.
+  CacheStats Global;
+
+  /// Blocks evicted, cross-tabulated: entry [Evictor * K + Victim].
+  /// Off-diagonal mass is inter-tenant interference; the partitioned
+  /// modes keep it at zero by construction.
+  std::vector<uint64_t> CrossEvictedBlocks;
+
+  uint64_t crossEvictions(size_t Evictor, size_t Victim) const {
+    return CrossEvictedBlocks[Evictor * Tenants.size() + Victim];
+  }
+
+  /// Total blocks one tenant lost to a *different* tenant's misses.
+  uint64_t blocksLostToOthers(size_t Victim) const;
+
+  /// Eq. 1 aggregate miss rate over all tenants.
+  double aggregateMissRate() const { return Global.missRate(); }
+};
+
+/// Deterministic shared-code-cache simulator over K benchmark traces.
+/// The traces must outlive the simulator.
+class MultiTenantSimulator {
+public:
+  MultiTenantSimulator(const std::vector<Trace> &Traces,
+                       const MultiTenantConfig &Config);
+
+  /// Replays the interleaved streams to completion (every tenant's trace
+  /// is fully consumed) and returns attributed results.
+  MultiTenantResult run();
+
+  /// Total capacity the run will use (derived or explicit).
+  uint64_t totalCapacityBytes() const { return TotalCapacity; }
+
+  /// Capacity assigned to tenant \p I (equals totalCapacityBytes() for
+  /// every tenant under the Shared mode).
+  uint64_t tenantCapacityBytes(size_t I) const {
+    return TenantCapacities[I];
+  }
+
+private:
+  const std::vector<Trace> &Traces;
+  MultiTenantConfig Config;
+
+  std::vector<SuperblockId> IdBase;   ///< Global-id offset per tenant.
+  std::vector<std::vector<std::vector<SuperblockId>>> RemappedEdges;
+  std::vector<double> Weights;
+  uint64_t TotalCapacity = 0;
+  std::vector<uint64_t> TenantCapacities;
+
+  /// Index of the manager serving tenant \p I (always 0 when shared).
+  std::vector<size_t> ManagerOf;
+
+  uint64_t deriveTotalCapacity() const;
+  void planPartitions();
+  std::string modeLabel() const;
+  std::string scheduleLabel() const;
+};
+
+} // namespace ccsim
+
+#endif // CCSIM_CONCURRENT_MULTITENANTSIMULATOR_H

@@ -1,0 +1,165 @@
+//===- concurrent/ThreadPool.cpp - Fixed worker pool + parallel-for -------===//
+
+#include "concurrent/ThreadPool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <exception>
+#include <limits>
+
+using namespace ccsim;
+
+unsigned ThreadPool::hardwareThreads() {
+  const unsigned HW = std::thread::hardware_concurrency();
+  return HW ? HW : 4;
+}
+
+ThreadPool::ThreadPool(unsigned NumThreads)
+    : NumThreads(NumThreads ? NumThreads : hardwareThreads()) {
+  // A one-thread pool runs everything inline; no worker needed.
+  if (this->NumThreads <= 1)
+    return;
+  Workers.reserve(this->NumThreads);
+  for (unsigned T = 0; T < this->NumThreads; ++T)
+    Workers.emplace_back([this]() { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  WorkAvailable.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WorkAvailable.wait(Lock,
+                         [this]() { return Stopping || !Queue.empty(); });
+      if (Queue.empty()) {
+        if (Stopping)
+          return;
+        continue;
+      }
+      Task = std::move(Queue.front());
+      Queue.pop_front();
+      ++ActiveTasks;
+    }
+    Task();
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      --ActiveTasks;
+      if (Queue.empty() && ActiveTasks == 0)
+        Idle.notify_all();
+    }
+  }
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  assert(Task && "cannot submit an empty task");
+  if (NumThreads <= 1) {
+    // Inline execution preserves FIFO semantics trivially.
+    Task();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Queue.push_back(std::move(Task));
+  }
+  WorkAvailable.notify_one();
+}
+
+void ThreadPool::waitIdle() {
+  if (NumThreads <= 1)
+    return;
+  std::unique_lock<std::mutex> Lock(Mutex);
+  Idle.wait(Lock, [this]() { return Queue.empty() && ActiveTasks == 0; });
+}
+
+namespace {
+
+/// Shared state of one parallelFor region.
+struct ForRegion {
+  std::atomic<size_t> Next{0};
+  std::atomic<bool> Failed{false};
+
+  std::mutex Mutex;
+  std::condition_variable Done;
+  size_t PendingTasks = 0;
+  size_t FailIndex = std::numeric_limits<size_t>::max();
+  std::exception_ptr Error;
+
+  void recordFailure(size_t Index, std::exception_ptr E) {
+    Failed.store(true, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> Lock(Mutex);
+    if (Index < FailIndex) {
+      FailIndex = Index;
+      Error = std::move(E);
+    }
+  }
+};
+
+} // namespace
+
+void ThreadPool::parallelFor(size_t N,
+                             const std::function<void(size_t)> &Body,
+                             size_t ChunkSize) {
+  if (N == 0)
+    return;
+  if (NumThreads <= 1) {
+    for (size_t I = 0; I < N; ++I)
+      Body(I); // Exceptions propagate directly; index order is sequential.
+    return;
+  }
+
+  if (ChunkSize == 0)
+    ChunkSize = std::max<size_t>(1, N / (size_t(NumThreads) * 4));
+  const size_t NumChunks = (N + ChunkSize - 1) / ChunkSize;
+  const size_t NumTasks = std::min<size_t>(NumThreads, NumChunks);
+
+  ForRegion Region;
+  Region.PendingTasks = NumTasks;
+
+  auto Work = [&Region, &Body, N, ChunkSize]() {
+    for (;;) {
+      if (Region.Failed.load(std::memory_order_relaxed))
+        break;
+      const size_t Begin = Region.Next.fetch_add(ChunkSize);
+      if (Begin >= N)
+        break;
+      const size_t End = std::min(N, Begin + ChunkSize);
+      for (size_t I = Begin; I < End; ++I) {
+        try {
+          Body(I);
+        } catch (...) {
+          Region.recordFailure(I, std::current_exception());
+          break;
+        }
+      }
+    }
+    std::unique_lock<std::mutex> Lock(Region.Mutex);
+    if (--Region.PendingTasks == 0)
+      Region.Done.notify_all();
+  };
+
+  for (size_t T = 0; T < NumTasks; ++T)
+    submit(Work);
+  {
+    std::unique_lock<std::mutex> Lock(Region.Mutex);
+    Region.Done.wait(Lock, [&Region]() { return Region.PendingTasks == 0; });
+  }
+  if (Region.Error)
+    std::rethrow_exception(Region.Error);
+}
+
+void ccsim::parallelFor(unsigned NumThreads, size_t N,
+                        const std::function<void(size_t)> &Body) {
+  ThreadPool Pool(NumThreads);
+  Pool.parallelFor(N, Body);
+}

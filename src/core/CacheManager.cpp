@@ -49,7 +49,6 @@ void CacheManager::chargeEvictions(uint64_t UnitsFlushed) {
 
   if (!Config.EnableChaining) {
     // Without chaining there are no links to repair; nothing else to do.
-    EvictedScratch.clear();
     return;
   }
 
@@ -64,13 +63,32 @@ void CacheManager::chargeEvictions(uint64_t UnitsFlushed) {
       Stats.UnlinkOverhead += Config.Costs.unlinkingOverhead(NumLinks);
     }
   }
-  EvictedScratch.clear();
+}
+
+void CacheManager::notifyEvictions() {
+  if (!Config.OnEviction)
+    return;
+  VictimTenantScratch.clear();
+  VictimTenantScratch.reserve(EvictedScratch.size());
+  for (const CodeCache::Resident &V : EvictedScratch)
+    VictimTenantScratch.push_back(tenantOf(V.Id));
+
+  EvictionBatchEvent Event;
+  Event.Evictor = CurrentTenant;
+  Event.Victims = EvictedScratch;
+  Event.VictimTenants = VictimTenantScratch;
+  // DanglingScratch lines up with EvictedScratch only when unlink charges
+  // were actually accounted; otherwise report no repaired links.
+  if (Config.EnableChaining && Policy->usesBackPointerTable(Cache.capacity()))
+    Event.DanglingLinks = DanglingScratch;
+  Config.OnEviction(Event);
 }
 
 AccessKind CacheManager::access(const SuperblockRecord &Rec) {
   assert(Rec.Id != InvalidSuperblockId && "invalid superblock id");
   assert(Rec.SizeBytes > 0 && "superblocks must have a positive size");
 
+  CurrentTenant = Rec.Tenant;
   ++Stats.Accesses;
   const bool Hit = Cache.contains(Rec.Id);
   Policy->noteAccess(Hit);
@@ -93,11 +111,17 @@ AccessKind CacheManager::access(const SuperblockRecord &Rec) {
     const CodeCache::PrepareOutcome Prep =
         Cache.prepareInsert(Rec.SizeBytes, Quantum, EvictedScratch);
     Stats.WastedBytes += Prep.WastedBytes;
-    if (!EvictedScratch.empty())
+    if (!EvictedScratch.empty()) {
       chargeEvictions(Prep.UnitsFlushed);
+      notifyEvictions();
+    }
 
     if (Prep.CanInsert) {
       Cache.commitInsert(Rec.Id, Rec.SizeBytes);
+      if (Rec.Id >= TenantById.size())
+        TenantById.resize(std::max<size_t>(Rec.Id + 1, TenantById.size() * 2),
+                          0);
+      TenantById[Rec.Id] = Rec.Tenant;
       if (Config.EnableChaining)
         Links.onInsert(Cache, Quantum, Rec.Id, Rec.OutEdges, Stats);
       Kind = AccessKind::Miss;
@@ -132,6 +156,7 @@ void CacheManager::flushEntireCache() {
     LastUnit = Unit;
   }
   chargeEvictions(Units);
+  notifyEvictions();
 }
 
 bool CacheManager::checkInvariants() const {

@@ -30,9 +30,33 @@
 #include "core/LinkGraph.h"
 #include "core/Superblock.h"
 
+#include <functional>
 #include <memory>
+#include <span>
 
 namespace ccsim {
+
+/// One batch of evictions (a single eviction invocation or full flush),
+/// reported to an observer with tenant attribution. All spans alias the
+/// manager's scratch buffers and are valid only during the callback.
+struct EvictionBatchEvent {
+  /// Tenant whose access triggered the batch (the "evictor").
+  TenantId Evictor = 0;
+
+  /// Victims in FIFO (oldest-first) eviction order.
+  std::span<const CodeCache::Resident> Victims;
+
+  /// Owner of each victim, parallel to Victims.
+  std::span<const TenantId> VictimTenants;
+
+  /// Incoming links from survivors repaired per victim, parallel to
+  /// Victims. Empty when the run has no back-pointer table (chaining
+  /// disabled or a whole-cache FLUSH policy).
+  std::span<const uint32_t> DanglingLinks;
+};
+
+/// Observer invoked after each eviction batch has been accounted.
+using EvictionObserver = std::function<void(const EvictionBatchEvent &)>;
 
 /// Configuration for a CacheManager instance.
 struct CacheManagerConfig {
@@ -45,6 +69,10 @@ struct CacheManagerConfig {
   /// Maintain superblock chaining (links, back-pointer table, unlink
   /// charges). Disabling models a system without chaining (Table 2).
   bool EnableChaining = true;
+
+  /// Optional eviction attribution hook (multi-tenant accounting). Left
+  /// empty in single-tenant runs; the hot path never pays for it then.
+  EvictionObserver OnEviction;
 };
 
 /// Result of one access.
@@ -80,6 +108,12 @@ public:
   /// The eviction quantum currently in force.
   uint64_t currentQuantum() const;
 
+  /// Owner of resident or previously-seen superblock \p Id (tenant 0 if
+  /// never inserted). Only meaningful when records carry tenant ids.
+  TenantId tenantOf(SuperblockId Id) const {
+    return Id < TenantById.size() ? TenantById[Id] : 0;
+  }
+
   /// Cross-checks CodeCache and LinkGraph invariants (tests).
   bool checkInvariants() const;
 
@@ -91,10 +125,14 @@ private:
   CacheStats Stats;
 
   std::vector<uint8_t> Seen; // Cold-miss detection, indexed by id.
+  std::vector<TenantId> TenantById;
   std::vector<CodeCache::Resident> EvictedScratch;
   std::vector<uint32_t> DanglingScratch;
+  std::vector<TenantId> VictimTenantScratch;
+  TenantId CurrentTenant = 0; // Tenant of the in-flight access.
 
   void chargeEvictions(uint64_t UnitsFlushed);
+  void notifyEvictions();
   void sampleBackPointerMemory();
   bool seenBefore(SuperblockId Id);
 };

@@ -29,6 +29,11 @@ using SuperblockId = uint32_t;
 /// Sentinel for "no superblock".
 inline constexpr SuperblockId InvalidSuperblockId = ~static_cast<SuperblockId>(0);
 
+/// Identifier of the guest process (tenant) that owns a superblock when
+/// several guests share one code cache. Single-tenant runs leave every
+/// record at tenant 0.
+using TenantId = uint32_t;
+
 /// One dispatch event presented to the cache manager: the superblock being
 /// entered, its translated size in bytes, and its static outbound edges
 /// (potential chain links). The edge span must stay valid for the duration
@@ -37,6 +42,7 @@ struct SuperblockRecord {
   SuperblockId Id = InvalidSuperblockId;
   uint32_t SizeBytes = 0;
   std::span<const SuperblockId> OutEdges;
+  TenantId Tenant = 0;
 };
 
 } // namespace ccsim

@@ -2,9 +2,9 @@
 
 #include "sim/Sweep.h"
 
-#include <atomic>
+#include "concurrent/ThreadPool.h"
+
 #include <cassert>
-#include <thread>
 
 using namespace ccsim;
 
@@ -13,8 +13,7 @@ SweepEngine::SweepEngine(const std::vector<WorkloadModel> &Models,
   Traces.reserve(Models.size());
   for (const WorkloadModel &M : Models)
     Traces.push_back(TraceGenerator::generateBenchmark(M, SuiteSeed));
-  const unsigned HW = std::thread::hardware_concurrency();
-  NumThreads = HW ? HW : 4;
+  NumThreads = ThreadPool::hardwareThreads();
 }
 
 SweepEngine SweepEngine::forTable1(uint64_t SuiteSeed) {
@@ -29,6 +28,23 @@ SweepEngine SweepEngine::forScaledTable1(double Factor, uint64_t SuiteSeed) {
   return SweepEngine(Scaled, SuiteSeed);
 }
 
+std::vector<SweepJob>
+ccsim::makeSweepGrid(const std::vector<GranularitySpec> &Specs,
+                     const std::vector<double> &Pressures,
+                     const SimConfig &Base) {
+  std::vector<SweepJob> Jobs;
+  Jobs.reserve(Specs.size() * Pressures.size());
+  for (double Pressure : Pressures)
+    for (const GranularitySpec &Spec : Specs) {
+      SweepJob Job;
+      Job.Spec = Spec;
+      Job.Config = Base;
+      Job.Config.PressureFactor = Pressure;
+      Jobs.push_back(Job);
+    }
+  return Jobs;
+}
+
 SuiteResult SweepEngine::runSuite(
     const std::function<std::unique_ptr<EvictionPolicy>()> &MakePolicy,
     const std::string &Label, const SimConfig &Config) const {
@@ -37,29 +53,15 @@ SuiteResult SweepEngine::runSuite(
   Result.PressureFactor = Config.PressureFactor;
   Result.PerBenchmark.resize(Traces.size());
 
-  // Benchmarks are independent; fan them out over a small worker pool.
-  std::atomic<size_t> NextIndex{0};
-  auto Worker = [&]() {
-    for (;;) {
-      const size_t I = NextIndex.fetch_add(1);
-      if (I >= Traces.size())
-        return;
-      Result.PerBenchmark[I] = sim::run(Traces[I], MakePolicy(), Config);
-    }
-  };
-
-  const unsigned Threads =
-      std::max(1u, std::min<unsigned>(NumThreads, Traces.size()));
-  if (Threads == 1) {
-    Worker();
-  } else {
-    std::vector<std::thread> Pool;
-    Pool.reserve(Threads);
-    for (unsigned T = 0; T < Threads; ++T)
-      Pool.emplace_back(Worker);
-    for (std::thread &T : Pool)
-      T.join();
-  }
+  // Benchmarks are independent; fan them out over the worker pool. Each
+  // result lands in its own index, so aggregation below is deterministic.
+  ThreadPool Pool(std::max(1u, std::min<unsigned>(NumThreads, Traces.size())));
+  Pool.parallelFor(
+      Traces.size(),
+      [&](size_t I) {
+        Result.PerBenchmark[I] = sim::run(Traces[I], MakePolicy(), Config);
+      },
+      /*ChunkSize=*/1);
 
   // Equation 1: the unified metric weights every benchmark by its own
   // access count, which is what summing raw counters does.
@@ -79,5 +81,40 @@ SweepEngine::sweepGranularities(const SimConfig &Config) const {
   std::vector<SuiteResult> Results;
   for (const GranularitySpec &Spec : standardGranularitySweep())
     Results.push_back(runSuite(Spec, Config));
+  return Results;
+}
+
+std::vector<SuiteResult>
+SweepEngine::runParallel(const std::vector<SweepJob> &Jobs) const {
+  const size_t NumBenchmarks = Traces.size();
+  const size_t Cells = Jobs.size() * NumBenchmarks;
+
+  // Every (job, benchmark) cell is an independent simulation on its own
+  // CacheManager; flatten the grid so the pool load-balances across both
+  // axes at once (a single heavy benchmark no longer serializes a job).
+  std::vector<SimResult> Flat(Cells);
+  ThreadPool Pool(std::max<unsigned>(1, NumThreads));
+  Pool.parallelFor(
+      Cells,
+      [&](size_t Cell) {
+        const size_t Job = Cell / NumBenchmarks;
+        const size_t Bench = Cell % NumBenchmarks;
+        Flat[Cell] = sim::run(Traces[Bench], makePolicy(Jobs[Job].Spec),
+                              Jobs[Job].Config);
+      },
+      /*ChunkSize=*/1);
+
+  // Merge in canonical (job, benchmark) order: bit-identical to running
+  // runSuite() per job serially.
+  std::vector<SuiteResult> Results(Jobs.size());
+  for (size_t J = 0; J < Jobs.size(); ++J) {
+    SuiteResult &R = Results[J];
+    R.PolicyLabel = Jobs[J].Spec.label();
+    R.PressureFactor = Jobs[J].Config.PressureFactor;
+    R.PerBenchmark.assign(Flat.begin() + J * NumBenchmarks,
+                          Flat.begin() + (J + 1) * NumBenchmarks);
+    for (const SimResult &B : R.PerBenchmark)
+      R.Combined.merge(B.Stats);
+  }
   return Results;
 }

@@ -42,6 +42,19 @@ struct SuiteResult {
   std::vector<SimResult> PerBenchmark;
 };
 
+/// One sweep-grid point: a (granularity, configuration) pair. A job
+/// expands to one simulation cell per benchmark in the suite.
+struct SweepJob {
+  GranularitySpec Spec;
+  SimConfig Config;
+};
+
+/// Cartesian helper: one SweepJob per (spec, pressure), each with \p Base
+/// at that pressure. This is the fig7/fig11-style grid.
+std::vector<SweepJob> makeSweepGrid(const std::vector<GranularitySpec> &Specs,
+                                    const std::vector<double> &Pressures,
+                                    const SimConfig &Base);
+
 /// Generates and owns the traces for a benchmark suite and replays them
 /// under arbitrary policies.
 class SweepEngine {
@@ -73,9 +86,17 @@ public:
   /// Full granularity sweep (standardGranularitySweep()) at one pressure.
   std::vector<SuiteResult> sweepGranularities(const SimConfig &Config) const;
 
+  /// Runs every grid cell of \p Jobs (|Jobs| x |benchmarks| independent
+  /// simulations) across the worker pool and merges results in canonical
+  /// (job, benchmark) order. The output is bit-identical to calling
+  /// runSuite() on each job serially: every cell simulates on its own
+  /// CacheManager, and aggregation order never depends on scheduling.
+  std::vector<SuiteResult> runParallel(const std::vector<SweepJob> &Jobs) const;
+
   /// Number of worker threads (defaults to hardware concurrency; set to 1
   /// for strictly serial runs).
-  void setNumThreads(unsigned Threads) { NumThreads = Threads; }
+  void setNumThreads(unsigned Threads) { NumThreads = Threads ? Threads : 1; }
+  unsigned numThreads() const { return NumThreads; }
 
 private:
   std::vector<Trace> Traces;
