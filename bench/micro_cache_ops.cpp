@@ -8,6 +8,7 @@
 
 #include "core/CacheManager.h"
 #include "support/Random.h"
+#include "telemetry/Telemetry.h"
 #include "trace/TraceGenerator.h"
 #include "trace/WorkloadModel.h"
 
@@ -67,6 +68,29 @@ static void BM_AccessStream(benchmark::State &State) {
                           static_cast<int64_t>(T.numAccesses()));
 }
 BENCHMARK(BM_AccessStream)->Arg(0)->Arg(3)->Arg(6)->Arg(99);
+
+static void BM_AccessStreamTraced(benchmark::State &State) {
+  // Same replay as BM_AccessStream(3) but with a telemetry sink attached;
+  // the delta against the null-sink run is the full cost of tracing every
+  // miss, eviction, and unlink. The disabled path (BM_AccessStream) must
+  // not regress when telemetry code is compiled in.
+  const Trace &T = benchTrace();
+  telemetry::TelemetrySink Sink(1 << 16);
+  for (auto _ : State) {
+    CacheManagerConfig Config;
+    Config.CapacityBytes = std::max<uint64_t>(
+        1, static_cast<uint64_t>(
+               static_cast<double>(T.maxCacheBytes()) / 8.0));
+    Config.Telemetry = &Sink;
+    CacheManager Traced(Config, makePolicy(GranularitySpec::units(8)));
+    for (SuperblockId Id : T.Accesses)
+      Traced.access(T.recordFor(Id));
+    benchmark::DoNotOptimize(Traced.stats().Misses);
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(T.numAccesses()));
+}
+BENCHMARK(BM_AccessStreamTraced);
 
 static void BM_AccessStreamNoChaining(benchmark::State &State) {
   const Trace &T = benchTrace();

@@ -1,0 +1,113 @@
+//===- examples/TelemetryFlags.h - Shared --trace-out/--metrics-out -------===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Telemetry plumbing shared by the example drivers: the flag set, sink
+/// construction (only when an output was actually requested, so the
+/// default run keeps the null-sink fast path), and export/validation of
+/// the written files.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_EXAMPLES_TELEMETRYFLAGS_H
+#define CCSIM_EXAMPLES_TELEMETRYFLAGS_H
+
+#include "support/Flags.h"
+#include "support/StringUtils.h"
+#include "telemetry/Exporters.h"
+#include "telemetry/Telemetry.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+
+namespace ccsim {
+
+/// Shared telemetry flags for the simulation drivers.
+inline void addTelemetryFlags(FlagSet &Flags) {
+  Flags.addString("trace-out", "",
+                  "Write the event trace to this path ('' = off).");
+  Flags.addString("trace-format", "chrome",
+                  "Trace format: chrome | jsonl | csv.");
+  Flags.addString("metrics-out", "",
+                  "Write metrics to this path (.csv => CSV, else "
+                  "JSON-lines; '' = off).");
+  Flags.addBool("validate", false,
+                "Re-read a written Chrome trace and verify it is "
+                "well-formed, printing per-category event counts.");
+}
+
+/// A sink when any telemetry output was requested, else null (the
+/// simulators then run the zero-cost disabled path).
+inline std::unique_ptr<telemetry::TelemetrySink>
+makeSinkIfRequested(const FlagSet &Flags) {
+  if (Flags.getString("trace-out").empty() &&
+      Flags.getString("metrics-out").empty())
+    return nullptr;
+  return std::make_unique<telemetry::TelemetrySink>(1 << 20);
+}
+
+/// Writes the outputs requested by the telemetry flags. Returns a process
+/// exit code (0 = ok).
+inline int exportTelemetry(const FlagSet &Flags,
+                           const telemetry::TelemetrySink *Sink) {
+  if (!Sink)
+    return 0;
+  const std::string TraceOut = Flags.getString("trace-out");
+  if (!TraceOut.empty()) {
+    const auto Format =
+        telemetry::parseTraceFormat(Flags.getString("trace-format"));
+    if (!Format) {
+      std::fprintf(stderr,
+                   "error: unknown trace format '%s' (chrome|jsonl|csv)\n",
+                   Flags.getString("trace-format").c_str());
+      return 1;
+    }
+    if (!telemetry::writeTraceFile(Sink->Tracer, TraceOut, *Format)) {
+      std::fprintf(stderr, "error: cannot write %s\n", TraceOut.c_str());
+      return 1;
+    }
+    std::printf("trace: %s events (%s dropped) -> %s\n",
+                formatWithCommas(Sink->Tracer.totalRecorded()).c_str(),
+                formatWithCommas(Sink->Tracer.droppedCount()).c_str(),
+                TraceOut.c_str());
+    if (Flags.getBool("validate") &&
+        *Format == telemetry::TraceFormat::Chrome) {
+      std::ifstream In(TraceOut, std::ios::binary);
+      std::ostringstream Buf;
+      Buf << In.rdbuf();
+      std::map<std::string, size_t> Categories;
+      std::string Error;
+      if (!In || !telemetry::validateChromeTrace(Buf.str(), &Categories,
+                                                 &Error)) {
+        std::fprintf(stderr, "error: invalid Chrome trace: %s\n",
+                     Error.c_str());
+        return 1;
+      }
+      std::printf("trace validated:");
+      for (const auto &[Cat, N] : Categories)
+        std::printf(" %s=%zu", Cat.c_str(), N);
+      std::printf("\n");
+    }
+  }
+  const std::string MetricsOut = Flags.getString("metrics-out");
+  if (!MetricsOut.empty()) {
+    if (!telemetry::writeMetricsFile(Sink->Metrics, MetricsOut)) {
+      std::fprintf(stderr, "error: cannot write %s\n", MetricsOut.c_str());
+      return 1;
+    }
+    std::printf("metrics: %zu series -> %s\n", Sink->Metrics.size(),
+                MetricsOut.c_str());
+  }
+  return 0;
+}
+
+} // namespace ccsim
+
+#endif // CCSIM_EXAMPLES_TELEMETRYFLAGS_H

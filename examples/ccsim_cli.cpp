@@ -34,8 +34,11 @@
 #include "trace/TraceGenerator.h"
 #include "trace/TraceIO.h"
 
+#include "TelemetryFlags.h"
+
 #include <cstdio>
 #include <cstring>
+#include <memory>
 
 using namespace ccsim;
 
@@ -78,7 +81,9 @@ int cmdSimulate(int Argc, char **Argv) {
   Flags.addString("benchmark", "crafty", "Table 1 benchmark name.");
   Flags.addString("policy", "8", "flush | fine | <unit count>.");
   Flags.addDouble("pressure", 10.0, "Cache pressure factor.");
+  Flags.addDouble("scale", 1.0, "Workload size multiplier.");
   Flags.addInt("seed", 42, "Trace seed.");
+  addTelemetryFlags(Flags);
   if (!Flags.parse(Argc, Argv))
     return 1;
   const WorkloadModel *M = findWorkload(Flags.getString("benchmark"));
@@ -86,13 +91,18 @@ int cmdSimulate(int Argc, char **Argv) {
     std::fprintf(stderr, "error: unknown benchmark\n");
     return 1;
   }
+  WorkloadModel Chosen = *M;
+  if (Flags.getDouble("scale") < 0.999)
+    Chosen = scaledWorkload(*M, Flags.getDouble("scale"));
   const Trace T = TraceGenerator::generateBenchmark(
-      *M, static_cast<uint64_t>(Flags.getInt("seed")));
+      Chosen, static_cast<uint64_t>(Flags.getInt("seed")));
   SimConfig Config;
   Config.PressureFactor = Flags.getDouble("pressure");
+  const auto Sink = makeSinkIfRequested(Flags);
+  Config.Telemetry = Sink.get();
   printSimResult(
       sim::run(T, parsePolicy(Flags.getString("policy")), Config));
-  return 0;
+  return exportTelemetry(Flags, Sink.get());
 }
 
 int cmdRecord(int Argc, char **Argv) {
@@ -137,6 +147,7 @@ int cmdReplay(int Argc, char **Argv) {
   FlagSet Flags("ccsim_cli replay: replay a saved log.");
   Flags.addString("policy", "8", "flush | fine | <unit count>.");
   Flags.addDouble("pressure", 4.0, "Cache pressure factor.");
+  addTelemetryFlags(Flags);
   if (!Flags.parse(Argc, Argv))
     return 1;
   if (Flags.positional().empty()) {
@@ -151,9 +162,11 @@ int cmdReplay(int Argc, char **Argv) {
   }
   SimConfig Config;
   Config.PressureFactor = Flags.getDouble("pressure");
+  const auto Sink = makeSinkIfRequested(Flags);
+  Config.Telemetry = Sink.get();
   printSimResult(
       sim::run(*T, parsePolicy(Flags.getString("policy")), Config));
-  return 0;
+  return exportTelemetry(Flags, Sink.get());
 }
 
 int cmdFit(int Argc, char **Argv) {
@@ -185,6 +198,7 @@ int cmdSuite(int Argc, char **Argv) {
                "Suite seed.");
   Flags.addInt("jobs", 0,
                "Worker threads (0 = hardware concurrency, 1 = serial).");
+  addTelemetryFlags(Flags);
   if (!Flags.parse(Argc, Argv))
     return 1;
   SweepEngine Engine =
@@ -198,6 +212,8 @@ int cmdSuite(int Argc, char **Argv) {
       Flags.getInt("jobs") > 0 ? static_cast<unsigned>(Flags.getInt("jobs"))
                                : ThreadPool::hardwareThreads());
   SimConfig Config;
+  const auto Sink = makeSinkIfRequested(Flags);
+  Config.Telemetry = Sink.get();
   // The whole granularity x benchmark grid runs as one parallel batch;
   // results are bit-identical to the serial sweep.
   const auto Results = Engine.runParallel(makeSweepGrid(
@@ -212,7 +228,7 @@ int cmdSuite(int Argc, char **Argv) {
     Out.cell(Rel[I], 3);
   }
   std::fputs(Out.render().c_str(), stdout);
-  return 0;
+  return exportTelemetry(Flags, Sink.get());
 }
 
 std::vector<std::string> splitList(const std::string &Text) {
@@ -243,6 +259,7 @@ int cmdTenants(int Argc, char **Argv) {
                   "Pressure (capacity = sum maxCache / pressure).");
   Flags.addDouble("scale", 1.0, "Workload size multiplier.");
   Flags.addInt("seed", 42, "Trace seed.");
+  addTelemetryFlags(Flags);
   if (!Flags.parse(Argc, Argv))
     return 1;
 
@@ -289,6 +306,8 @@ int cmdTenants(int Argc, char **Argv) {
     return 1;
   }
   Config.PressureFactor = Flags.getDouble("pressure");
+  const auto Sink = makeSinkIfRequested(Flags);
+  Config.Telemetry = Sink.get();
 
   MultiTenantSimulator Sim(Traces, Config);
   const MultiTenantResult R = Sim.run();
@@ -316,7 +335,7 @@ int cmdTenants(int Argc, char **Argv) {
   Out.cell(Lost);
   Out.cell(R.Global.totalOverhead(true), 0);
   std::fputs(Out.render().c_str(), stdout);
-  return 0;
+  return exportTelemetry(Flags, Sink.get());
 }
 
 void usage() {

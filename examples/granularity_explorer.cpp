@@ -16,6 +16,8 @@
 #include "support/Table.h"
 #include "trace/TraceGenerator.h"
 
+#include "TelemetryFlags.h"
+
 #include <cstdio>
 #include <vector>
 
@@ -32,6 +34,7 @@ int main(int Argc, char **Argv) {
   Flags.addInt("seed", 42, "Trace generation seed.");
   Flags.addInt("jobs", 0,
                "Worker threads (0 = hardware concurrency, 1 = serial).");
+  addTelemetryFlags(Flags);
   if (!Flags.parse(Argc, Argv))
     return 1;
 
@@ -52,6 +55,8 @@ int main(int Argc, char **Argv) {
 
   SimConfig Config;
   Config.PressureFactor = Flags.getDouble("pressure");
+  const auto Sink = makeSinkIfRequested(Flags);
+  Config.Telemetry = Sink.get();
   std::printf("benchmark %s: %zu superblocks, maxCache %s, cache budget "
               "%s (pressure %.0f)\n\n",
               Chosen.Name.c_str(), T.numSuperblocks(),
@@ -97,5 +102,5 @@ int main(int Argc, char **Argv) {
   std::printf("\nrecommendation: %s (%.1f%% less management overhead than "
               "FLUSH)\n",
               BestLabel.c_str(), (1.0 - Best / FlushOverhead) * 100.0);
-  return 0;
+  return exportTelemetry(Flags, Sink.get());
 }

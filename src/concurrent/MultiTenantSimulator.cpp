@@ -175,6 +175,14 @@ MultiTenantResult MultiTenantSimulator::run() {
     Evictor.EvictionOverhead += Config.Costs.evictionOverhead(BatchBytes);
   };
 
+  // Tenant roster: one TenantTag record per tenant so trace viewers can
+  // resolve the tenant lanes to benchmark names.
+  if (telemetry::TelemetrySink *Tel = Config.Telemetry)
+    for (size_t T = 0; T < K; ++T)
+      Tel->Tracer.record(telemetry::EventKind::TenantTag,
+                         static_cast<uint32_t>(T), telemetry::NoBlock,
+                         Tel->Tracer.internLabel(Traces[T].Name), 0, 0);
+
   // Build the manager(s).
   const size_t NumManagers = Config.Mode == PartitionMode::Shared ? 1 : K;
   std::vector<std::unique_ptr<CacheManager>> Managers;
@@ -191,6 +199,7 @@ MultiTenantResult MultiTenantSimulator::run() {
     MC.Costs = Config.Costs;
     MC.EnableChaining = Config.EnableChaining;
     MC.OnEviction = Observer;
+    MC.Telemetry = Config.Telemetry;
     std::unique_ptr<EvictionPolicy> Policy;
     if (QuotaInUnits) {
       // Keep the shared unit size: a tenant holding Q units runs Q-unit
@@ -280,5 +289,33 @@ MultiTenantResult MultiTenantSimulator::run() {
 
   for (const auto &M : Managers)
     Result.Global.merge(M->stats());
+
+  // Publish attributed metrics: one label set per tenant, plus the merged
+  // manager counters under scope=global.
+  if (telemetry::TelemetrySink *Tel = Config.Telemetry) {
+    for (const TenantResult &TR : Result.Tenants) {
+      const telemetry::MetricLabels Labels = {{"tenant", TR.Name},
+                                              {"mode", Result.ModeLabel}};
+      auto Count = [&](const char *Name, uint64_t Value) {
+        Tel->Metrics.counter(Name, Labels).add(Value);
+      };
+      Count("tenant.accesses", TR.Accesses);
+      Count("tenant.hits", TR.Hits);
+      Count("tenant.misses", TR.Misses);
+      Count("tenant.misses.cold", TR.ColdMisses);
+      Count("tenant.misses.capacity", TR.CapacityMisses);
+      Count("tenant.evictions.triggered", TR.EvictionInvocationsTriggered);
+      Count("tenant.blocks_evicted", TR.BlocksEvicted);
+      Count("tenant.bytes_evicted", TR.BytesEvicted);
+      Count("tenant.blocks_lost_to_others", TR.BlocksLostToOthers);
+      Count("tenant.unlink.operations", TR.UnlinkOperations);
+      Count("tenant.unlink.links_repaired", TR.UnlinkedLinks);
+      Tel->Metrics.gauge("tenant.miss_rate", Labels).set(TR.missRate());
+      Tel->Metrics.gauge("tenant.overhead.total", Labels)
+          .set(TR.totalOverhead(true));
+    }
+    Result.Global.recordTo(Tel->Metrics, {{"scope", "global"},
+                                          {"mode", Result.ModeLabel}});
+  }
   return Result;
 }

@@ -75,6 +75,12 @@ struct MultiTenantConfig {
 
   /// Optional per-tenant weights; defaults to 1.0 each.
   std::vector<TenantSpec> Tenants;
+
+  /// Optional telemetry endpoint. run() tags every tenant with a
+  /// TenantTag record, forwards the sink into the underlying cache
+  /// manager(s), and publishes per-tenant and global metrics labeled by
+  /// tenant name and partition mode. Null costs nothing.
+  telemetry::TelemetrySink *Telemetry = nullptr;
 };
 
 /// Counters attributed to one tenant. Access-side counters (accesses,

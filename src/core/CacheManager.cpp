@@ -47,22 +47,58 @@ void CacheManager::chargeEvictions(uint64_t UnitsFlushed) {
   Stats.UnitsFlushed += UnitsFlushed;
   Stats.EvictionOverhead += Config.Costs.evictionOverhead(Bytes);
 
-  if (!Config.EnableChaining) {
-    // Without chaining there are no links to repair; nothing else to do.
-    return;
-  }
-
-  DanglingScratch.clear();
-  Links.onEvict(Cache, EvictedScratch, DanglingScratch);
-  if (Policy->usesBackPointerTable(Cache.capacity())) {
-    for (uint32_t NumLinks : DanglingScratch) {
-      if (NumLinks == 0)
-        continue;
-      ++Stats.UnlinkOperations;
-      Stats.UnlinkedLinks += NumLinks;
-      Stats.UnlinkOverhead += Config.Costs.unlinkingOverhead(NumLinks);
+  // Without chaining there are no links to repair.
+  bool HaveDangling = false;
+  if (Config.EnableChaining) {
+    DanglingScratch.clear();
+    Links.onEvict(Cache, EvictedScratch, DanglingScratch);
+    if (Policy->usesBackPointerTable(Cache.capacity())) {
+      HaveDangling = true;
+      for (uint32_t NumLinks : DanglingScratch) {
+        if (NumLinks == 0)
+          continue;
+        ++Stats.UnlinkOperations;
+        Stats.UnlinkedLinks += NumLinks;
+        Stats.UnlinkOverhead += Config.Costs.unlinkingOverhead(NumLinks);
+      }
     }
   }
+
+  if (Config.Telemetry) [[unlikely]]
+    traceEvictionBatch(Bytes, HaveDangling);
+}
+
+void CacheManager::traceMiss(const SuperblockRecord &Rec, bool Cold,
+                             uint64_t Quantum) {
+  telemetry::EventTracer &Tracer = Config.Telemetry->Tracer;
+  Tracer.record(telemetry::EventKind::Miss, Rec.Tenant, Rec.Id,
+                Rec.SizeBytes, Cold ? 1 : 0, Stats.Accesses);
+  // Adaptive policies move their quantum over time; pin every change (and
+  // the initial value) so a trace explains *why* batch sizes shifted.
+  if (Quantum != LastQuantumTraced) {
+    Tracer.record(telemetry::EventKind::QuantumChange, Rec.Tenant,
+                  telemetry::NoBlock, Quantum, LastQuantumTraced,
+                  Stats.Accesses);
+    LastQuantumTraced = Quantum;
+  }
+}
+
+void CacheManager::traceEvictionBatch(uint64_t BatchBytes,
+                                      bool HaveDangling) {
+  telemetry::EventTracer &Tracer = Config.Telemetry->Tracer;
+  for (size_t I = 0; I < EvictedScratch.size(); ++I) {
+    const CodeCache::Resident &V = EvictedScratch[I];
+    const uint32_t NumLinks =
+        HaveDangling && I < DanglingScratch.size() ? DanglingScratch[I] : 0;
+    Tracer.record(telemetry::EventKind::Evict, tenantOf(V.Id), V.Id, V.Size,
+                  NumLinks, Stats.Accesses);
+    if (NumLinks > 0)
+      Tracer.record(telemetry::EventKind::Unlink, tenantOf(V.Id), V.Id,
+                    NumLinks, 0, Stats.Accesses);
+  }
+  Tracer.record(telemetry::EventKind::EvictionBatch, CurrentTenant,
+                telemetry::NoBlock, EvictedScratch.size(), BatchBytes,
+                Stats.Accesses);
 }
 
 void CacheManager::notifyEvictions() {
@@ -100,13 +136,16 @@ AccessKind CacheManager::access(const SuperblockRecord &Rec) {
     // Miss: the superblock must be regenerated (re-translated, inserted,
     // hash table updated) at the Eq. 3 cost; there is no backing store.
     ++Stats.Misses;
-    if (seenBefore(Rec.Id))
-      ++Stats.CapacityMisses;
-    else
+    const bool Cold = !seenBefore(Rec.Id);
+    if (Cold)
       ++Stats.ColdMisses;
+    else
+      ++Stats.CapacityMisses;
     Stats.MissOverhead += Config.Costs.missOverhead(Rec.SizeBytes);
 
     const uint64_t Quantum = currentQuantum();
+    if (Config.Telemetry) [[unlikely]]
+      traceMiss(Rec, Cold, Quantum);
     EvictedScratch.clear();
     const CodeCache::PrepareOutcome Prep =
         Cache.prepareInsert(Rec.SizeBytes, Quantum, EvictedScratch);
@@ -124,6 +163,10 @@ AccessKind CacheManager::access(const SuperblockRecord &Rec) {
       TenantById[Rec.Id] = Rec.Tenant;
       if (Config.EnableChaining)
         Links.onInsert(Cache, Quantum, Rec.Id, Rec.OutEdges, Stats);
+      if (Config.Telemetry) [[unlikely]]
+        Config.Telemetry->Tracer.record(telemetry::EventKind::Insert,
+                                        Rec.Tenant, Rec.Id, Rec.SizeBytes,
+                                        0, Stats.Accesses);
       Kind = AccessKind::Miss;
     } else {
       Kind = AccessKind::MissTooBig;
@@ -132,7 +175,9 @@ AccessKind CacheManager::access(const SuperblockRecord &Rec) {
 
   if (Policy->shouldFlushNow() && !Cache.empty()) {
     ++Stats.PreemptiveFlushes;
+    PreemptiveFlushInFlight = true;
     flushEntireCache();
+    PreemptiveFlushInFlight = false;
     Policy->noteFlush();
   }
 
@@ -143,6 +188,11 @@ AccessKind CacheManager::access(const SuperblockRecord &Rec) {
 void CacheManager::flushEntireCache() {
   if (Cache.empty())
     return;
+  if (Config.Telemetry) [[unlikely]]
+    Config.Telemetry->Tracer.record(
+        telemetry::EventKind::Flush, CurrentTenant, telemetry::NoBlock,
+        Cache.residentCount(), PreemptiveFlushInFlight ? 1 : 0,
+        Stats.Accesses);
   EvictedScratch.clear();
   Cache.flushAll(EvictedScratch);
   // A full flush is one invocation clearing every unit that held code.

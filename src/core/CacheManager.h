@@ -29,6 +29,7 @@
 #include "core/EvictionPolicy.h"
 #include "core/LinkGraph.h"
 #include "core/Superblock.h"
+#include "telemetry/Telemetry.h"
 
 #include <functional>
 #include <memory>
@@ -73,6 +74,13 @@ struct CacheManagerConfig {
   /// Optional eviction attribution hook (multi-tenant accounting). Left
   /// empty in single-tenant runs; the hot path never pays for it then.
   EvictionObserver OnEviction;
+
+  /// Optional telemetry endpoint. Null (the default) is the disabled
+  /// fast path: hits emit nothing at all, and the miss/eviction paths pay
+  /// one predictable null-pointer branch each. When set, the manager
+  /// emits miss, insert, per-victim evict, eviction-batch, unlink, flush,
+  /// and quantum-change records into the sink's tracer.
+  telemetry::TelemetrySink *Telemetry = nullptr;
 };
 
 /// Result of one access.
@@ -131,10 +139,16 @@ private:
   std::vector<TenantId> VictimTenantScratch;
   TenantId CurrentTenant = 0; // Tenant of the in-flight access.
 
+  // Telemetry bookkeeping (only touched when Config.Telemetry is set).
+  uint64_t LastQuantumTraced = 0;   // 0 = no quantum recorded yet.
+  bool PreemptiveFlushInFlight = false;
+
   void chargeEvictions(uint64_t UnitsFlushed);
   void notifyEvictions();
   void sampleBackPointerMemory();
   bool seenBefore(SuperblockId Id);
+  void traceMiss(const SuperblockRecord &Rec, bool Cold, uint64_t Quantum);
+  void traceEvictionBatch(uint64_t BatchBytes, bool HaveDangling);
 };
 
 } // namespace ccsim

@@ -30,3 +30,38 @@ void CacheStats::merge(const CacheStats &Other) {
       std::max(BackPointerBytesPeak, Other.BackPointerBytesPeak);
   BackPointerBytesSum += Other.BackPointerBytesSum;
 }
+
+void CacheStats::recordTo(telemetry::MetricsRegistry &Metrics,
+                          const telemetry::MetricLabels &Labels) const {
+  auto Count = [&](const char *Name, uint64_t Value) {
+    Metrics.counter(Name, Labels).add(Value);
+  };
+  Count("cache.accesses", Accesses);
+  Count("cache.hits", Hits);
+  Count("cache.misses", Misses);
+  Count("cache.misses.cold", ColdMisses);
+  Count("cache.misses.capacity", CapacityMisses);
+  Count("cache.evictions.invocations", EvictionInvocations);
+  Count("cache.evictions.blocks", EvictedBlocks);
+  Count("cache.evictions.bytes", EvictedBytes);
+  Count("cache.evictions.units_flushed", UnitsFlushed);
+  Count("cache.flushes.preemptive", PreemptiveFlushes);
+  Count("cache.wasted_bytes", WastedBytes);
+  Count("cache.links.created", LinksCreated);
+  Count("cache.links.inter_unit", InterUnitLinksCreated);
+  Count("cache.links.self", SelfLinksCreated);
+  Count("cache.unlink.operations", UnlinkOperations);
+  Count("cache.unlink.links_repaired", UnlinkedLinks);
+
+  auto Gaug = [&](const char *Name, double Value) {
+    Metrics.gauge(Name, Labels).set(Value);
+  };
+  Gaug("cache.miss_rate", missRate());
+  Gaug("cache.overhead.miss", MissOverhead);
+  Gaug("cache.overhead.eviction", EvictionOverhead);
+  Gaug("cache.overhead.unlink", UnlinkOverhead);
+  Gaug("cache.overhead.total", totalOverhead(true));
+  Gaug("cache.backpointer.bytes_peak",
+       static_cast<double>(BackPointerBytesPeak));
+  Gaug("cache.backpointer.bytes_avg", backPointerBytesAvg());
+}

@@ -15,6 +15,8 @@
 #ifndef CCSIM_CORE_CACHESTATS_H
 #define CCSIM_CORE_CACHESTATS_H
 
+#include "telemetry/MetricsRegistry.h"
+
 #include <cstdint>
 
 namespace ccsim {
@@ -94,6 +96,15 @@ struct CacheStats {
   /// Accumulates \p Other into this (used for cross-benchmark weighted
   /// aggregation, Equation 1).
   void merge(const CacheStats &Other);
+
+  /// Publishes every counter into \p Metrics under \p Labels. This is the
+  /// one place that exposes the full counter set — including the fields no
+  /// report printed before telemetry existed (WastedBytes, UnitsFlushed,
+  /// SelfLinksCreated, UnlinkOperations, the dangling-link repair count,
+  /// and the back-pointer table footprint). Counters accumulate; gauges
+  /// take the latest value.
+  void recordTo(telemetry::MetricsRegistry &Metrics,
+                const telemetry::MetricLabels &Labels) const;
 };
 
 } // namespace ccsim

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 
 using namespace ccsim;
 
@@ -31,12 +32,32 @@ SimResult ccsim::sim::run(const Trace &T,
   MC.CapacityBytes = Result.CapacityBytes;
   MC.Costs = Config.Costs;
   MC.EnableChaining = Config.EnableChaining;
-  CacheManager Manager(MC, std::move(Policy));
+  MC.Telemetry = Config.Telemetry;
 
+  telemetry::TelemetrySink *Tel = Config.Telemetry;
+  uint32_t MarkId = 0;
+  if (Tel) {
+    MarkId = Tel->Tracer.internLabel("sim:" + Result.BenchmarkName + "/" +
+                                     Result.PolicyName);
+    Tel->Tracer.record(telemetry::EventKind::Mark, 0, telemetry::NoBlock,
+                       MarkId, 1, 0);
+  }
+
+  CacheManager Manager(MC, std::move(Policy));
   for (SuperblockId Id : T.Accesses)
     Manager.access(T.recordFor(Id));
 
   Result.Stats = Manager.stats();
+  if (Tel) {
+    Tel->Tracer.record(telemetry::EventKind::Mark, 0, telemetry::NoBlock,
+                       MarkId, 0, Result.Stats.Accesses);
+    char Pressure[32];
+    std::snprintf(Pressure, sizeof(Pressure), "%g", Config.PressureFactor);
+    Result.Stats.recordTo(Tel->Metrics,
+                          {{"benchmark", Result.BenchmarkName},
+                           {"policy", Result.PolicyName},
+                           {"pressure", Pressure}});
+  }
   return Result;
 }
 

@@ -37,6 +37,12 @@ struct SimConfig {
 
   /// Maintain superblock chaining state.
   bool EnableChaining = true;
+
+  /// Optional telemetry endpoint, forwarded into the CacheManager. When
+  /// set, run() wraps the replay in Mark records and publishes the final
+  /// CacheStats into the sink's registry under
+  /// {benchmark, policy, pressure} labels. Null costs nothing.
+  telemetry::TelemetrySink *Telemetry = nullptr;
 };
 
 /// Outcome of simulating one (trace, policy, capacity) combination.

@@ -5,8 +5,26 @@
 #include "concurrent/ThreadPool.h"
 
 #include <cassert>
+#include <cstdio>
 
 using namespace ccsim;
+
+namespace {
+
+/// Publishes one suite-level aggregate into the sink, labeled by the sweep
+/// point. Always called in canonical job order, which keeps registries
+/// byte-identical between serial and parallel execution.
+void recordSuiteResult(telemetry::TelemetrySink *Tel,
+                       const SuiteResult &Result) {
+  if (!Tel)
+    return;
+  char Pressure[32];
+  std::snprintf(Pressure, sizeof(Pressure), "%g", Result.PressureFactor);
+  Result.Combined.recordTo(Tel->Metrics, {{"suite", Result.PolicyLabel},
+                                          {"pressure", Pressure}});
+}
+
+} // namespace
 
 SweepEngine::SweepEngine(const std::vector<WorkloadModel> &Models,
                          uint64_t SuiteSeed) {
@@ -67,6 +85,7 @@ SuiteResult SweepEngine::runSuite(
   // access count, which is what summing raw counters does.
   for (const SimResult &R : Result.PerBenchmark)
     Result.Combined.merge(R.Stats);
+  recordSuiteResult(Config.Telemetry, Result);
   return Result;
 }
 
@@ -115,6 +134,7 @@ SweepEngine::runParallel(const std::vector<SweepJob> &Jobs) const {
                           Flat.begin() + (J + 1) * NumBenchmarks);
     for (const SimResult &B : R.PerBenchmark)
       R.Combined.merge(B.Stats);
+    recordSuiteResult(Jobs[J].Config.Telemetry, R);
   }
   return Results;
 }

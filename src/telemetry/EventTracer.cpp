@@ -1,0 +1,108 @@
+//===- telemetry/EventTracer.cpp - Bounded ring buffer of trace events ----===//
+
+#include "telemetry/EventTracer.h"
+
+#include <cassert>
+
+using namespace ccsim;
+using namespace ccsim::telemetry;
+
+const char *ccsim::telemetry::eventKindName(EventKind K) {
+  switch (K) {
+  case EventKind::Miss:
+    return "miss";
+  case EventKind::Insert:
+    return "insert";
+  case EventKind::Evict:
+    return "evict";
+  case EventKind::EvictionBatch:
+    return "eviction-batch";
+  case EventKind::Unlink:
+    return "unlink";
+  case EventKind::Flush:
+    return "flush";
+  case EventKind::QuantumChange:
+    return "quantum-change";
+  case EventKind::TenantTag:
+    return "tenant-tag";
+  case EventKind::Mark:
+    return "mark";
+  }
+  return "unknown";
+}
+
+EventTracer::EventTracer(size_t Capacity) {
+  assert(Capacity > 0 && "tracer needs a positive capacity");
+  Ring.resize(Capacity);
+}
+
+void EventTracer::record(EventKind Kind, uint32_t Tenant, uint32_t Block,
+                         uint64_t A, uint64_t B, uint64_t Tick) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  TraceEvent &E = Ring[Next];
+  E.Seq = NextSeq++;
+  E.Tick = Tick;
+  E.A = A;
+  E.B = B;
+  E.Tenant = Tenant;
+  E.Block = Block;
+  E.Kind = Kind;
+  Next = Next + 1 == Ring.size() ? 0 : Next + 1;
+  ++Recorded;
+  ++KindCounts[static_cast<size_t>(Kind)];
+}
+
+uint32_t EventTracer::internLabel(const std::string &Text) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = LabelIds.find(Text);
+  if (It != LabelIds.end())
+    return It->second;
+  const uint32_t Id = static_cast<uint32_t>(Labels.size());
+  Labels.push_back(Text);
+  LabelIds.emplace(Text, Id);
+  return Id;
+}
+
+const std::string &EventTracer::labelText(uint32_t Id) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Id < Labels.size() ? Labels[Id] : EmptyLabel;
+}
+
+std::vector<TraceEvent> EventTracer::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<TraceEvent> Out;
+  const size_t Kept = Recorded < Ring.size() ? Recorded : Ring.size();
+  Out.reserve(Kept);
+  // Oldest record: the write cursor when the ring has wrapped, index 0
+  // otherwise.
+  const size_t Start = Recorded < Ring.size() ? 0 : Next;
+  for (size_t I = 0; I < Kept; ++I)
+    Out.push_back(Ring[(Start + I) % Ring.size()]);
+  return Out;
+}
+
+uint64_t EventTracer::totalRecorded() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Recorded;
+}
+
+uint64_t EventTracer::droppedCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Recorded < Ring.size() ? 0 : Recorded - Ring.size();
+}
+
+uint64_t EventTracer::kindCount(EventKind K) const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return KindCounts[static_cast<size_t>(K)];
+}
+
+void EventTracer::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Next = 0;
+  Recorded = 0;
+  NextSeq = 0;
+  for (uint64_t &C : KindCounts)
+    C = 0;
+  Labels.clear();
+  LabelIds.clear();
+}

@@ -1,0 +1,82 @@
+//===- telemetry/EventTracer.h - Bounded ring buffer of trace events -----===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe bounded ring buffer of TraceEvent records. The ring is
+/// allocated once at construction; record() never allocates, and when the
+/// buffer is full the oldest records are overwritten (the drop count is
+/// kept so exporters can report truncation). Sequence numbers are assigned
+/// under the lock, so the snapshot order is globally monotone even when
+/// several cache managers share one tracer across threads.
+///
+/// Disabled telemetry never reaches this class at all: the hot paths test
+/// a null TelemetrySink pointer and skip everything.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_TELEMETRY_EVENTTRACER_H
+#define CCSIM_TELEMETRY_EVENTTRACER_H
+
+#include "telemetry/TraceEvent.h"
+
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace ccsim {
+namespace telemetry {
+
+class EventTracer {
+public:
+  /// \param Capacity ring size in records (> 0); the default comfortably
+  /// holds the interesting window of a scaled benchmark run.
+  explicit EventTracer(size_t Capacity = 1 << 16);
+
+  /// Appends one record. Constant time, no allocation; overwrites the
+  /// oldest record when full.
+  void record(EventKind Kind, uint32_t Tenant, uint32_t Block, uint64_t A,
+              uint64_t B, uint64_t Tick);
+
+  /// Interns \p Text and returns its stable id (same text, same id).
+  /// Not a hot-path operation: used for tenant names and phase marks.
+  uint32_t internLabel(const std::string &Text);
+
+  /// Text of label \p Id; empty string for unknown ids.
+  const std::string &labelText(uint32_t Id) const;
+
+  /// Copies the retained records oldest-first.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// Records ever passed to record(), including overwritten ones.
+  uint64_t totalRecorded() const;
+
+  /// Records lost to ring overwrites.
+  uint64_t droppedCount() const;
+
+  /// Per-kind tally over all records ever seen (survives overwrites).
+  uint64_t kindCount(EventKind K) const;
+
+  size_t capacity() const { return Ring.size(); }
+
+  /// Forgets all records and labels (capacity is kept).
+  void clear();
+
+private:
+  mutable std::mutex Mu;
+  std::vector<TraceEvent> Ring; // Fixed size; Next is the write cursor.
+  size_t Next = 0;
+  uint64_t Recorded = 0;
+  uint64_t NextSeq = 0;
+  uint64_t KindCounts[NumEventKinds] = {};
+  std::vector<std::string> Labels;
+  std::unordered_map<std::string, uint32_t> LabelIds;
+  std::string EmptyLabel;
+};
+
+} // namespace telemetry
+} // namespace ccsim
+
+#endif // CCSIM_TELEMETRY_EVENTTRACER_H

@@ -1,0 +1,78 @@
+//===- telemetry/Exporters.h - Trace and metrics export formats ----------===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serializes tracer snapshots and metric registries:
+///
+///   JSON-lines   one JSON object per record/metric; jq/grep friendly,
+///   CSV          RFC-4180 via support/Csv; spreadsheet friendly,
+///   Chrome       the `trace_event` JSON understood by chrome://tracing
+///                and Perfetto (https://ui.perfetto.dev), using the
+///                logical tick as the microsecond timestamp and the
+///                tenant as the thread lane.
+///
+/// Also provides a self-contained Chrome-trace validator (a minimal JSON
+/// parser) so tests and `ccsim_cli --validate` can confirm an emitted
+/// trace is well-formed and count events per category without external
+/// tooling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_TELEMETRY_EXPORTERS_H
+#define CCSIM_TELEMETRY_EXPORTERS_H
+
+#include "telemetry/EventTracer.h"
+#include "telemetry/MetricsRegistry.h"
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace ccsim {
+namespace telemetry {
+
+/// Event-trace serialization formats.
+enum class TraceFormat { Chrome, JsonLines, Csv };
+
+/// Parses "chrome" | "jsonl" | "csv" (case-sensitive).
+std::optional<TraceFormat> parseTraceFormat(const std::string &Text);
+
+/// Escapes \p Text for inclusion inside a JSON string literal.
+std::string jsonEscape(const std::string &Text);
+
+// Event-trace renderers.
+std::string renderTraceJsonLines(const EventTracer &Tracer);
+std::string renderTraceCsv(const EventTracer &Tracer);
+std::string renderChromeTrace(const EventTracer &Tracer);
+
+/// Renders \p Tracer as \p Format and writes it to \p Path. Returns false
+/// on I/O failure.
+bool writeTraceFile(const EventTracer &Tracer, const std::string &Path,
+                    TraceFormat Format);
+
+// Metrics renderers (canonical key order; byte-identical for identical
+// registry contents).
+std::string renderMetricsJsonLines(const MetricsRegistry &Metrics);
+std::string renderMetricsCsv(const MetricsRegistry &Metrics);
+
+/// Writes the registry to \p Path, as CSV when the path ends in ".csv"
+/// and JSON-lines otherwise. Returns false on I/O failure.
+bool writeMetricsFile(const MetricsRegistry &Metrics,
+                      const std::string &Path);
+
+/// Validates that \p Json is a well-formed Chrome trace: syntactically
+/// valid JSON whose top level is an object with a "traceEvents" array.
+/// On success fills \p CategoryCounts (if non-null) with the number of
+/// events per "cat" value. On failure returns false and sets \p Error
+/// (if non-null).
+bool validateChromeTrace(const std::string &Json,
+                         std::map<std::string, size_t> *CategoryCounts,
+                         std::string *Error);
+
+} // namespace telemetry
+} // namespace ccsim
+
+#endif // CCSIM_TELEMETRY_EXPORTERS_H

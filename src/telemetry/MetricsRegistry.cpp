@@ -1,0 +1,145 @@
+//===- telemetry/MetricsRegistry.cpp - Labeled metric instruments ---------===//
+
+#include "telemetry/MetricsRegistry.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace ccsim;
+using namespace ccsim::telemetry;
+
+static MetricLabels sortedLabels(MetricLabels Labels) {
+  std::stable_sort(Labels.begin(), Labels.end(),
+                   [](const auto &A, const auto &B) {
+                     return A.first < B.first;
+                   });
+  return Labels;
+}
+
+std::string MetricsRegistry::canonicalKey(const std::string &Name,
+                                          const MetricLabels &Labels) {
+  const MetricLabels Sorted = sortedLabels(Labels);
+  std::string Key = Name;
+  // An unlabeled metric is just its name; braces only appear with labels,
+  // so unlabeled series sort ahead of every labeled series of the same
+  // name.
+  if (Sorted.empty())
+    return Key;
+  Key.push_back('{');
+  for (size_t I = 0; I < Sorted.size(); ++I) {
+    if (I)
+      Key.push_back(',');
+    Key += Sorted[I].first;
+    Key.push_back('=');
+    Key += Sorted[I].second;
+  }
+  Key.push_back('}');
+  return Key;
+}
+
+MetricsRegistry::Metric &
+MetricsRegistry::fetch(MetricSample::Type Kind, const std::string &Name,
+                       MetricLabels Labels, double BucketWidth,
+                       size_t NumBuckets) {
+  MetricLabels Sorted = sortedLabels(std::move(Labels));
+  const std::string Key = canonicalKey(Name, Sorted);
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Metrics.find(Key);
+  if (It != Metrics.end()) {
+    assert(It->second->Kind == Kind && "metric re-registered as a "
+                                       "different type");
+    return *It->second;
+  }
+  auto M = std::make_unique<Metric>();
+  M->Kind = Kind;
+  M->Name = Name;
+  M->Labels = std::move(Sorted);
+  if (Kind == MetricSample::Type::Histogram)
+    M->H = std::make_unique<HistogramMetric>(BucketWidth, NumBuckets);
+  Metric &Ref = *M;
+  Metrics.emplace(Key, std::move(M));
+  return Ref;
+}
+
+Counter &MetricsRegistry::counter(const std::string &Name,
+                                  MetricLabels Labels) {
+  return fetch(MetricSample::Type::Counter, Name, std::move(Labels), 0, 0).C;
+}
+
+Gauge &MetricsRegistry::gauge(const std::string &Name, MetricLabels Labels) {
+  return fetch(MetricSample::Type::Gauge, Name, std::move(Labels), 0, 0).G;
+}
+
+HistogramMetric &MetricsRegistry::histogram(const std::string &Name,
+                                            double BucketWidth,
+                                            size_t NumBuckets,
+                                            MetricLabels Labels) {
+  return *fetch(MetricSample::Type::Histogram, Name, std::move(Labels),
+                BucketWidth, NumBuckets)
+              .H;
+}
+
+const MetricsRegistry::Metric *
+MetricsRegistry::find(const std::string &Name,
+                      const MetricLabels &Labels) const {
+  const std::string Key = canonicalKey(Name, Labels);
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Metrics.find(Key);
+  return It == Metrics.end() ? nullptr : It->second.get();
+}
+
+uint64_t MetricsRegistry::counterValue(const std::string &Name,
+                                       const MetricLabels &Labels) const {
+  const Metric *M = find(Name, Labels);
+  return M && M->Kind == MetricSample::Type::Counter ? M->C.value() : 0;
+}
+
+double MetricsRegistry::gaugeValue(const std::string &Name,
+                                   const MetricLabels &Labels) const {
+  const Metric *M = find(Name, Labels);
+  return M && M->Kind == MetricSample::Type::Gauge ? M->G.value() : 0.0;
+}
+
+bool MetricsRegistry::has(const std::string &Name,
+                          const MetricLabels &Labels) const {
+  return find(Name, Labels) != nullptr;
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Metrics.size();
+}
+
+std::vector<MetricSample> MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  std::vector<MetricSample> Out;
+  Out.reserve(Metrics.size());
+  // std::map iterates in key order: the canonical, thread-independent
+  // order exporters rely on.
+  for (const auto &[Key, M] : Metrics) {
+    MetricSample S;
+    S.Kind = M->Kind;
+    S.Name = M->Name;
+    S.Labels = M->Labels;
+    switch (M->Kind) {
+    case MetricSample::Type::Counter:
+      S.CounterValue = M->C.value();
+      break;
+    case MetricSample::Type::Gauge:
+      S.GaugeValue = M->G.value();
+      break;
+    case MetricSample::Type::Histogram: {
+      const Histogram H = M->H->snapshot();
+      S.HistogramBucketWidth = H.numBuckets() ? H.bucketHigh(0) : 0.0;
+      S.HistogramCounts.reserve(H.numBuckets() + 1);
+      for (size_t I = 0; I < H.numBuckets(); ++I)
+        S.HistogramCounts.push_back(H.bucketCount(I));
+      S.HistogramCounts.push_back(H.overflowCount());
+      S.HistogramTotal = H.totalCount();
+      break;
+    }
+    }
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}

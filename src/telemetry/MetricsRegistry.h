@@ -1,0 +1,152 @@
+//===- telemetry/MetricsRegistry.h - Labeled counters/gauges/histograms --===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A registry of named metrics with label sets, in the style of a
+/// Prometheus client: counters (monotone integers), gauges (last-written
+/// doubles), and histograms (fixed-width buckets, reusing
+/// support/Histogram). Metric identity is the (name, sorted labels) pair;
+/// asking for the same pair twice returns the same instrument.
+///
+/// Determinism: instruments are stored under their canonical key and
+/// snapshots iterate in key order, so two runs that record the same values
+/// render byte-identical exports regardless of creation or thread order.
+/// Counter increments are commutative, which is what makes suite metrics
+/// identical between serial and parallel sweeps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_TELEMETRY_METRICSREGISTRY_H
+#define CCSIM_TELEMETRY_METRICSREGISTRY_H
+
+#include "support/Histogram.h"
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ccsim {
+namespace telemetry {
+
+/// Label set of one metric, e.g. {{"benchmark","gzip"},{"policy","FIFO"}}.
+/// Stored sorted by key; duplicate keys keep the last value.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotone integer counter. add() is lock-free and safe to call from the
+/// sweep worker threads.
+class Counter {
+public:
+  void add(uint64_t Delta) { V.fetch_add(Delta, std::memory_order_relaxed); }
+  void increment() { add(1); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Last-written double (overheads, peaks, rates).
+class Gauge {
+public:
+  void set(double Value) { V.store(Value, std::memory_order_relaxed); }
+  double value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<double> V{0.0};
+};
+
+/// Fixed-width bucket histogram instrument (a locked support/Histogram).
+class HistogramMetric {
+public:
+  HistogramMetric(double BucketWidth, size_t NumBuckets)
+      : H(BucketWidth, NumBuckets) {}
+
+  void observe(double Sample) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    H.add(Sample);
+  }
+
+  /// Copies the underlying histogram (snapshot for exporters/tests).
+  Histogram snapshot() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return H;
+  }
+
+private:
+  mutable std::mutex Mu;
+  Histogram H;
+};
+
+/// Read-only view of one instrument, in canonical key order.
+struct MetricSample {
+  enum class Type { Counter, Gauge, Histogram };
+
+  Type Kind = Type::Counter;
+  std::string Name;
+  MetricLabels Labels; // Sorted by key.
+  uint64_t CounterValue = 0;
+  double GaugeValue = 0.0;
+  double HistogramBucketWidth = 0.0;
+  std::vector<uint64_t> HistogramCounts; // Regular buckets + overflow.
+  uint64_t HistogramTotal = 0;
+};
+
+class MetricsRegistry {
+public:
+  /// Fetches (creating on first use) the instrument for (Name, Labels).
+  /// References stay valid for the registry's lifetime.
+  Counter &counter(const std::string &Name, MetricLabels Labels = {});
+  Gauge &gauge(const std::string &Name, MetricLabels Labels = {});
+  HistogramMetric &histogram(const std::string &Name, double BucketWidth,
+                             size_t NumBuckets, MetricLabels Labels = {});
+
+  /// Current value of a counter; 0 when it was never created.
+  uint64_t counterValue(const std::string &Name,
+                        const MetricLabels &Labels = {}) const;
+
+  /// Current value of a gauge; 0.0 when it was never created.
+  double gaugeValue(const std::string &Name,
+                    const MetricLabels &Labels = {}) const;
+
+  /// Whether any instrument exists under (Name, Labels).
+  bool has(const std::string &Name, const MetricLabels &Labels = {}) const;
+
+  /// Copies every instrument in canonical key order.
+  std::vector<MetricSample> snapshot() const;
+
+  size_t size() const;
+
+  /// Canonical key: name{k1=v1,k2=v2} with labels sorted by key.
+  static std::string canonicalKey(const std::string &Name,
+                                  const MetricLabels &Labels);
+
+private:
+  struct Metric {
+    MetricSample::Type Kind;
+    std::string Name;
+    MetricLabels Labels;
+    Counter C;
+    Gauge G;
+    std::unique_ptr<HistogramMetric> H;
+  };
+
+  mutable std::mutex Mu;
+  std::map<std::string, std::unique_ptr<Metric>> Metrics;
+
+  Metric &fetch(MetricSample::Type Kind, const std::string &Name,
+                MetricLabels Labels, double BucketWidth, size_t NumBuckets);
+  const Metric *find(const std::string &Name,
+                     const MetricLabels &Labels) const;
+};
+
+} // namespace telemetry
+} // namespace ccsim
+
+#endif // CCSIM_TELEMETRY_METRICSREGISTRY_H

@@ -1,0 +1,76 @@
+//===- telemetry/TraceEvent.h - Typed trace event records ----------------===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fixed-size typed records the event tracer stores. One record is one
+/// observable action somewhere in the stack: a cache miss, a committed
+/// insert, an evicted victim, a whole eviction batch, a dangling-link
+/// repair, a flush, a policy quantum change, a tenant registration, or a
+/// free-form phase mark emitted by the drivers. Records are PODs so the
+/// tracer's ring buffer never allocates while recording.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_TELEMETRY_TRACEEVENT_H
+#define CCSIM_TELEMETRY_TRACEEVENT_H
+
+#include <cstdint>
+#include <string>
+
+namespace ccsim {
+namespace telemetry {
+
+/// What a record describes. The payload fields A/B are interpreted per
+/// kind; see TraceEvent.
+enum class EventKind : uint8_t {
+  Miss,          ///< Cache miss. A = superblock bytes, B = 1 for a cold
+                 ///< miss, 0 for a capacity re-miss.
+  Insert,        ///< Superblock committed into the cache. A = bytes.
+  Evict,         ///< One victim removed. A = victim bytes, B = dangling
+                 ///< incoming links repaired for this victim.
+  EvictionBatch, ///< Summary after a batch. A = victim count, B = victim
+                 ///< bytes total (must equal the sum of the batch's Evict
+                 ///< records).
+  Unlink,        ///< Dangling-link repair for one victim. A = links.
+  Flush,         ///< Whole-cache flush. A = resident blocks cleared,
+                 ///< B = 1 when policy-preemptive, 0 otherwise.
+  QuantumChange, ///< Eviction quantum changed. A = new bytes, B = old
+                 ///< bytes (0 on the first observation).
+  TenantTag,     ///< Tenant registered. A = interned label id.
+  Mark,          ///< Driver phase mark. A = interned label id, B = 1 for
+                 ///< begin, 0 for end.
+};
+
+/// Number of distinct EventKind values (for per-kind tallies).
+inline constexpr size_t NumEventKinds =
+    static_cast<size_t>(EventKind::Mark) + 1;
+
+/// Stable lower-case name of \p K ("miss", "eviction-batch", ...). Used
+/// as the category string of every exporter.
+const char *eventKindName(EventKind K);
+
+/// Sentinel for records that do not concern a specific superblock.
+inline constexpr uint32_t NoBlock = ~static_cast<uint32_t>(0);
+
+/// One tracer record. Tick is logical time: the emitting cache manager's
+/// access count when the record was made (drivers emitting Mark records
+/// reuse the tick of the run they wrap). Seq is a tracer-global monotone
+/// sequence number, so records from several managers interleave in a
+/// well-defined order.
+struct TraceEvent {
+  uint64_t Seq = 0;
+  uint64_t Tick = 0;
+  uint64_t A = 0;
+  uint64_t B = 0;
+  uint32_t Tenant = 0;
+  uint32_t Block = NoBlock;
+  EventKind Kind = EventKind::Mark;
+};
+
+} // namespace telemetry
+} // namespace ccsim
+
+#endif // CCSIM_TELEMETRY_TRACEEVENT_H

@@ -55,6 +55,10 @@ static std::optional<Trace> readTracePayload(BinaryReader &R) {
     Id = R.readU32();
   if (!R.ok() || !T.validate())
     return std::nullopt;
+  // Trailing bytes mean the payload and the container disagree about
+  // where the trace ends — treat that as corruption, not padding.
+  if (R.remaining() != 0)
+    return std::nullopt;
   return T;
 }
 

@@ -1,0 +1,120 @@
+//===- tests/telemetry/EventTracerTest.cpp - Ring-buffer tracer tests -----===//
+
+#include "telemetry/EventTracer.h"
+
+#include "gtest/gtest.h"
+
+#include <thread>
+#include <vector>
+
+using namespace ccsim;
+using namespace ccsim::telemetry;
+
+TEST(EventTracerTest, RecordsInOrder) {
+  EventTracer T(16);
+  T.record(EventKind::Miss, 0, 5, 100, 1, 1);
+  T.record(EventKind::Insert, 0, 5, 100, 0, 1);
+  T.record(EventKind::EvictionBatch, 2, NoBlock, 3, 900, 2);
+
+  const auto Events = T.snapshot();
+  ASSERT_EQ(Events.size(), 3u);
+  EXPECT_EQ(Events[0].Kind, EventKind::Miss);
+  EXPECT_EQ(Events[0].Block, 5u);
+  EXPECT_EQ(Events[0].A, 100u);
+  EXPECT_EQ(Events[0].B, 1u);
+  EXPECT_EQ(Events[1].Kind, EventKind::Insert);
+  EXPECT_EQ(Events[2].Kind, EventKind::EvictionBatch);
+  EXPECT_EQ(Events[2].Tenant, 2u);
+  EXPECT_EQ(Events[2].Block, NoBlock);
+  for (size_t I = 0; I < Events.size(); ++I)
+    EXPECT_EQ(Events[I].Seq, I);
+}
+
+TEST(EventTracerTest, RingOverwritesOldest) {
+  EventTracer T(4);
+  for (uint64_t I = 0; I < 10; ++I)
+    T.record(EventKind::Miss, 0, static_cast<uint32_t>(I), I, 0, I);
+
+  EXPECT_EQ(T.capacity(), 4u);
+  EXPECT_EQ(T.totalRecorded(), 10u);
+  EXPECT_EQ(T.droppedCount(), 6u);
+
+  // The snapshot holds exactly the newest four, oldest-first.
+  const auto Events = T.snapshot();
+  ASSERT_EQ(Events.size(), 4u);
+  for (size_t I = 0; I < 4; ++I)
+    EXPECT_EQ(Events[I].Seq, 6u + I);
+}
+
+TEST(EventTracerTest, KindCountsSurviveOverwrite) {
+  EventTracer T(2);
+  for (int I = 0; I < 5; ++I)
+    T.record(EventKind::Miss, 0, 0, 0, 0, 0);
+  for (int I = 0; I < 3; ++I)
+    T.record(EventKind::Evict, 0, 0, 0, 0, 0);
+  EXPECT_EQ(T.kindCount(EventKind::Miss), 5u);
+  EXPECT_EQ(T.kindCount(EventKind::Evict), 3u);
+  EXPECT_EQ(T.kindCount(EventKind::Flush), 0u);
+}
+
+TEST(EventTracerTest, LabelInterningIsStable) {
+  EventTracer T(8);
+  const uint32_t A = T.internLabel("tenant-a");
+  const uint32_t B = T.internLabel("tenant-b");
+  EXPECT_NE(A, B);
+  EXPECT_EQ(T.internLabel("tenant-a"), A);
+  EXPECT_EQ(T.labelText(A), "tenant-a");
+  EXPECT_EQ(T.labelText(B), "tenant-b");
+  EXPECT_EQ(T.labelText(12345), "");
+}
+
+TEST(EventTracerTest, ClearKeepsCapacityDropsEverything) {
+  EventTracer T(8);
+  T.internLabel("x");
+  T.record(EventKind::Mark, 0, NoBlock, 0, 1, 0);
+  T.clear();
+  EXPECT_EQ(T.capacity(), 8u);
+  EXPECT_EQ(T.totalRecorded(), 0u);
+  EXPECT_EQ(T.droppedCount(), 0u);
+  EXPECT_EQ(T.kindCount(EventKind::Mark), 0u);
+  EXPECT_TRUE(T.snapshot().empty());
+  // Sequence numbers restart after a clear.
+  T.record(EventKind::Mark, 0, NoBlock, 0, 1, 0);
+  EXPECT_EQ(T.snapshot().front().Seq, 0u);
+}
+
+TEST(EventTracerTest, ConcurrentRecordsKeepUniqueMonotoneSeqs) {
+  constexpr int NumThreads = 4;
+  constexpr int PerThread = 2000;
+  EventTracer T(NumThreads * PerThread);
+  std::vector<std::thread> Threads;
+  for (int W = 0; W < NumThreads; ++W)
+    Threads.emplace_back([&T, W] {
+      for (int I = 0; I < PerThread; ++I)
+        T.record(EventKind::Miss, static_cast<uint32_t>(W), 0, 0, 0, 0);
+    });
+  for (auto &Th : Threads)
+    Th.join();
+
+  EXPECT_EQ(T.totalRecorded(),
+            static_cast<uint64_t>(NumThreads) * PerThread);
+  EXPECT_EQ(T.droppedCount(), 0u);
+  const auto Events = T.snapshot();
+  ASSERT_EQ(Events.size(), static_cast<size_t>(NumThreads) * PerThread);
+  for (size_t I = 0; I < Events.size(); ++I)
+    EXPECT_EQ(Events[I].Seq, I);
+}
+
+TEST(EventTracerTest, EventKindNamesAreStable) {
+  // Exporter output (and thus the golden CLI validation test) depends on
+  // these strings; changing one is a file-format change.
+  EXPECT_STREQ(eventKindName(EventKind::Miss), "miss");
+  EXPECT_STREQ(eventKindName(EventKind::Insert), "insert");
+  EXPECT_STREQ(eventKindName(EventKind::Evict), "evict");
+  EXPECT_STREQ(eventKindName(EventKind::EvictionBatch), "eviction-batch");
+  EXPECT_STREQ(eventKindName(EventKind::Unlink), "unlink");
+  EXPECT_STREQ(eventKindName(EventKind::Flush), "flush");
+  EXPECT_STREQ(eventKindName(EventKind::QuantumChange), "quantum-change");
+  EXPECT_STREQ(eventKindName(EventKind::TenantTag), "tenant-tag");
+  EXPECT_STREQ(eventKindName(EventKind::Mark), "mark");
+}

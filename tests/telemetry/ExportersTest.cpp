@@ -1,0 +1,150 @@
+//===- tests/telemetry/ExportersTest.cpp - Trace/metric exporter tests ----===//
+
+#include "telemetry/Exporters.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+using namespace ccsim;
+using namespace ccsim::telemetry;
+
+namespace {
+
+/// A tracer with one event of several kinds, including a labeled mark.
+void fillTracer(EventTracer &T) {
+  T.record(EventKind::Miss, 0, 7, 128, 1, 1);
+  T.record(EventKind::Insert, 0, 7, 128, 0, 1);
+  T.record(EventKind::Evict, 1, 3, 64, 2, 5);
+  T.record(EventKind::Unlink, 1, 3, 2, 0, 5);
+  T.record(EventKind::EvictionBatch, 0, NoBlock, 1, 64, 5);
+  T.record(EventKind::Mark, 0, NoBlock, T.internLabel("phase \"x\""), 1, 9);
+}
+
+size_t countLines(const std::string &Text) {
+  size_t Lines = 0;
+  for (char C : Text)
+    if (C == '\n')
+      ++Lines;
+  return Lines;
+}
+
+} // namespace
+
+TEST(ExportersTest, ParseTraceFormat) {
+  EXPECT_EQ(parseTraceFormat("chrome"), TraceFormat::Chrome);
+  EXPECT_EQ(parseTraceFormat("jsonl"), TraceFormat::JsonLines);
+  EXPECT_EQ(parseTraceFormat("csv"), TraceFormat::Csv);
+  EXPECT_FALSE(parseTraceFormat("xml").has_value());
+  EXPECT_FALSE(parseTraceFormat("").has_value());
+}
+
+TEST(ExportersTest, JsonEscape) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(ExportersTest, JsonLinesOneObjectPerEvent) {
+  EventTracer T(64);
+  fillTracer(T);
+  const std::string Out = renderTraceJsonLines(T);
+  EXPECT_EQ(countLines(Out), 6u);
+  EXPECT_NE(Out.find("\"kind\":\"miss\""), std::string::npos);
+  EXPECT_NE(Out.find("\"kind\":\"eviction-batch\""), std::string::npos);
+  // The mark's label is resolved and escaped.
+  EXPECT_NE(Out.find("phase \\\"x\\\""), std::string::npos);
+}
+
+TEST(ExportersTest, CsvHasHeaderAndOneRowPerEvent) {
+  EventTracer T(64);
+  fillTracer(T);
+  const std::string Out = renderTraceCsv(T);
+  EXPECT_EQ(countLines(Out), 7u); // Header + 6 events.
+  EXPECT_EQ(Out.rfind("seq,tick,kind,tenant,block,a,b,label", 0), 0u);
+}
+
+TEST(ExportersTest, ChromeTraceValidates) {
+  EventTracer T(64);
+  fillTracer(T);
+  const std::string Json = renderChromeTrace(T);
+  std::map<std::string, size_t> Cats;
+  std::string Error;
+  ASSERT_TRUE(validateChromeTrace(Json, &Cats, &Error)) << Error;
+  EXPECT_EQ(Cats["miss"], 1u);
+  EXPECT_EQ(Cats["insert"], 1u);
+  EXPECT_EQ(Cats["evict"], 1u);
+  EXPECT_EQ(Cats["unlink"], 1u);
+  EXPECT_EQ(Cats["eviction-batch"], 1u);
+  EXPECT_EQ(Cats["mark"], 1u);
+}
+
+TEST(ExportersTest, ValidatorRejectsMalformedInput) {
+  EventTracer T(8);
+  fillTracer(T);
+  const std::string Good = renderChromeTrace(T);
+  std::string Error;
+
+  // Truncation at many byte offsets must fail cleanly, never crash.
+  for (size_t Cut = 0; Cut + 1 < Good.size(); Cut += 7) {
+    EXPECT_FALSE(
+        validateChromeTrace(Good.substr(0, Cut + 1), nullptr, &Error))
+        << "cut " << Cut;
+  }
+  EXPECT_FALSE(validateChromeTrace("", nullptr, &Error));
+  EXPECT_FALSE(validateChromeTrace("[]", nullptr, &Error));
+  EXPECT_FALSE(validateChromeTrace("{\"notTraceEvents\":[]}", nullptr,
+                                   &Error));
+  EXPECT_FALSE(validateChromeTrace("{\"traceEvents\":{}}", nullptr, &Error));
+  EXPECT_FALSE(validateChromeTrace("{\"traceEvents\":[}", nullptr, &Error));
+  EXPECT_FALSE(validateChromeTrace(Good + "x", nullptr, &Error));
+}
+
+TEST(ExportersTest, EmptyTracerStillProducesValidChromeTrace) {
+  EventTracer T(8);
+  std::map<std::string, size_t> Cats;
+  std::string Error;
+  EXPECT_TRUE(validateChromeTrace(renderChromeTrace(T), &Cats, &Error))
+      << Error;
+  EXPECT_TRUE(Cats.empty());
+}
+
+TEST(ExportersTest, MetricsRenderIsDeterministicAcrossInsertionOrder) {
+  MetricsRegistry A, B;
+  A.counter("z", {{"k", "1"}}).add(5);
+  A.gauge("a").set(1.5);
+  B.gauge("a").set(1.5);
+  B.counter("z", {{"k", "1"}}).add(5);
+  EXPECT_EQ(renderMetricsCsv(A), renderMetricsCsv(B));
+  EXPECT_EQ(renderMetricsJsonLines(A), renderMetricsJsonLines(B));
+}
+
+TEST(ExportersTest, MetricsFileFormatFollowsSuffix) {
+  MetricsRegistry M;
+  M.counter("n").add(1);
+  const std::string CsvPath = ::testing::TempDir() + "/ccsim_metrics.csv";
+  const std::string JsonPath = ::testing::TempDir() + "/ccsim_metrics.jsonl";
+  ASSERT_TRUE(writeMetricsFile(M, CsvPath));
+  ASSERT_TRUE(writeMetricsFile(M, JsonPath));
+
+  std::ifstream Csv(CsvPath), Json(JsonPath);
+  std::string CsvFirst, JsonFirst;
+  std::getline(Csv, CsvFirst);
+  std::getline(Json, JsonFirst);
+  EXPECT_EQ(CsvFirst.rfind("name,", 0), 0u);
+  EXPECT_EQ(JsonFirst.front(), '{');
+  std::remove(CsvPath.c_str());
+  std::remove(JsonPath.c_str());
+}
+
+TEST(ExportersTest, WriteTraceFileFailsOnBadPath) {
+  EventTracer T(8);
+  EXPECT_FALSE(writeTraceFile(T, "/definitely/not/here/trace.json",
+                              TraceFormat::Chrome));
+  MetricsRegistry M;
+  EXPECT_FALSE(writeMetricsFile(M, "/definitely/not/here/metrics.csv"));
+}

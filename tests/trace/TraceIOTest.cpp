@@ -2,6 +2,7 @@
 
 #include "trace/TraceIO.h"
 
+#include "support/Random.h"
 #include "trace/TraceGenerator.h"
 #include "trace/WorkloadModel.h"
 #include "gtest/gtest.h"
@@ -99,4 +100,70 @@ TEST(TraceIOTest, GeneratedBenchmarkRoundTrips) {
   auto Restored = deserializeTrace(serializeTrace(T));
   ASSERT_TRUE(Restored.has_value());
   EXPECT_TRUE(tracesEqual(T, *Restored));
+}
+
+// --- Seeded fuzz: a hostile input file must fail cleanly, never crash --
+
+namespace {
+
+/// Bytes of a realistic (non-toy) serialized trace for corruption fuzzing.
+const std::vector<uint8_t> &fuzzBaseline() {
+  static const std::vector<uint8_t> Bytes = serializeTrace(
+      TraceGenerator::generateBenchmark(
+          scaledWorkload(*findWorkload("vpr"), 0.05), 1234));
+  return Bytes;
+}
+
+} // namespace
+
+TEST(TraceIOFuzzTest, RandomByteFlipsNeverCrash) {
+  const std::vector<uint8_t> &Base = fuzzBaseline();
+  Rng R(0xF00D);
+  for (int Round = 0; Round < 200; ++Round) {
+    std::vector<uint8_t> Mutated = Base;
+    const size_t Flips = 1 + R.nextBelow(8);
+    for (size_t F = 0; F < Flips; ++F) {
+      const size_t At = R.nextBelow(Mutated.size());
+      Mutated[At] ^= static_cast<uint8_t>(1 + R.nextBelow(255));
+    }
+    // Either the corruption is detected (nullopt) or it survived the
+    // checks, in which case the result must still be a coherent trace.
+    const auto Restored = deserializeTrace(Mutated);
+    if (Restored.has_value()) {
+      EXPECT_TRUE(Restored->validate()) << "round " << Round;
+    }
+  }
+}
+
+TEST(TraceIOFuzzTest, RandomTruncationNeverCrashes) {
+  const std::vector<uint8_t> &Base = fuzzBaseline();
+  Rng R(0xCAFE);
+  for (int Round = 0; Round < 200; ++Round) {
+    const size_t Cut = R.nextBelow(Base.size());
+    std::vector<uint8_t> Short(Base.begin(),
+                               Base.begin() + static_cast<long>(Cut));
+    EXPECT_FALSE(deserializeTrace(Short).has_value()) << "cut " << Cut;
+  }
+}
+
+TEST(TraceIOFuzzTest, RandomGarbageRejected) {
+  Rng R(0xBEEF);
+  for (int Round = 0; Round < 200; ++Round) {
+    std::vector<uint8_t> Garbage(R.nextBelow(4096));
+    for (auto &B : Garbage)
+      B = static_cast<uint8_t>(R.nextBelow(256));
+    const auto Restored = deserializeTrace(Garbage);
+    // All-random bytes essentially never form a valid header; if one ever
+    // does, it must at least produce a coherent trace.
+    if (Restored.has_value()) {
+      EXPECT_TRUE(Restored->validate()) << "round " << Round;
+    }
+  }
+}
+
+TEST(TraceIOFuzzTest, AppendedTrailingBytesRejected) {
+  std::vector<uint8_t> Padded = fuzzBaseline();
+  Padded.push_back(0);
+  // A trace file with trailing junk is corrupt, not "close enough".
+  EXPECT_FALSE(deserializeTrace(Padded).has_value());
 }
