@@ -1,10 +1,10 @@
 //===- concurrent/ThreadPool.cpp - Fixed worker pool + parallel-for -------===//
 
 #include "concurrent/ThreadPool.h"
+#include "support/Contracts.h"
 
 #include <algorithm>
 #include <atomic>
-#include <cassert>
 #include <exception>
 #include <limits>
 
@@ -62,7 +62,7 @@ void ThreadPool::workerLoop() {
 }
 
 void ThreadPool::submit(std::function<void()> Task) {
-  assert(Task && "cannot submit an empty task");
+  CCSIM_REQUIRE(Task, "cannot submit an empty task");
   if (NumThreads <= 1) {
     // Inline execution preserves FIFO semantics trivially.
     Task();

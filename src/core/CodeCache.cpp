@@ -7,7 +7,7 @@
 using namespace ccsim;
 
 CodeCache::CodeCache(uint64_t CapacityBytes) : Capacity(CapacityBytes) {
-  assert(Capacity > 0 && "cache capacity must be positive");
+  CCSIM_REQUIRE(Capacity > 0, "cache capacity must be positive");
 }
 
 void CodeCache::growTables(SuperblockId Id) {
@@ -33,7 +33,7 @@ uint64_t CodeCache::contiguousFreeAtTail() const {
 }
 
 CodeCache::Resident CodeCache::evictFront() {
-  assert(!Fifo.empty() && "evicting from an empty cache");
+  CCSIM_ASSERT(!Fifo.empty(), "evicting from an empty cache");
   Resident Victim = Fifo.front();
   Fifo.pop_front();
   Occupied -= Victim.Size;
@@ -46,8 +46,8 @@ CodeCache::Resident CodeCache::evictFront() {
 CodeCache::PrepareOutcome
 CodeCache::prepareInsert(uint32_t SizeBytes, uint64_t Quantum,
                          std::vector<Resident> &EvictedOut) {
-  assert(SizeBytes > 0 && "cannot cache an empty superblock");
-  assert(Quantum > 0 && "quantum must be positive");
+  CCSIM_ASSERT(SizeBytes > 0, "cannot cache an empty superblock");
+  CCSIM_ASSERT(Quantum > 0, "quantum must be positive");
   PrepareOutcome Out;
   if (SizeBytes > Capacity)
     return Out; // Cannot ever fit; CanInsert stays false.
@@ -100,10 +100,11 @@ CodeCache::prepareInsert(uint32_t SizeBytes, uint64_t Quantum,
 }
 
 uint64_t CodeCache::commitInsert(SuperblockId Id, uint32_t SizeBytes) {
-  assert(!contains(Id) && "block already resident");
-  assert(SizeBytes > 0 && "cannot cache an empty superblock");
-  assert(contiguousFreeAtTail() >= SizeBytes &&
-         "commitInsert without a successful prepareInsert");
+  CCSIM_ASSERT(!contains(Id), "block %u already resident", Id);
+  CCSIM_ASSERT(SizeBytes > 0, "cannot cache an empty superblock");
+  CCSIM_ASSERT(contiguousFreeAtTail() >= SizeBytes,
+               "commitInsert of %u bytes without a successful prepareInsert",
+               SizeBytes);
   growTables(Id);
   const uint64_t Start = Tail;
   Fifo.push_back(Resident{Id, Start, SizeBytes});

@@ -1,9 +1,9 @@
 //===- core/EvictionPolicy.cpp - Eviction granularity policies -----------===//
 
 #include "core/EvictionPolicy.h"
+#include "support/Contracts.h"
 
 #include <algorithm>
-#include <cassert>
 
 using namespace ccsim;
 
@@ -20,7 +20,7 @@ bool EvictionPolicy::shouldFlushNow() { return false; }
 void EvictionPolicy::noteFlush() {}
 
 UnitFifoPolicy::UnitFifoPolicy(unsigned UnitCount) : UnitCount(UnitCount) {
-  assert(UnitCount >= 1 && "unit count must be at least 1");
+  CCSIM_REQUIRE(UnitCount >= 1, "unit count must be at least 1");
 }
 
 std::string UnitFifoPolicy::name() const {
@@ -38,10 +38,12 @@ AdaptiveGranularityPolicy::AdaptiveGranularityPolicy()
 
 AdaptiveGranularityPolicy::AdaptiveGranularityPolicy(Options Opts)
     : Opts(std::move(Opts)) {
-  assert(!this->Opts.Ladder.empty() && "ladder must be non-empty");
-  assert(this->Opts.Thresholds.size() + 1 == this->Opts.Ladder.size() &&
-         "need one threshold per ladder transition");
-  assert(this->Opts.IntervalAccesses > 0 && "interval must be positive");
+  CCSIM_REQUIRE(!this->Opts.Ladder.empty(), "ladder must be non-empty");
+  CCSIM_REQUIRE(this->Opts.Thresholds.size() + 1 == this->Opts.Ladder.size(),
+                "%zu thresholds for %zu ladder rungs (need one per transition)",
+                this->Opts.Thresholds.size(), this->Opts.Ladder.size());
+  CCSIM_REQUIRE(this->Opts.IntervalAccesses > 0,
+                "interval must be positive");
   // Start in the middle of the ladder.
   Rung = this->Opts.Ladder.size() / 2;
 }
@@ -93,7 +95,7 @@ PreemptiveFlushPolicy::PreemptiveFlushPolicy()
     : PreemptiveFlushPolicy(Options()) {}
 
 PreemptiveFlushPolicy::PreemptiveFlushPolicy(Options Opts) : Opts(Opts) {
-  assert(this->Opts.WindowAccesses > 0 && "window must be positive");
+  CCSIM_REQUIRE(this->Opts.WindowAccesses > 0, "window must be positive");
 }
 
 void PreemptiveFlushPolicy::noteAccess(bool Hit) {
@@ -138,7 +140,7 @@ std::unique_ptr<EvictionPolicy> ccsim::makePolicy(const GranularitySpec &Spec) {
   case GranularitySpec::KindType::Flush:
     return std::make_unique<UnitFifoPolicy>(1);
   case GranularitySpec::KindType::Units:
-    assert(Spec.Units >= 1 && "unit count must be at least 1");
+    CCSIM_REQUIRE(Spec.Units >= 1, "unit count must be at least 1");
     return std::make_unique<UnitFifoPolicy>(Spec.Units);
   case GranularitySpec::KindType::Fine:
     return std::make_unique<FineFifoPolicy>();

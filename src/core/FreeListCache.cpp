@@ -1,16 +1,16 @@
 //===- core/FreeListCache.cpp - LRU free-list cache (Section 3.3 study) --===//
 
 #include "core/FreeListCache.h"
+#include "support/Contracts.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 using namespace ccsim;
 
 FreeListCache::FreeListCache(uint64_t CapacityBytes, bool EnableCompaction)
     : Capacity(CapacityBytes), EnableCompaction(EnableCompaction) {
-  assert(Capacity > 0 && "cache capacity must be positive");
+  CCSIM_REQUIRE(Capacity > 0, "cache capacity must be positive");
   FreeList.push_back(Hole{0, Capacity});
 }
 
@@ -21,7 +21,7 @@ void FreeListCache::growSlots(SuperblockId Id) {
 }
 
 void FreeListCache::touch(SuperblockId Id) {
-  assert(contains(Id) && "touching a non-resident block");
+  CCSIM_ASSERT(contains(Id), "touching non-resident block %u", Id);
   Slot &S = Slots[Id];
   LruList.splice(LruList.end(), LruList, S.LruPos); // Move to MRU end.
 }
@@ -57,7 +57,7 @@ void FreeListCache::release(uint64_t Start, uint64_t Size) {
 }
 
 void FreeListCache::evictLru(std::vector<SuperblockId> &EvictedOut) {
-  assert(!LruList.empty() && "no LRU victim available");
+  CCSIM_ASSERT(!LruList.empty(), "no LRU victim available");
   const SuperblockId Victim = LruList.front();
   LruList.pop_front();
   Slot &S = Slots[Victim];
@@ -108,8 +108,8 @@ uint64_t FreeListCache::largestHole() const {
 bool FreeListCache::insert(SuperblockId Id, uint32_t SizeBytes,
                            double ResidentLinks,
                            std::vector<SuperblockId> &EvictedOut) {
-  assert(SizeBytes > 0 && "cannot cache an empty superblock");
-  assert(!contains(Id) && "block already resident");
+  CCSIM_ASSERT(SizeBytes > 0, "cannot cache an empty superblock");
+  CCSIM_ASSERT(!contains(Id), "block %u already resident", Id);
   if (SizeBytes > Capacity)
     return false;
   growSlots(Id);

@@ -1,9 +1,9 @@
 //===- core/GenerationalCache.cpp - Lifetime-segregated code caches ------===//
 
 #include "core/GenerationalCache.h"
+#include "support/Contracts.h"
 
 #include <algorithm>
-#include <cassert>
 
 using namespace ccsim;
 
@@ -19,10 +19,11 @@ GenerationalCacheManager::GenerationalCacheManager(
           1, static_cast<uint64_t>(Config.TenuredFraction *
                                    static_cast<double>(
                                        Config.CapacityBytes)))) {
-  assert(Config.TenuredFraction >= 0.0 && Config.TenuredFraction < 1.0 &&
-         "tenured fraction must be in [0, 1)");
-  assert(Config.PromoteAfterInserts >= 1 &&
-         "promotion threshold must be at least one insert");
+  CCSIM_REQUIRE(Config.TenuredFraction >= 0.0 && Config.TenuredFraction < 1.0,
+                "tenured fraction %g must be in [0, 1)",
+                Config.TenuredFraction);
+  CCSIM_REQUIRE(Config.PromoteAfterInserts >= 1,
+                "promotion threshold must be at least one insert");
 }
 
 uint32_t GenerationalCacheManager::bumpInsertCount(SuperblockId Id) {
@@ -42,8 +43,9 @@ void GenerationalCacheManager::chargeEvictions(uint64_t Bytes,
 }
 
 AccessKind GenerationalCacheManager::access(const SuperblockRecord &Rec) {
-  assert(Rec.Id != InvalidSuperblockId && "invalid superblock id");
-  assert(Rec.SizeBytes > 0 && "superblocks must have a positive size");
+  CCSIM_ASSERT(Rec.Id != InvalidSuperblockId, "invalid superblock id");
+  CCSIM_ASSERT(Rec.SizeBytes > 0,
+               "superblock %u must have a positive size", Rec.Id);
   ++Stats.Accesses;
 
   if (Nursery.contains(Rec.Id) || Tenured.contains(Rec.Id)) {
@@ -67,8 +69,10 @@ AccessKind GenerationalCacheManager::access(const SuperblockRecord &Rec) {
   CodeCache *Target = WantTenured ? &Tenured : &Nursery;
   if (Rec.SizeBytes > Target->capacity())
     Target = WantTenured ? &Nursery : &Tenured;
-  if (Rec.SizeBytes > Target->capacity())
+  if (Rec.SizeBytes > Target->capacity()) {
+    ++Stats.TooBigMisses;
     return AccessKind::MissTooBig;
+  }
   if (WantTenured && Target == &Tenured)
     ++Promotions;
 
@@ -80,7 +84,7 @@ AccessKind GenerationalCacheManager::access(const SuperblockRecord &Rec) {
   EvictedScratch.clear();
   const CodeCache::PrepareOutcome Prep =
       Target->prepareInsert(Rec.SizeBytes, Quantum, EvictedScratch);
-  assert(Prep.CanInsert && "capacity was checked above");
+  CCSIM_ASSERT(Prep.CanInsert, "capacity was checked above");
   Stats.WastedBytes += Prep.WastedBytes;
   if (!EvictedScratch.empty()) {
     uint64_t Bytes = 0;
@@ -93,6 +97,8 @@ AccessKind GenerationalCacheManager::access(const SuperblockRecord &Rec) {
       NurseryEvictions += EvictedScratch.size();
   }
   Target->commitInsert(Rec.Id, Rec.SizeBytes);
+  ++Stats.Inserts;
+  Stats.InsertedBytes += Rec.SizeBytes;
   return AccessKind::Miss;
 }
 

@@ -1,6 +1,7 @@
 //===- core/LinkGraph.cpp - Superblock chaining and back-pointer table ---===//
 
 #include "core/LinkGraph.h"
+#include "support/Contracts.h"
 
 #include <algorithm>
 #include <map>
@@ -27,7 +28,7 @@ void LinkGraph::eraseOne(std::vector<SuperblockId> &List,
     List.pop_back();
     return;
   }
-  assert(false && "expected link list entry not found");
+  CCSIM_ASSERT(false, "expected link list entry %u not found", Value);
 }
 
 void LinkGraph::eraseAll(std::vector<SuperblockId> &List,
@@ -56,10 +57,12 @@ void LinkGraph::onInsert(const CodeCache &Cache, uint64_t Quantum,
                          SuperblockId Id,
                          std::span<const SuperblockId> Edges,
                          CacheStats &Stats) {
-  assert(Cache.contains(Id) && "block must be committed before onInsert");
+  CCSIM_ASSERT(Cache.contains(Id),
+               "block %u must be committed before onInsert", Id);
   growTables(Id);
-  assert(StaticEdges[Id].empty() && OutLinks[Id].empty() &&
-         InLinks[Id].empty() && "stale link state for inserted block");
+  CCSIM_ASSERT(StaticEdges[Id].empty() && OutLinks[Id].empty() &&
+                   InLinks[Id].empty(),
+               "stale link state for inserted block %u", Id);
 
   StaticEdges[Id].assign(Edges.begin(), Edges.end());
   for (SuperblockId Target : Edges) {
@@ -72,7 +75,8 @@ void LinkGraph::onInsert(const CodeCache &Cache, uint64_t Quantum,
 
   // Sources that were waiting for this block can now chain to it.
   for (SuperblockId Source : Wants[Id]) {
-    assert(Cache.contains(Source) && "wants entry from non-resident block");
+    CCSIM_ASSERT(Cache.contains(Source),
+                 "wants entry from non-resident block %u", Source);
     materialize(Cache, Quantum, Source, Id, Stats);
   }
   Wants[Id].clear();
@@ -84,8 +88,9 @@ void LinkGraph::onEvict(const CodeCache &Cache,
   ++CurrentEpoch;
   for (const CodeCache::Resident &V : Victims) {
     growTables(V.Id);
-    assert(!Cache.contains(V.Id) &&
-           "victim must be removed from the cache before onEvict");
+    CCSIM_ASSERT(!Cache.contains(V.Id),
+                 "victim %u must be removed from the cache before onEvict",
+                 V.Id);
     EvictEpoch[V.Id] = CurrentEpoch;
   }
 

@@ -1,0 +1,20 @@
+//===- support/Contracts.cpp - Formatted runtime contracts ----------------===//
+
+#include "support/Contracts.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+void ccsim::contractFailure(const char *Kind, const char *File, int Line,
+                            const char *Condition, const char *Format, ...) {
+  char Message[512];
+  va_list Args;
+  va_start(Args, Format);
+  std::vsnprintf(Message, sizeof(Message), Format, Args);
+  va_end(Args);
+  std::fprintf(stderr, "%s:%d: %s failed: %s\n  %s\n", File, Line, Kind,
+               Condition, Message);
+  std::fflush(stderr);
+  std::abort();
+}

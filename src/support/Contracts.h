@@ -1,0 +1,60 @@
+//===- support/Contracts.h - Formatted runtime contracts ------------------===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Contract-checking macros replacing raw `assert` across the simulator:
+///
+///   CCSIM_REQUIRE(cond, fmt, ...)  always-on precondition; violations
+///                                  print a formatted diagnostic to stderr
+///                                  and abort.
+///   CCSIM_ASSERT(cond, fmt, ...)   internal invariant; identical to
+///                                  CCSIM_REQUIRE unless compiled with
+///                                  NDEBUG and without CCSIM_PARANOID, in
+///                                  which case it evaluates nothing.
+///
+/// Both take a printf-style message so failures carry the offending values
+/// ("block 42 is not resident"), not just a stringified condition. The
+/// project builds with assertions on even in Release (CMakeLists strips
+/// -DNDEBUG), so CCSIM_ASSERT is normally active; the distinction matters
+/// for downstream embedders that do define NDEBUG.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_SUPPORT_CONTRACTS_H
+#define CCSIM_SUPPORT_CONTRACTS_H
+
+namespace ccsim {
+
+/// Prints "<file>:<line>: <kind> failed: <condition>" plus the formatted
+/// message to stderr and aborts. Never returns.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 5, 6)))
+#endif
+[[noreturn]] void
+contractFailure(const char *Kind, const char *File, int Line,
+                const char *Condition, const char *Format, ...);
+
+} // namespace ccsim
+
+#define CCSIM_REQUIRE(Cond, ...)                                             \
+  do {                                                                       \
+    if (!(Cond))                                                             \
+      ::ccsim::contractFailure("CCSIM_REQUIRE", __FILE__, __LINE__, #Cond,   \
+                               __VA_ARGS__);                                 \
+  } while (false)
+
+#if defined(NDEBUG) && !defined(CCSIM_PARANOID)
+// Disabled: the condition stays syntactically checked (unevaluated sizeof)
+// so variables it names are not flagged unused.
+#define CCSIM_ASSERT(Cond, ...)                                              \
+  do {                                                                       \
+    (void)sizeof((Cond) ? 1 : 0);                                            \
+  } while (false)
+#else
+#define CCSIM_ASSERT(Cond, ...) CCSIM_REQUIRE(Cond, __VA_ARGS__)
+#endif
+
+#endif // CCSIM_SUPPORT_CONTRACTS_H
