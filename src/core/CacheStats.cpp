@@ -12,6 +12,9 @@ void CacheStats::merge(const CacheStats &Other) {
   Misses += Other.Misses;
   ColdMisses += Other.ColdMisses;
   CapacityMisses += Other.CapacityMisses;
+  TooBigMisses += Other.TooBigMisses;
+  Inserts += Other.Inserts;
+  InsertedBytes += Other.InsertedBytes;
   EvictionInvocations += Other.EvictionInvocations;
   EvictedBlocks += Other.EvictedBlocks;
   EvictedBytes += Other.EvictedBytes;
@@ -23,6 +26,7 @@ void CacheStats::merge(const CacheStats &Other) {
   SelfLinksCreated += Other.SelfLinksCreated;
   UnlinkedLinks += Other.UnlinkedLinks;
   UnlinkOperations += Other.UnlinkOperations;
+  LinksDestroyed += Other.LinksDestroyed;
   MissOverhead += Other.MissOverhead;
   EvictionOverhead += Other.EvictionOverhead;
   UnlinkOverhead += Other.UnlinkOverhead;
@@ -41,6 +45,9 @@ void CacheStats::recordTo(telemetry::MetricsRegistry &Metrics,
   Count("cache.misses", Misses);
   Count("cache.misses.cold", ColdMisses);
   Count("cache.misses.capacity", CapacityMisses);
+  Count("cache.misses.too_big", TooBigMisses);
+  Count("cache.inserts", Inserts);
+  Count("cache.inserts.bytes", InsertedBytes);
   Count("cache.evictions.invocations", EvictionInvocations);
   Count("cache.evictions.blocks", EvictedBlocks);
   Count("cache.evictions.bytes", EvictedBytes);
@@ -52,6 +59,7 @@ void CacheStats::recordTo(telemetry::MetricsRegistry &Metrics,
   Count("cache.links.self", SelfLinksCreated);
   Count("cache.unlink.operations", UnlinkOperations);
   Count("cache.unlink.links_repaired", UnlinkedLinks);
+  Count("cache.links.destroyed", LinksDestroyed);
 
   auto Gaug = [&](const char *Name, double Value) {
     Metrics.gauge(Name, Labels).set(Value);

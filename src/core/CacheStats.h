@@ -30,6 +30,15 @@ struct CacheStats {
   uint64_t Misses = 0;
   uint64_t ColdMisses = 0;     ///< First-ever access to a superblock.
   uint64_t CapacityMisses = 0; ///< Re-miss after an eviction.
+  uint64_t TooBigMisses = 0;   ///< Misses larger than the whole cache;
+                               ///< regenerated but never inserted.
+
+  // Insertions (misses that actually placed a block). The auditor
+  // reconciles these against observed structure: Inserts - EvictedBlocks
+  // must equal the resident count, and InsertedBytes - EvictedBytes the
+  // occupied bytes.
+  uint64_t Inserts = 0;
+  uint64_t InsertedBytes = 0;
 
   // Evictions.
   uint64_t EvictionInvocations = 0; ///< Times the eviction code ran.
@@ -48,6 +57,10 @@ struct CacheStats {
                                       ///< back-pointer table.
   uint64_t UnlinkOperations = 0;      ///< Evicted blocks that had at least
                                       ///< one incoming link from survivors.
+  uint64_t LinksDestroyed = 0;        ///< Links removed by evictions (both
+                                      ///< endpoints dead or repaired). The
+                                      ///< auditor requires LinksCreated -
+                                      ///< LinksDestroyed == live links.
 
   // Modeled instruction overheads (CostModel).
   double MissOverhead = 0.0;

@@ -33,8 +33,8 @@
 #define CCSIM_CORE_CODECACHE_H
 
 #include "core/Superblock.h"
+#include "support/Contracts.h"
 
-#include <cassert>
 #include <cstdint>
 #include <deque>
 #include <vector>
@@ -74,19 +74,19 @@ public:
 
   /// Byte offset of resident \p Id. Must be resident.
   uint64_t startOf(SuperblockId Id) const {
-    assert(contains(Id) && "block is not resident");
+    CCSIM_ASSERT(contains(Id), "block %u is not resident", Id);
     return StartById[Id];
   }
 
   /// Size in bytes of resident \p Id. Must be resident.
   uint32_t sizeOf(SuperblockId Id) const {
-    assert(contains(Id) && "block is not resident");
+    CCSIM_ASSERT(contains(Id), "block %u is not resident", Id);
     return SizeById[Id];
   }
 
   /// Index of the cache unit containing byte \p Offset under \p Quantum.
   static uint64_t unitOf(uint64_t Offset, uint64_t Quantum) {
-    assert(Quantum > 0 && "quantum must be positive");
+    CCSIM_ASSERT(Quantum > 0, "quantum must be positive");
     return Offset / Quantum;
   }
 
@@ -107,7 +107,7 @@ public:
 
   /// Oldest resident block; cache must be non-empty.
   const Resident &front() const {
-    assert(!Fifo.empty() && "cache is empty");
+    CCSIM_ASSERT(!Fifo.empty(), "cache is empty");
     return Fifo.front();
   }
 
@@ -116,6 +116,11 @@ public:
     for (const Resident &R : Fifo)
       Visit(R);
   }
+
+  /// Size of the dense per-id lookup tables; ids >= this were never
+  /// inserted. Lets auditors enumerate the residency flags independently
+  /// of the FIFO (check/CacheAuditor cross-checks the two views).
+  size_t idTableSize() const { return ResidentFlag.size(); }
 
   /// Exhaustive internal consistency check for tests: flags match the
   /// FIFO contents, occupancy sums match, no overlapping placements, and

@@ -27,6 +27,7 @@
 #define CCSIM_CORE_FREELISTCACHE_H
 
 #include "core/Superblock.h"
+#include "support/Contracts.h"
 
 #include <cstdint>
 #include <list>
@@ -87,6 +88,33 @@ public:
               std::vector<SuperblockId> &EvictedOut);
 
   const FreeListStats &stats() const { return Stats; }
+
+  /// Byte offset of resident \p Id. Must be resident.
+  uint64_t startOf(SuperblockId Id) const {
+    CCSIM_ASSERT(contains(Id), "block %u is not resident", Id);
+    return Slots[Id].Start;
+  }
+
+  /// Size in bytes of resident \p Id. Must be resident.
+  uint32_t sizeOf(SuperblockId Id) const {
+    CCSIM_ASSERT(contains(Id), "block %u is not resident", Id);
+    return Slots[Id].Size;
+  }
+
+  /// Auditor introspection: size of the dense per-id slot table.
+  size_t idTableSize() const { return Slots.size(); }
+
+  /// Visits free extents in free-list (address) order.
+  template <typename Fn> void forEachFreeExtent(Fn Visit) const {
+    for (const Hole &H : FreeList)
+      Visit(H.Start, H.Size);
+  }
+
+  /// Visits resident ids from least to most recently used.
+  template <typename Fn> void forEachLru(Fn Visit) const {
+    for (SuperblockId Id : LruList)
+      Visit(Id);
+  }
 
   /// Exhaustive structural check for tests: no overlapping allocations,
   /// free list is address-ordered, coalesced, and complementary to the

@@ -77,6 +77,26 @@ public:
   /// True if a materialized link From -> To exists.
   bool hasLink(SuperblockId From, SuperblockId To) const;
 
+  /// Auditor introspection: size of the dense per-id tables (ids at or
+  /// beyond this were never registered).
+  size_t idTableSize() const { return StaticEdges.size(); }
+
+  /// Auditor introspection: raw per-id list views. Empty span for ids
+  /// outside the tables. The spans alias internal storage and are
+  /// invalidated by any mutation.
+  std::span<const SuperblockId> staticEdgesOf(SuperblockId Id) const {
+    return listOrEmpty(StaticEdges, Id);
+  }
+  std::span<const SuperblockId> outLinksOf(SuperblockId Id) const {
+    return listOrEmpty(OutLinks, Id);
+  }
+  std::span<const SuperblockId> inLinksOf(SuperblockId Id) const {
+    return listOrEmpty(InLinks, Id);
+  }
+  std::span<const SuperblockId> wantsOf(SuperblockId Id) const {
+    return listOrEmpty(Wants, Id);
+  }
+
   /// Exhaustive consistency check against \p Cache for tests: every link
   /// endpoint resident, in/out lists mirror each other, every static edge
   /// of a resident block is either materialized (target resident) or
@@ -93,6 +113,14 @@ private:
   std::vector<uint32_t> EvictEpoch; // Batch-membership marks.
   uint32_t CurrentEpoch = 0;
   uint64_t LinkCount = 0;
+
+  static std::span<const SuperblockId>
+  listOrEmpty(const std::vector<std::vector<SuperblockId>> &Table,
+              SuperblockId Id) {
+    if (Id >= Table.size())
+      return {};
+    return Table[Id];
+  }
 
   void growTables(SuperblockId Id);
   void materialize(const CodeCache &Cache, uint64_t Quantum,
