@@ -17,11 +17,16 @@
 //   ccsim_cli tenants --tenants=gzip,vpr,crafty --mode=shared
 //       Multi-tenant simulation: interleave several benchmarks into one
 //       shared (or partitioned) code cache.
+//   ccsim_cli audit [run.cct] --policies=flush,8,fine
+//       Replay a trace with the structural auditor validating every cache
+//       mutation; exits nonzero at the first violated invariant.
 //
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Aggregate.h"
 #include "analysis/OverheadFit.h"
+#include "check/CacheAuditor.h"
+#include "check/Paranoia.h"
 #include "concurrent/MultiTenantSimulator.h"
 #include "concurrent/ThreadPool.h"
 #include "isa/ProgramGenerator.h"
@@ -338,14 +343,88 @@ int cmdTenants(int Argc, char **Argv) {
   return exportTelemetry(Flags, Sink.get());
 }
 
+int cmdAudit(int Argc, char **Argv) {
+  FlagSet Flags("ccsim_cli audit: replay a trace with the structural "
+                "auditor checking every cache mutation.");
+  Flags.addString("benchmark", "crafty",
+                  "Table 1 benchmark (ignored when a .cct file is given).");
+  Flags.addString("policies", "flush,8,fine",
+                  "Comma-separated policies to audit (flush | fine | "
+                  "<unit count>).");
+  Flags.addDouble("pressure", 8.0, "Cache pressure factor.");
+  Flags.addDouble("scale", 0.2, "Workload size multiplier.");
+  Flags.addInt("seed", 42, "Trace seed.");
+  if (!Flags.parse(Argc, Argv))
+    return 1;
+
+  Trace T;
+  if (!Flags.positional().empty()) {
+    const auto Loaded = readTrace(Flags.positional().front());
+    if (!Loaded) {
+      std::fprintf(stderr, "error: cannot read %s\n",
+                   Flags.positional().front().c_str());
+      return 1;
+    }
+    T = *Loaded;
+  } else {
+    const WorkloadModel *M = findWorkload(Flags.getString("benchmark"));
+    if (!M) {
+      std::fprintf(stderr, "error: unknown benchmark\n");
+      return 1;
+    }
+    WorkloadModel Chosen = *M;
+    if (Flags.getDouble("scale") < 0.999)
+      Chosen = scaledWorkload(*M, Flags.getDouble("scale"));
+    T = TraceGenerator::generateBenchmark(
+        Chosen, static_cast<uint64_t>(Flags.getInt("seed")));
+  }
+
+  SimConfig Capacity;
+  Capacity.PressureFactor = Flags.getDouble("pressure");
+
+  for (const std::string &Spec : splitList(Flags.getString("policies"))) {
+    CacheManagerConfig MC;
+    MC.CapacityBytes = sim::capacityFor(T, Capacity);
+    CacheManager Manager(MC, makePolicy(parsePolicy(Spec)));
+
+    size_t Violations = 0;
+    check::ParanoiaOptions Opts;
+    Opts.Level = AuditLevel::Full;
+    Opts.OnViolation = [&Violations, &Spec](const check::AuditReport &Report,
+                                            const char *Where) {
+      Violations += Report.size();
+      std::fprintf(stderr, "audit FAILED (policy %s, after %s):\n%s",
+                   Spec.c_str(), Where, Report.render().c_str());
+    };
+    check::armAuditor(Manager, Opts);
+
+    for (SuperblockId Id : T.Accesses) {
+      Manager.access(T.recordFor(Id));
+      if (Violations > 0)
+        return 1; // First corrupt state wins; the report is out already.
+    }
+    std::printf("policy %-8s %s accesses, %s evictions, %s links peak "
+                "-- audit clean\n",
+                Manager.policy().name().c_str(),
+                formatWithCommas(Manager.stats().Accesses).c_str(),
+                formatWithCommas(Manager.stats().EvictedBlocks).c_str(),
+                formatBytes(Manager.stats().BackPointerBytesPeak).c_str());
+  }
+  std::printf("trace %s: every mutation audited, all invariants held\n",
+              T.Name.c_str());
+  return 0;
+}
+
 void usage() {
-  std::fputs("ccsim_cli <simulate|record|replay|fit|suite|tenants> [flags]\n"
+  std::fputs("ccsim_cli <simulate|record|replay|fit|suite|tenants|audit> "
+             "[flags]\n"
              "  simulate  trace-driven simulation of a Table 1 benchmark\n"
              "  record    run the mini-DBT, save its superblock log\n"
              "  replay    replay a saved log through the simulator\n"
              "  fit       re-derive the paper's overhead equations\n"
              "  suite     granularity sweep over the whole suite (--jobs)\n"
-             "  tenants   multi-tenant shared-cache simulation\n",
+             "  tenants   multi-tenant shared-cache simulation\n"
+             "  audit     replay under the paranoid structural auditor\n",
              stderr);
 }
 
@@ -370,6 +449,8 @@ int main(int Argc, char **Argv) {
     return cmdSuite(Argc - 1, Argv + 1);
   if (std::strcmp(Cmd, "tenants") == 0)
     return cmdTenants(Argc - 1, Argv + 1);
+  if (std::strcmp(Cmd, "audit") == 0)
+    return cmdAudit(Argc - 1, Argv + 1);
   usage();
   return 1;
 }

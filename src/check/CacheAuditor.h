@@ -1,0 +1,143 @@
+//===- check/CacheAuditor.h - Deep cross-structure invariant audits -------===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exhaustive consistency validation of the cache data structures. Where
+/// the in-class checkInvariants() predicates answer yes/no, the auditor
+/// explains: every broken invariant becomes an AuditViolation with a
+/// stable rule id, offending ids, and a fix hint.
+///
+/// The auditor is split into two layers so corruption can be tested
+/// without mutating encapsulated live structures:
+///
+///   capture*()  extract a plain-data snapshot (State struct) from a live
+///               structure through its public introspection API;
+///   check*()    run the rules over a snapshot (tests forge corrupted
+///               snapshots and assert the exact rule id reported).
+///
+/// audit*() composes the two for live structures, and auditManager() adds
+/// the cross-structure reconciliation: links against residency (section
+/// 4.3 back-pointer mirroring), and CacheStats counters against observed
+/// structure (inserts - evictions = residents, byte accounting exact).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_CHECK_CACHEAUDITOR_H
+#define CCSIM_CHECK_CACHEAUDITOR_H
+
+#include "check/AuditReport.h"
+#include "core/CacheManager.h"
+#include "core/CodeCache.h"
+#include "core/FreeListCache.h"
+#include "core/GenerationalCache.h"
+#include "core/LinkGraph.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace ccsim::check {
+
+/// Snapshot of a CodeCache: the FIFO view and the per-id lookup view are
+/// captured separately so the auditor can cross-check them.
+struct CodeCacheState {
+  uint64_t Capacity = 0;
+  uint64_t OccupiedBytes = 0;
+  std::vector<CodeCache::Resident> Fifo;   ///< Oldest-first placement log.
+  std::vector<CodeCache::Resident> Lookup; ///< Flagged residents, by id.
+
+  bool isResident(SuperblockId Id) const;
+};
+
+/// Snapshot of a LinkGraph: per-id adjacency lists plus the live count.
+struct LinkGraphState {
+  uint64_t LiveLinkCount = 0;
+  struct Node {
+    SuperblockId Id = 0;
+    std::vector<SuperblockId> StaticEdges;
+    std::vector<SuperblockId> Out;
+    std::vector<SuperblockId> In;
+    std::vector<SuperblockId> Wants; ///< Sources waiting for Id.
+  };
+  std::vector<Node> Nodes; ///< One entry per id in the dense tables.
+};
+
+/// Snapshot of a FreeListCache arena.
+struct FreeListState {
+  uint64_t Capacity = 0;
+  uint64_t OccupiedBytes = 0;
+  struct Extent {
+    uint64_t Start = 0;
+    uint64_t Size = 0;
+  };
+  struct Alloc {
+    SuperblockId Id = 0;
+    uint64_t Start = 0;
+    uint32_t Size = 0;
+  };
+  std::vector<Extent> Free;   ///< In free-list order.
+  std::vector<Alloc> Allocs;  ///< Resident slots, by id.
+  std::vector<SuperblockId> LruOrder; ///< Least recently used first.
+};
+
+/// CacheStats counters paired with the structure observations they must
+/// reconcile against.
+struct StatsState {
+  CacheStats Stats;
+  uint64_t ResidentCount = 0;
+  uint64_t OccupiedBytes = 0;
+  uint64_t LiveLinks = 0;
+  uint64_t BackPointerBytes = 0;
+  bool ChainingEnabled = false;
+  bool UsesBackPointerTable = false;
+};
+
+// --- Snapshot extraction from live structures ---------------------------
+
+CodeCacheState captureCodeCache(const CodeCache &Cache);
+LinkGraphState captureLinkGraph(const LinkGraph &Links);
+FreeListState captureFreeList(const FreeListCache &Cache);
+StatsState captureStats(const CacheManager &Manager);
+
+// --- Rule evaluation over snapshots -------------------------------------
+
+void checkCodeCache(const CodeCacheState &Cache, AuditReport &Report);
+void checkLinkGraph(const LinkGraphState &Links, const CodeCacheState &Cache,
+                    AuditReport &Report);
+void checkFreeList(const FreeListState &Arena, AuditReport &Report);
+void checkGenerational(const CodeCacheState &Nursery,
+                       const CodeCacheState &Tenured, AuditReport &Report);
+void checkStats(const StatsState &State, AuditReport &Report);
+
+/// Facade running capture + check over live structures. Stateless; the
+/// free functions above are its building blocks and the testing surface.
+class CacheAuditor {
+public:
+  /// Placement invariants of one circular-buffer cache.
+  AuditReport auditCache(const CodeCache &Cache) const;
+
+  /// Chaining invariants of \p Links against residency in \p Cache:
+  /// back-pointer mirroring, no link into evicted blocks, wants index
+  /// completeness (paper section 4.3 / Figure 13).
+  AuditReport auditLinks(const LinkGraph &Links,
+                         const CodeCache &Cache) const;
+
+  /// Arena invariants of the section 3.3 free-list cache: extents tile
+  /// the arena with no overlap or leak, address order, coalescing, LRU
+  /// list matches residency.
+  AuditReport auditFreeList(const FreeListCache &Cache) const;
+
+  /// Generation exclusivity plus per-generation placement invariants.
+  AuditReport auditGenerational(const GenerationalCacheManager &Gen) const;
+
+  /// Full cross-structure audit of a CacheManager: placement, chaining,
+  /// and stats reconciliation (inserts - evictions = residents, byte
+  /// accounting exact, link creation/destruction balance).
+  AuditReport auditManager(const CacheManager &Manager) const;
+};
+
+} // namespace ccsim::check
+
+#endif // CCSIM_CHECK_CACHEAUDITOR_H

@@ -1,0 +1,31 @@
+//===- check/Paranoia.cpp - Arming the deep auditor on live managers ------===//
+
+#include "check/Paranoia.h"
+
+#include "check/CacheAuditor.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ccsim;
+using namespace ccsim::check;
+
+void check::armAuditor(CacheManager &Manager, ParanoiaOptions Options) {
+  Manager.setAuditLevel(Options.Level);
+  Manager.setAuditHook(
+      [Options](const CacheManager &M, const char *Where) {
+        const AuditReport Report = CacheAuditor().auditManager(M);
+        if (Report.clean())
+          return;
+        if (Options.OnViolation) {
+          Options.OnViolation(Report, Where);
+          return;
+        }
+        std::fprintf(stderr,
+                     "ccsim paranoid audit failed after %s "
+                     "(%zu violation(s)):\n%s",
+                     Where, Report.size(), Report.render().c_str());
+        if (Options.AbortOnViolation)
+          std::abort();
+      });
+}

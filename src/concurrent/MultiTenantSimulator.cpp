@@ -2,10 +2,11 @@
 
 #include "concurrent/MultiTenantSimulator.h"
 
+#include "check/Paranoia.h"
 #include "support/Random.h"
+#include "support/Contracts.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 using namespace ccsim;
@@ -22,12 +23,15 @@ uint64_t MultiTenantResult::blocksLostToOthers(size_t Victim) const {
 MultiTenantSimulator::MultiTenantSimulator(const std::vector<Trace> &Traces,
                                            const MultiTenantConfig &Config)
     : Traces(Traces), Config(Config) {
-  assert(!Traces.empty() && "multi-tenant run needs at least one trace");
+  CCSIM_REQUIRE(!Traces.empty(),
+                "multi-tenant run needs at least one trace");
 
   const size_t K = Traces.size();
   Weights.resize(K, 1.0);
   for (size_t I = 0; I < std::min(K, Config.Tenants.size()); ++I) {
-    assert(Config.Tenants[I].Weight > 0.0 && "weights must be positive");
+    CCSIM_REQUIRE(Config.Tenants[I].Weight > 0.0,
+                  "tenant %zu weight %g must be positive", I,
+                  Config.Tenants[I].Weight);
     Weights[I] = Config.Tenants[I].Weight;
   }
 
@@ -58,8 +62,9 @@ MultiTenantSimulator::MultiTenantSimulator(const std::vector<Trace> &Traces,
 uint64_t MultiTenantSimulator::deriveTotalCapacity() const {
   if (Config.ExplicitCapacityBytes != 0)
     return Config.ExplicitCapacityBytes;
-  assert(Config.PressureFactor >= 1.0 &&
-         "pressure factor below 1 would be an over-provisioned cache");
+  CCSIM_REQUIRE(Config.PressureFactor >= 1.0,
+                "pressure factor %g below 1 would be an over-provisioned cache",
+                Config.PressureFactor);
   uint64_t SuiteMaxCache = 0;
   for (const Trace &T : Traces)
     SuiteMaxCache += T.maxCacheBytes();
@@ -214,6 +219,9 @@ MultiTenantResult MultiTenantSimulator::run() {
     }
     Managers.push_back(
         std::make_unique<CacheManager>(MC, std::move(Policy)));
+    if (Config.Audit != AuditLevel::Off)
+      check::armAuditor(*Managers.back(),
+                        check::ParanoiaOptions{Config.Audit, true, {}});
   }
 
   // Replay the deterministic interleaving until every stream is consumed.
@@ -280,7 +288,7 @@ MultiTenantResult MultiTenantSimulator::run() {
         if (Pick < 0.0)
           break;
       }
-      assert(Chosen < K && "live count and cursors disagree");
+      CCSIM_ASSERT(Chosen < K, "live count and cursors disagree");
       Step(Chosen);
       if (Cursor[Chosen] == Traces[Chosen].Accesses.size())
         LiveWeight -= Weights[Chosen];

@@ -81,6 +81,11 @@ struct MultiTenantConfig {
   /// manager(s), and publishes per-tenant and global metrics labeled by
   /// tenant name and partition mode. Null costs nothing.
   telemetry::TelemetrySink *Telemetry = nullptr;
+
+  /// Deep structural auditing of every underlying manager during the
+  /// replay (check::armAuditor). Defaults to Full in CCSIM_PARANOID
+  /// builds, Off otherwise; violations print their report and abort.
+  AuditLevel Audit = defaultAuditLevel();
 };
 
 /// Counters attributed to one tenant. Access-side counters (accesses,

@@ -1,6 +1,7 @@
 //===- core/CacheManager.cpp - Code cache management facade --------------===//
 
 #include "core/CacheManager.h"
+#include "support/Contracts.h"
 
 #include <algorithm>
 
@@ -10,7 +11,7 @@ CacheManager::CacheManager(const CacheManagerConfig &Config,
                            std::unique_ptr<EvictionPolicy> Policy)
     : Config(Config), Policy(std::move(Policy)),
       Cache(Config.CapacityBytes) {
-  assert(this->Policy && "cache manager requires a policy");
+  CCSIM_REQUIRE(this->Policy, "cache manager requires a policy");
 }
 
 uint64_t CacheManager::currentQuantum() const {
@@ -36,8 +37,16 @@ void CacheManager::sampleBackPointerMemory() {
   Stats.BackPointerBytesSum += static_cast<double>(Bytes);
 }
 
+void CacheManager::maybeAudit(bool Evicted, const char *Where) {
+  if (Auditing == AuditLevel::Off || !Audit)
+    return;
+  if (Auditing == AuditLevel::Evictions && !Evicted)
+    return;
+  Audit(*this, Where);
+}
+
 void CacheManager::chargeEvictions(uint64_t UnitsFlushed) {
-  assert(!EvictedScratch.empty() && "no victims to charge");
+  CCSIM_ASSERT(!EvictedScratch.empty(), "no victims to charge");
   uint64_t Bytes = 0;
   for (const CodeCache::Resident &V : EvictedScratch)
     Bytes += V.Size;
@@ -51,7 +60,9 @@ void CacheManager::chargeEvictions(uint64_t UnitsFlushed) {
   bool HaveDangling = false;
   if (Config.EnableChaining) {
     DanglingScratch.clear();
+    const uint64_t LinksBefore = Links.numLinks();
     Links.onEvict(Cache, EvictedScratch, DanglingScratch);
+    Stats.LinksDestroyed += LinksBefore - Links.numLinks();
     if (Policy->usesBackPointerTable(Cache.capacity())) {
       HaveDangling = true;
       for (uint32_t NumLinks : DanglingScratch) {
@@ -121,8 +132,9 @@ void CacheManager::notifyEvictions() {
 }
 
 AccessKind CacheManager::access(const SuperblockRecord &Rec) {
-  assert(Rec.Id != InvalidSuperblockId && "invalid superblock id");
-  assert(Rec.SizeBytes > 0 && "superblocks must have a positive size");
+  CCSIM_ASSERT(Rec.Id != InvalidSuperblockId, "invalid superblock id");
+  CCSIM_ASSERT(Rec.SizeBytes > 0,
+               "superblock %u must have a positive size", Rec.Id);
 
   CurrentTenant = Rec.Tenant;
   ++Stats.Accesses;
@@ -130,6 +142,7 @@ AccessKind CacheManager::access(const SuperblockRecord &Rec) {
   Policy->noteAccess(Hit);
 
   AccessKind Kind = AccessKind::Hit;
+  bool Evicted = false;
   if (Hit) {
     ++Stats.Hits;
   } else {
@@ -151,12 +164,15 @@ AccessKind CacheManager::access(const SuperblockRecord &Rec) {
         Cache.prepareInsert(Rec.SizeBytes, Quantum, EvictedScratch);
     Stats.WastedBytes += Prep.WastedBytes;
     if (!EvictedScratch.empty()) {
+      Evicted = true;
       chargeEvictions(Prep.UnitsFlushed);
       notifyEvictions();
     }
 
     if (Prep.CanInsert) {
       Cache.commitInsert(Rec.Id, Rec.SizeBytes);
+      ++Stats.Inserts;
+      Stats.InsertedBytes += Rec.SizeBytes;
       if (Rec.Id >= TenantById.size())
         TenantById.resize(std::max<size_t>(Rec.Id + 1, TenantById.size() * 2),
                           0);
@@ -169,6 +185,7 @@ AccessKind CacheManager::access(const SuperblockRecord &Rec) {
                                         0, Stats.Accesses);
       Kind = AccessKind::Miss;
     } else {
+      ++Stats.TooBigMisses;
       Kind = AccessKind::MissTooBig;
     }
   }
@@ -179,9 +196,11 @@ AccessKind CacheManager::access(const SuperblockRecord &Rec) {
     flushEntireCache();
     PreemptiveFlushInFlight = false;
     Policy->noteFlush();
+    Evicted = true;
   }
 
   sampleBackPointerMemory();
+  maybeAudit(Evicted, "access");
   return Kind;
 }
 
@@ -207,6 +226,7 @@ void CacheManager::flushEntireCache() {
   }
   chargeEvictions(Units);
   notifyEvictions();
+  maybeAudit(true, "flush");
 }
 
 bool CacheManager::checkInvariants() const {

@@ -59,6 +59,34 @@ struct EvictionBatchEvent {
 /// Observer invoked after each eviction batch has been accounted.
 using EvictionObserver = std::function<void(const EvictionBatchEvent &)>;
 
+class CacheManager;
+
+/// When the installed audit hook (paranoid deep validation, see
+/// check::armAuditor) runs. Levels nest: Full implies Evictions.
+enum class AuditLevel : uint8_t {
+  Off,       ///< Hook never runs (production default).
+  Evictions, ///< After every access that evicted blocks, and after flushes.
+  Full,      ///< After every access and every flush.
+};
+
+/// Compile-time default audit level: Full in CCSIM_PARANOID builds
+/// (-DCCSIM_PARANOID=ON at configure time), Off otherwise. Config structs
+/// use this as their initializer so a paranoid build audits everywhere
+/// without per-call-site opt-in.
+constexpr AuditLevel defaultAuditLevel() {
+#ifdef CCSIM_PARANOID
+  return AuditLevel::Full;
+#else
+  return AuditLevel::Off;
+#endif
+}
+
+/// Deep-validation hook: receives the manager after a mutation settled and
+/// a short site label ("access", "flush"). Installed by check::armAuditor;
+/// kept as a std::function so ccsim_core never links against ccsim_check.
+using AuditHook =
+    std::function<void(const CacheManager &, const char *Where)>;
+
 /// Configuration for a CacheManager instance.
 struct CacheManagerConfig {
   /// Code cache capacity in bytes (the paper's maxCache / pressure).
@@ -125,6 +153,13 @@ public:
   /// Cross-checks CodeCache and LinkGraph invariants (tests).
   bool checkInvariants() const;
 
+  /// Paranoid-mode control. The hook only runs while the level permits,
+  /// so arming an auditor on a manager left at AuditLevel::Off is free on
+  /// the hot path (one branch per access).
+  void setAuditLevel(AuditLevel Level) { Auditing = Level; }
+  AuditLevel auditLevel() const { return Auditing; }
+  void setAuditHook(AuditHook Hook) { Audit = std::move(Hook); }
+
 private:
   CacheManagerConfig Config;
   std::unique_ptr<EvictionPolicy> Policy;
@@ -142,6 +177,13 @@ private:
   // Telemetry bookkeeping (only touched when Config.Telemetry is set).
   uint64_t LastQuantumTraced = 0;   // 0 = no quantum recorded yet.
   bool PreemptiveFlushInFlight = false;
+
+  AuditLevel Auditing = defaultAuditLevel();
+  AuditHook Audit;
+
+  /// Runs the audit hook if the current level covers this site.
+  /// \p Evicted: whether the mutation removed blocks (Evictions level).
+  void maybeAudit(bool Evicted, const char *Where);
 
   void chargeEvictions(uint64_t UnitsFlushed);
   void notifyEvictions();

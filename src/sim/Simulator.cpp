@@ -1,9 +1,10 @@
 //===- sim/Simulator.cpp - Trace-driven code cache simulation -------------===//
 
 #include "sim/Simulator.h"
+#include "check/Paranoia.h"
+#include "support/Contracts.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cstdio>
 
 using namespace ccsim;
@@ -11,8 +12,9 @@ using namespace ccsim;
 uint64_t ccsim::sim::capacityFor(const Trace &T, const SimConfig &Config) {
   if (Config.ExplicitCapacityBytes != 0)
     return Config.ExplicitCapacityBytes;
-  assert(Config.PressureFactor >= 1.0 &&
-         "pressure factor below 1 would be an over-provisioned cache");
+  CCSIM_REQUIRE(Config.PressureFactor >= 1.0,
+                "pressure factor %g below 1 would be an over-provisioned cache",
+                Config.PressureFactor);
   const double Derived =
       static_cast<double>(T.maxCacheBytes()) / Config.PressureFactor;
   return std::max<uint64_t>(1, static_cast<uint64_t>(Derived));
@@ -21,7 +23,7 @@ uint64_t ccsim::sim::capacityFor(const Trace &T, const SimConfig &Config) {
 SimResult ccsim::sim::run(const Trace &T,
                           std::unique_ptr<EvictionPolicy> Policy,
                           const SimConfig &Config) {
-  assert(Policy && "simulation requires a policy");
+  CCSIM_REQUIRE(Policy, "simulation requires a policy");
   SimResult Result;
   Result.BenchmarkName = T.Name;
   Result.PolicyName = Policy->name();
@@ -44,6 +46,8 @@ SimResult ccsim::sim::run(const Trace &T,
   }
 
   CacheManager Manager(MC, std::move(Policy));
+  if (Config.Audit != AuditLevel::Off)
+    check::armAuditor(Manager, check::ParanoiaOptions{Config.Audit, true, {}});
   for (SuperblockId Id : T.Accesses)
     Manager.access(T.recordFor(Id));
 

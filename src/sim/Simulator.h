@@ -43,6 +43,11 @@ struct SimConfig {
   /// CacheStats into the sink's registry under
   /// {benchmark, policy, pressure} labels. Null costs nothing.
   telemetry::TelemetrySink *Telemetry = nullptr;
+
+  /// Deep structural auditing during the replay (check::armAuditor).
+  /// Defaults to Full in CCSIM_PARANOID builds, Off otherwise; any
+  /// violation prints its report and aborts the process.
+  AuditLevel Audit = defaultAuditLevel();
 };
 
 /// Outcome of simulating one (trace, policy, capacity) combination.
