@@ -1,0 +1,150 @@
+//===- tests/check/ParanoidIntegrationTest.cpp - Paranoid mode plumbing ---===//
+//
+// The audit hook itself: when it fires, what it observes, and that a
+// fully-audited replay neither finds violations nor changes results.
+//
+//===----------------------------------------------------------------------===//
+
+#include "check/Paranoia.h"
+
+#include "check/CacheAuditor.h"
+#include "sim/Simulator.h"
+#include "trace/TraceGenerator.h"
+#include "gtest/gtest.h"
+
+using namespace ccsim;
+using namespace ccsim::check;
+
+namespace {
+
+SuperblockRecord rec(SuperblockId Id, uint32_t Size) {
+  SuperblockRecord R;
+  R.Id = Id;
+  R.SizeBytes = Size;
+  return R;
+}
+
+CacheManager makeManager(uint64_t Capacity, GranularitySpec Spec) {
+  CacheManagerConfig Config;
+  Config.CapacityBytes = Capacity;
+  return CacheManager(Config, makePolicy(Spec));
+}
+
+Trace scaledTrace(const char *Name, double Factor) {
+  const WorkloadModel *M = findWorkload(Name);
+  return TraceGenerator::generateBenchmark(scaledWorkload(*M, Factor), 42);
+}
+
+} // namespace
+
+TEST(ParanoidIntegrationTest, FullLevelAuditsEveryAccess) {
+  CacheManager M = makeManager(400, GranularitySpec::fine());
+  size_t Calls = 0;
+  M.setAuditLevel(AuditLevel::Full);
+  M.setAuditHook([&Calls](const CacheManager &, const char *) { ++Calls; });
+  for (SuperblockId Id = 0; Id < 10; ++Id)
+    M.access(rec(Id, 100)); // Capacity 400: evictions from the 5th insert.
+  EXPECT_EQ(Calls, 10u);
+}
+
+TEST(ParanoidIntegrationTest, EvictionsLevelAuditsOnlyEvictingAccesses) {
+  CacheManager M = makeManager(400, GranularitySpec::fine());
+  size_t Calls = 0;
+  M.setAuditLevel(AuditLevel::Evictions);
+  M.setAuditHook([&Calls](const CacheManager &, const char *) { ++Calls; });
+  for (SuperblockId Id = 0; Id < 4; ++Id)
+    M.access(rec(Id, 100)); // Fills the cache; nothing evicted yet.
+  EXPECT_EQ(Calls, 0u);
+  M.access(rec(4, 100)); // First eviction.
+  EXPECT_EQ(Calls, 1u);
+  M.access(rec(4, 100)); // Hit: no mutation, no audit.
+  EXPECT_EQ(Calls, 1u);
+}
+
+TEST(ParanoidIntegrationTest, OffLevelNeverCallsHook) {
+  CacheManager M = makeManager(400, GranularitySpec::fine());
+  size_t Calls = 0;
+  M.setAuditLevel(AuditLevel::Off);
+  M.setAuditHook([&Calls](const CacheManager &, const char *) { ++Calls; });
+  for (SuperblockId Id = 0; Id < 10; ++Id)
+    M.access(rec(Id, 100));
+  EXPECT_EQ(Calls, 0u);
+}
+
+TEST(ParanoidIntegrationTest, FlushSiteIsLabeled) {
+  CacheManager M = makeManager(400, GranularitySpec::fine());
+  std::vector<std::string> Sites;
+  M.setAuditLevel(AuditLevel::Full);
+  M.setAuditHook([&Sites](const CacheManager &, const char *Where) {
+    Sites.push_back(Where);
+  });
+  M.access(rec(0, 100));
+  M.flushEntireCache();
+  ASSERT_EQ(Sites.size(), 2u);
+  EXPECT_EQ(Sites[0], "access");
+  EXPECT_EQ(Sites[1], "flush");
+}
+
+TEST(ParanoidIntegrationTest, ArmedAuditorStaysQuietOnCorrectManager) {
+  for (const GranularitySpec &Spec :
+       {GranularitySpec::flush(), GranularitySpec::units(8),
+        GranularitySpec::fine()}) {
+    const Trace T = scaledTrace("gzip", 0.05);
+    CacheManagerConfig Config;
+    Config.CapacityBytes = T.maxCacheBytes() / 8;
+    CacheManager Manager(Config, makePolicy(Spec));
+
+    size_t Violations = 0;
+    ParanoiaOptions Opts;
+    Opts.Level = AuditLevel::Full;
+    Opts.OnViolation = [&Violations](const AuditReport &Report,
+                                     const char *) {
+      Violations += Report.size();
+      ADD_FAILURE() << Report.render();
+    };
+    armAuditor(Manager, Opts);
+    EXPECT_EQ(Manager.auditLevel(), AuditLevel::Full);
+
+    for (SuperblockId Id : T.Accesses)
+      Manager.access(T.recordFor(Id));
+    EXPECT_EQ(Violations, 0u) << Spec.label();
+    EXPECT_GT(Manager.stats().EvictedBlocks, 0u)
+        << "run too small to exercise eviction under " << Spec.label();
+  }
+}
+
+TEST(ParanoidIntegrationTest, ArmedAuditorReportsSeededStatsCorruption) {
+  // End-to-end detection: corrupt a StatsState the way a lost counter
+  // update would and confirm the deep checker (the same one the armed
+  // hook runs) pinpoints the rule.
+  CacheManager M = makeManager(400, GranularitySpec::fine());
+  for (SuperblockId Id = 0; Id < 8; ++Id)
+    M.access(rec(Id, 100));
+  StatsState State = captureStats(M);
+  AuditReport Clean;
+  checkStats(State, Clean);
+  ASSERT_TRUE(Clean.clean()) << Clean.render();
+
+  State.Stats.Inserts -= 1; // Simulate a skipped ++Stats.Inserts.
+  AuditReport Report;
+  checkStats(State, Report);
+  EXPECT_TRUE(Report.has(AuditRule::StatsAccessSplitMismatch));
+  EXPECT_TRUE(Report.has(AuditRule::StatsResidencyMismatch));
+}
+
+TEST(ParanoidIntegrationTest, AuditedSimulationMatchesUnaudited) {
+  const Trace T = scaledTrace("vpr", 0.05);
+  SimConfig Plain;
+  Plain.PressureFactor = 8.0;
+  Plain.Audit = AuditLevel::Off;
+  SimConfig Audited = Plain;
+  Audited.Audit = AuditLevel::Full;
+
+  const SimResult A = sim::run(T, GranularitySpec::units(8), Plain);
+  const SimResult B = sim::run(T, GranularitySpec::units(8), Audited);
+  EXPECT_EQ(A.Stats.Accesses, B.Stats.Accesses);
+  EXPECT_EQ(A.Stats.Misses, B.Stats.Misses);
+  EXPECT_EQ(A.Stats.EvictedBlocks, B.Stats.EvictedBlocks);
+  EXPECT_EQ(A.Stats.LinksCreated, B.Stats.LinksCreated);
+  EXPECT_DOUBLE_EQ(A.Stats.totalOverhead(true), B.Stats.totalOverhead(true));
+}

@@ -196,3 +196,31 @@ TEST(MultiTenantTest, WeightedScheduleConsumesEveryStream) {
   for (size_t T = 0; T < R.Tenants.size(); ++T)
     EXPECT_EQ(R.Tenants[T].Accesses, tenantTraces()[T].numAccesses());
 }
+
+TEST(MultiTenantTest, FullyAuditedRunMatchesUnaudited) {
+  // Arming the deep auditor on every tenant manager (which aborts on the
+  // first violation) both certifies the shared-cache structures after
+  // every mutation and must not perturb the simulation itself.
+  MultiTenantConfig Plain = baseConfig();
+  Plain.Mode = PartitionMode::Shared;
+  Plain.Audit = AuditLevel::Off;
+  MultiTenantConfig Audited = Plain;
+  Audited.Audit = AuditLevel::Full;
+
+  MultiTenantSimulator A(tenantTraces(), Plain);
+  MultiTenantSimulator B(tenantTraces(), Audited);
+  const MultiTenantResult RA = A.run();
+  const MultiTenantResult RB = B.run();
+
+  EXPECT_EQ(RA.Global.Accesses, RB.Global.Accesses);
+  EXPECT_EQ(RA.Global.Misses, RB.Global.Misses);
+  EXPECT_EQ(RA.Global.EvictedBlocks, RB.Global.EvictedBlocks);
+  EXPECT_EQ(RA.Global.LinksCreated, RB.Global.LinksCreated);
+  ASSERT_EQ(RA.Tenants.size(), RB.Tenants.size());
+  for (size_t T = 0; T < RA.Tenants.size(); ++T) {
+    EXPECT_EQ(RA.Tenants[T].Misses, RB.Tenants[T].Misses);
+    EXPECT_EQ(RA.Tenants[T].BlocksEvicted, RB.Tenants[T].BlocksEvicted);
+  }
+  EXPECT_GT(RB.Global.EvictedBlocks, 0u);
+  expectTenantSumsMatchGlobal(RB);
+}

@@ -1,0 +1,81 @@
+//===- tests/regression/AuditedReplayTest.cpp - Audited golden replays ----===//
+//
+// Regression-tier audit hooks: replay the golden suite (forScaledTable1
+// at 0.05, default suite seed) with the structural auditor armed and
+// require (a) zero violations -- armAuditor aborts the process on the
+// first one -- and (b) results bit-identical to the unaudited run, so
+// paranoid builds cannot drift from the pinned figures.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Sweep.h"
+
+#include "gtest/gtest.h"
+
+using namespace ccsim;
+
+namespace {
+
+const SweepEngine &auditEngine() {
+  static SweepEngine Engine =
+      SweepEngine::forScaledTable1(0.05, DefaultSuiteSeed);
+  return Engine;
+}
+
+void expectSameSuite(const SuiteResult &A, const SuiteResult &B) {
+  EXPECT_EQ(A.Combined.Accesses, B.Combined.Accesses);
+  EXPECT_EQ(A.Combined.Misses, B.Combined.Misses);
+  EXPECT_EQ(A.Combined.ColdMisses, B.Combined.ColdMisses);
+  EXPECT_EQ(A.Combined.CapacityMisses, B.Combined.CapacityMisses);
+  EXPECT_EQ(A.Combined.EvictionInvocations, B.Combined.EvictionInvocations);
+  EXPECT_EQ(A.Combined.EvictedBlocks, B.Combined.EvictedBlocks);
+  EXPECT_EQ(A.Combined.EvictedBytes, B.Combined.EvictedBytes);
+  EXPECT_EQ(A.Combined.LinksCreated, B.Combined.LinksCreated);
+  EXPECT_EQ(A.Combined.UnlinkOperations, B.Combined.UnlinkOperations);
+  EXPECT_EQ(A.Combined.UnlinkedLinks, B.Combined.UnlinkedLinks);
+  EXPECT_DOUBLE_EQ(A.Combined.MissOverhead, B.Combined.MissOverhead);
+  EXPECT_DOUBLE_EQ(A.Combined.EvictionOverhead, B.Combined.EvictionOverhead);
+  EXPECT_DOUBLE_EQ(A.Combined.UnlinkOverhead, B.Combined.UnlinkOverhead);
+}
+
+} // namespace
+
+// Every granularity on the spectrum, audited after each evicting
+// mutation across the whole golden workload suite.
+TEST(AuditedReplayTest, EvictionAuditedSuiteMatchesGoldenRun) {
+  for (const GranularitySpec &Spec :
+       {GranularitySpec::flush(), GranularitySpec::units(8),
+        GranularitySpec::fine()}) {
+    SimConfig Plain;
+    Plain.PressureFactor = 8.0;
+    Plain.Audit = AuditLevel::Off;
+    SimConfig Audited = Plain;
+    Audited.Audit = AuditLevel::Evictions;
+
+    const SuiteResult A = auditEngine().runSuite(Spec, Plain);
+    const SuiteResult B = auditEngine().runSuite(Spec, Audited);
+    SCOPED_TRACE(Spec.label());
+    EXPECT_GT(B.Combined.EvictedBlocks, 0u);
+    expectSameSuite(A, B);
+  }
+}
+
+// Full paranoia (audit after *every* access, evicting or not) on the
+// policy with the most intricate shared state: fine-grained FIFO, where
+// the back-pointer table, link graph, and circular FIFO all churn. A
+// full audit is O(residents) per access, so this runs the suite at a
+// smaller scale than the golden pins to keep the tier fast.
+TEST(AuditedReplayTest, FullyAuditedFineGrainedSuiteMatchesGoldenRun) {
+  static const SweepEngine Engine =
+      SweepEngine::forScaledTable1(0.01, DefaultSuiteSeed);
+  SimConfig Plain;
+  Plain.PressureFactor = 2.0;
+  Plain.Audit = AuditLevel::Off;
+  SimConfig Audited = Plain;
+  Audited.Audit = AuditLevel::Full;
+
+  const SuiteResult A = Engine.runSuite(GranularitySpec::fine(), Plain);
+  const SuiteResult B = Engine.runSuite(GranularitySpec::fine(), Audited);
+  EXPECT_GT(B.Combined.EvictedBlocks, 0u);
+  expectSameSuite(A, B);
+}
