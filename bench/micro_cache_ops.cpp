@@ -126,6 +126,46 @@ static void BM_EvictionChurn(benchmark::State &State) {
 }
 BENCHMARK(BM_EvictionChurn);
 
+static void BM_InstallEvictWithPayloads(benchmark::State &State) {
+  // The execution-driven hot path: install() front door (the miss half of
+  // access, used by the translator) on a tiny cache so nearly every
+  // install evicts, with both payload hooks wired the way the translator
+  // wires them. The delta against BM_EvictionChurn is the cost of the
+  // hook dispatch itself.
+  CacheEngineConfig Config;
+  Config.CapacityBytes = 2048;
+  uint64_t TornDown = 0;
+  Config.OnEvictPayload =
+      [&TornDown](std::span<const CodeCache::Resident> Victims) {
+        TornDown += Victims.size();
+      };
+  Config.OnUnlinkPayload = [](std::span<const CodeCache::Resident>,
+                              std::span<const uint32_t> Dangling) {
+    uint64_t Links = 0;
+    for (uint32_t D : Dangling)
+      Links += D;
+    benchmark::DoNotOptimize(Links);
+  };
+  CacheEngine E(Config, makePolicy(GranularitySpec::fine()));
+  Rng R(3);
+  std::vector<SuperblockId> Ids(4096);
+  for (auto &Id : Ids)
+    Id = static_cast<SuperblockId>(R.nextBelow(1u << 16));
+  size_t I = 0;
+  for (auto _ : State) {
+    SuperblockRecord Rec;
+    Rec.Id = Ids[I++ & 4095];
+    Rec.SizeBytes = 300;
+    if (E.cache().contains(Rec.Id))
+      benchmark::DoNotOptimize(E.access(Rec));
+    else
+      benchmark::DoNotOptimize(E.install(Rec));
+  }
+  benchmark::DoNotOptimize(TornDown);
+  State.SetItemsProcessed(State.iterations());
+}
+BENCHMARK(BM_InstallEvictWithPayloads);
+
 static void BM_TraceGeneration(benchmark::State &State) {
   const WorkloadModel M = scaledWorkload(*findWorkload("gcc"), 0.2);
   for (auto _ : State) {

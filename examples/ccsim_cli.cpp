@@ -20,6 +20,10 @@
 //   ccsim_cli audit [run.cct] --policies=flush,8,fine
 //       Replay a trace with the structural auditor validating every cache
 //       mutation; exits nonzero at the first violated invariant.
+//   ccsim_cli audit --dbt --policies=flush,8,fine
+//       Same auditor over the execution-driven path: the mini-DBT runs
+//       two-tier with every install re-validated (including the
+//       dispatch-table-vs-residency rules).
 //
 //===----------------------------------------------------------------------===//
 
@@ -117,6 +121,7 @@ int cmdRecord(int Argc, char **Argv) {
   Flags.addInt("iterations", 1500, "Main loop trips per phase.");
   Flags.addInt("phases", 6, "Program phases.");
   Flags.addInt("seed", 7, "Program seed.");
+  addTelemetryFlags(Flags);
   if (!Flags.parse(Argc, Argv))
     return 1;
   ProgramSpec Spec;
@@ -131,6 +136,8 @@ int cmdRecord(int Argc, char **Argv) {
   TranslatorConfig Config;
   Config.CacheBytes = 64ULL << 20;
   Config.RecordTrace = true;
+  const auto Sink = makeSinkIfRequested(Flags);
+  Config.Telemetry = Sink.get();
   Translator T(P, Config);
   const TranslatorStats &S = T.run(50000000);
   const Trace Log = T.exportTrace();
@@ -145,7 +152,7 @@ int cmdRecord(int Argc, char **Argv) {
               Log.numSuperblocks(),
               formatWithCommas(Log.numAccesses()).c_str(),
               Flags.getString("out").c_str());
-  return 0;
+  return exportTelemetry(Flags, Sink.get());
 }
 
 int cmdReplay(int Argc, char **Argv) {
@@ -343,6 +350,61 @@ int cmdTenants(int Argc, char **Argv) {
   return exportTelemetry(Flags, Sink.get());
 }
 
+/// The --dbt arm of cmdAudit: run the mini-DBT (two-tier) with the deep
+/// auditor armed on both engines, so every install re-validates placement,
+/// chaining, stats, and the dispatch.* table-vs-residency rules.
+int auditTranslatorRun(const FlagSet &Flags) {
+  ProgramSpec Spec;
+  Spec.NumFunctions = static_cast<uint32_t>(Flags.getInt("functions"));
+  Spec.OuterIterations = static_cast<uint32_t>(Flags.getInt("iterations"));
+  Spec.MeanCallsPerFunction = 0.6;
+  Spec.RareBranchProb = 0.1;
+  Spec.Seed = static_cast<uint64_t>(Flags.getInt("seed"));
+  const Program P = generateProgram(Spec);
+
+  for (const std::string &PolSpec : splitList(Flags.getString("policies"))) {
+    TranslatorConfig Config;
+    Config.CacheBytes = static_cast<uint64_t>(Flags.getInt("cache-kb"))
+                        << 10;
+    Config.BBCacheBytes = Config.CacheBytes / 2;
+    Config.Policy = parsePolicy(PolSpec);
+    Config.UseBasicBlockCache = true; // Exercise both tier engines.
+    Translator T(P, Config);
+
+    size_t Violations = 0;
+    check::ParanoiaOptions Opts;
+    Opts.Level = AuditLevel::Full;
+    Opts.OnViolation = [&Violations, &PolSpec](
+                           const check::AuditReport &Report,
+                           const char *Where) {
+      Violations += Report.size();
+      std::fprintf(stderr, "audit FAILED (policy %s, after %s):\n%s",
+                   PolSpec.c_str(), Where, Report.render().c_str());
+    };
+    check::armAuditor(T, Opts);
+
+    const TranslatorStats &S = T.run(1ULL << 40);
+    const check::AuditReport Final = check::CacheAuditor().auditTranslator(T);
+    if (!Final.clean()) {
+      Violations += Final.size();
+      std::fprintf(stderr, "audit FAILED (policy %s, final state):\n%s",
+                   PolSpec.c_str(), Final.render().c_str());
+    }
+    if (Violations > 0)
+      return 1;
+    std::printf("policy %-8s %s guest instrs, %llu fragments, %llu "
+                "evictions (+%llu BB) -- audit clean\n",
+                T.engine().policy().name().c_str(),
+                formatWithCommas(S.GuestInstructions).c_str(),
+                static_cast<unsigned long long>(S.FragmentsBuilt),
+                static_cast<unsigned long long>(S.EvictionInvocations),
+                static_cast<unsigned long long>(S.BBEvictionInvocations));
+  }
+  std::printf("mini-DBT: every install audited on both tiers, all "
+              "invariants held\n");
+  return 0;
+}
+
 int cmdAudit(int Argc, char **Argv) {
   FlagSet Flags("ccsim_cli audit: replay a trace with the structural "
                 "auditor checking every cache mutation.");
@@ -354,8 +416,18 @@ int cmdAudit(int Argc, char **Argv) {
   Flags.addDouble("pressure", 8.0, "Cache pressure factor.");
   Flags.addDouble("scale", 0.2, "Workload size multiplier.");
   Flags.addInt("seed", 42, "Trace seed.");
+  Flags.addBool("dbt", false,
+                "Audit the execution-driven path instead: run the "
+                "mini-DBT (two-tier) with the auditor armed on every "
+                "install.");
+  Flags.addInt("functions", 32, "Guest call-graph size (--dbt).");
+  Flags.addInt("iterations", 600, "Main loop trip count (--dbt).");
+  Flags.addInt("cache-kb", 2, "Code cache size in KB (--dbt).");
   if (!Flags.parse(Argc, Argv))
     return 1;
+
+  if (Flags.getBool("dbt"))
+    return auditTranslatorRun(Flags);
 
   Trace T;
   if (!Flags.positional().empty()) {
@@ -424,7 +496,8 @@ void usage() {
              "  fit       re-derive the paper's overhead equations\n"
              "  suite     granularity sweep over the whole suite (--jobs)\n"
              "  tenants   multi-tenant shared-cache simulation\n"
-             "  audit     replay under the paranoid structural auditor\n",
+             "  audit     replay under the paranoid structural auditor\n"
+             "            (--dbt: audit a mini-DBT run instead)\n",
              stderr);
 }
 

@@ -70,6 +70,14 @@ const char *check::ruleId(AuditRule Rule) {
     return "stats.eviction-accounting-mismatch";
   case AuditRule::StatsBackPointerPeakLow:
     return "stats.backpointer-peak-low";
+  case AuditRule::DispatchEntryNotResident:
+    return "dispatch.entry-not-resident";
+  case AuditRule::DispatchEntryStale:
+    return "dispatch.entry-stale";
+  case AuditRule::DispatchResidentUnreachable:
+    return "dispatch.resident-unreachable";
+  case AuditRule::DispatchSizeMismatch:
+    return "dispatch.size-mismatch";
   }
   CCSIM_REQUIRE(false, "unknown audit rule %d", static_cast<int>(Rule));
 }
@@ -128,6 +136,13 @@ const char *check::ruleFixHint(AuditRule Rule) {
   case AuditRule::StatsBackPointerPeakLow:
     return "CacheManager::access/chargeEvictions must bump each CacheStats "
            "counter exactly once per event";
+  case AuditRule::DispatchEntryNotResident:
+  case AuditRule::DispatchEntryStale:
+  case AuditRule::DispatchResidentUnreachable:
+  case AuditRule::DispatchSizeMismatch:
+    return "Translator::installFragment and the eviction payloads must "
+           "insert/remove DispatchTable entries in lockstep with the "
+           "engine's commitInsert/evictions";
   }
   CCSIM_REQUIRE(false, "unknown audit rule %d", static_cast<int>(Rule));
 }

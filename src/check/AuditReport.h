@@ -79,6 +79,15 @@ enum class AuditRule : uint8_t {
   StatsEvictionAccountingMismatch, ///< Eviction counter identities broken.
   StatsBackPointerPeakLow,      ///< Live back-pointer table exceeds the
                                 ///< recorded peak.
+
+  // DispatchTable vs. code cache (execution-driven runs; Figure 1's hash
+  // table must mirror residency exactly).
+  DispatchEntryNotResident,   ///< Table entry whose fragment was evicted.
+  DispatchEntryStale,         ///< Table entry whose PC is not the entry PC
+                              ///< of the fragment it points at.
+  DispatchResidentUnreachable,///< Resident fragment with no table entry at
+                              ///< its entry PC.
+  DispatchSizeMismatch,       ///< Live-entry count != resident count.
 };
 
 /// How bad a violation is. Everything the auditor currently checks is a

@@ -2,6 +2,8 @@
 
 #include "check/CacheAuditor.h"
 
+#include "runtime/Translator.h"
+
 #include <algorithm>
 #include <cinttypes>
 #include <map>
@@ -89,6 +91,22 @@ StatsState check::captureStats(const CacheManager &Manager) {
   State.ChainingEnabled = Manager.config().EnableChaining;
   State.UsesBackPointerTable =
       Manager.policy().usesBackPointerTable(Manager.cache().capacity());
+  return State;
+}
+
+DispatchTableState check::captureDispatchTable(const Translator &T,
+                                               bool BasicBlockTier) {
+  DispatchTableState State;
+  const DispatchTable &Table =
+      BasicBlockTier ? T.basicBlockDispatchTable() : T.dispatchTable();
+  State.Entries.reserve(Table.size());
+  Table.forEachLive([&](uint32_t PC, int32_t Slot) {
+    State.Entries.push_back(
+        DispatchTableState::Entry{PC, T.fragmentIdAtSlot(Slot)});
+  });
+  State.PCById.reserve(T.numKnownEntryPCs());
+  for (SuperblockId Id = 0; Id < T.numKnownEntryPCs(); ++Id)
+    State.PCById.push_back(T.entryPCOf(Id));
   return State;
 }
 
@@ -528,6 +546,47 @@ void check::checkStats(const StatsState &State, AuditReport &Report) {
   }
 }
 
+// --- DispatchTable rules -------------------------------------------------
+
+void check::checkDispatchTable(const DispatchTableState &Table,
+                               const CodeCacheState &Cache,
+                               AuditReport &Report) {
+  std::unordered_set<SuperblockId> Reachable;
+  for (const DispatchTableState::Entry &E : Table.Entries) {
+    if (!Cache.isResident(E.Id)) {
+      Report.add(AuditRule::DispatchEntryNotResident, ids({E.PC, E.Id}),
+                 "table entry PC %llu -> fragment %llu, which is not "
+                 "resident",
+                 static_cast<ULL>(E.PC), static_cast<ULL>(E.Id));
+      continue;
+    }
+    if (E.Id >= Table.PCById.size() || Table.PCById[E.Id] != E.PC) {
+      Report.add(AuditRule::DispatchEntryStale, ids({E.PC, E.Id}),
+                 "table entry PC %llu -> fragment %llu whose entry PC is "
+                 "%llu",
+                 static_cast<ULL>(E.PC), static_cast<ULL>(E.Id),
+                 E.Id < Table.PCById.size()
+                     ? static_cast<ULL>(Table.PCById[E.Id])
+                     : static_cast<ULL>(0));
+      continue;
+    }
+    Reachable.insert(E.Id);
+  }
+  for (const CodeCache::Resident &R : Cache.Lookup)
+    if (!Reachable.count(R.Id))
+      Report.add(AuditRule::DispatchResidentUnreachable, ids({R.Id}),
+                 "resident fragment %llu has no table entry at its entry "
+                 "PC %llu",
+                 static_cast<ULL>(R.Id),
+                 R.Id < Table.PCById.size()
+                     ? static_cast<ULL>(Table.PCById[R.Id])
+                     : static_cast<ULL>(0));
+  if (Table.Entries.size() != Cache.Lookup.size())
+    Report.add(AuditRule::DispatchSizeMismatch, {},
+               "%zu live table entries for %zu resident fragments",
+               Table.Entries.size(), Cache.Lookup.size());
+}
+
 // --- Facade --------------------------------------------------------------
 
 AuditReport CacheAuditor::auditCache(const CodeCache &Cache) const {
@@ -564,5 +623,25 @@ AuditReport CacheAuditor::auditManager(const CacheManager &Manager) const {
   if (Manager.config().EnableChaining)
     checkLinkGraph(captureLinkGraph(Manager.links()), Cache, Report);
   checkStats(captureStats(Manager), Report);
+  return Report;
+}
+
+AuditReport CacheAuditor::auditTranslator(const Translator &T) const {
+  AuditReport Report;
+  // Superblock tier: full manager audit plus its dispatch table.
+  const CodeCacheState Main = captureCodeCache(T.cache());
+  checkCodeCache(Main, Report);
+  if (T.config().EnableChaining)
+    checkLinkGraph(captureLinkGraph(T.links()), Main, Report);
+  checkStats(captureStats(T.engine()), Report);
+  checkDispatchTable(captureDispatchTable(T, /*BasicBlockTier=*/false), Main,
+                     Report);
+  // Basic-block tier (all-zero and trivially clean when unused; chaining
+  // is always off there).
+  const CodeCacheState BB = captureCodeCache(T.basicBlockCache());
+  checkCodeCache(BB, Report);
+  checkStats(captureStats(T.basicBlockEngine()), Report);
+  checkDispatchTable(captureDispatchTable(T, /*BasicBlockTier=*/true), BB,
+                     Report);
   return Report;
 }

@@ -38,6 +38,10 @@
 #include <cstdint>
 #include <vector>
 
+namespace ccsim {
+class Translator;
+} // namespace ccsim
+
 namespace ccsim::check {
 
 /// Snapshot of a CodeCache: the FIFO view and the per-id lookup view are
@@ -82,6 +86,18 @@ struct FreeListState {
   std::vector<SuperblockId> LruOrder; ///< Least recently used first.
 };
 
+/// Snapshot of a DispatchTable (runtime tier) plus the PC-per-id map it
+/// must agree with. Entries are resolved to fragment ids at capture time
+/// so the rules need no access to the translator's slot pool.
+struct DispatchTableState {
+  struct Entry {
+    uint32_t PC = 0;
+    SuperblockId Id = 0;
+  };
+  std::vector<Entry> Entries;   ///< Live entries, in slot order.
+  std::vector<uint32_t> PCById; ///< Entry PC per fragment id.
+};
+
 /// CacheStats counters paired with the structure observations they must
 /// reconcile against.
 struct StatsState {
@@ -100,6 +116,8 @@ CodeCacheState captureCodeCache(const CodeCache &Cache);
 LinkGraphState captureLinkGraph(const LinkGraph &Links);
 FreeListState captureFreeList(const FreeListCache &Cache);
 StatsState captureStats(const CacheManager &Manager);
+DispatchTableState captureDispatchTable(const Translator &T,
+                                        bool BasicBlockTier);
 
 // --- Rule evaluation over snapshots -------------------------------------
 
@@ -110,6 +128,8 @@ void checkFreeList(const FreeListState &Arena, AuditReport &Report);
 void checkGenerational(const CodeCacheState &Nursery,
                        const CodeCacheState &Tenured, AuditReport &Report);
 void checkStats(const StatsState &State, AuditReport &Report);
+void checkDispatchTable(const DispatchTableState &Table,
+                        const CodeCacheState &Cache, AuditReport &Report);
 
 /// Facade running capture + check over live structures. Stateless; the
 /// free functions above are its building blocks and the testing surface.
@@ -136,6 +156,12 @@ public:
   /// and stats reconciliation (inserts - evictions = residents, byte
   /// accounting exact, link creation/destruction balance).
   AuditReport auditManager(const CacheManager &Manager) const;
+
+  /// Full cross-structure audit of a running Translator: auditManager
+  /// over both tier engines plus the dispatch.* family tying each
+  /// DispatchTable to its tier's residency (Figure 1's hash table must
+  /// mirror the code cache exactly).
+  AuditReport auditTranslator(const Translator &T) const;
 };
 
 } // namespace ccsim::check

@@ -3,6 +3,7 @@
 #include "check/Paranoia.h"
 
 #include "check/CacheAuditor.h"
+#include "runtime/Translator.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -10,22 +11,43 @@
 using namespace ccsim;
 using namespace ccsim::check;
 
+namespace {
+
+/// Shared report handling: OnViolation if set, else print and abort.
+void handleReport(const AuditReport &Report, const char *Where,
+                  const ParanoiaOptions &Options) {
+  if (Report.clean())
+    return;
+  if (Options.OnViolation) {
+    Options.OnViolation(Report, Where);
+    return;
+  }
+  std::fprintf(stderr,
+               "ccsim paranoid audit failed after %s "
+               "(%zu violation(s)):\n%s",
+               Where, Report.size(), Report.render().c_str());
+  if (Options.AbortOnViolation)
+    std::abort();
+}
+
+} // namespace
+
 void check::armAuditor(CacheManager &Manager, ParanoiaOptions Options) {
   Manager.setAuditLevel(Options.Level);
   Manager.setAuditHook(
       [Options](const CacheManager &M, const char *Where) {
-        const AuditReport Report = CacheAuditor().auditManager(M);
-        if (Report.clean())
-          return;
-        if (Options.OnViolation) {
-          Options.OnViolation(Report, Where);
-          return;
-        }
-        std::fprintf(stderr,
-                     "ccsim paranoid audit failed after %s "
-                     "(%zu violation(s)):\n%s",
-                     Where, Report.size(), Report.render().c_str());
-        if (Options.AbortOnViolation)
-          std::abort();
+        handleReport(CacheAuditor().auditManager(M), Where, Options);
       });
+}
+
+void check::armAuditor(Translator &T, ParanoiaOptions Options) {
+  // One hook audits the whole translator regardless of which tier engine
+  // triggered it; the engine argument is ignored on purpose.
+  const auto Hook = [Options, &T](const CacheEngine &, const char *Where) {
+    handleReport(CacheAuditor().auditTranslator(T), Where, Options);
+  };
+  T.engine().setAuditLevel(Options.Level);
+  T.engine().setAuditHook(Hook);
+  T.basicBlockEngine().setAuditLevel(Options.Level);
+  T.basicBlockEngine().setAuditHook(Hook);
 }

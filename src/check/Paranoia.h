@@ -27,6 +27,10 @@
 
 #include <functional>
 
+namespace ccsim {
+class Translator;
+} // namespace ccsim
+
 namespace ccsim::check {
 
 /// How an armed auditor reacts to findings.
@@ -47,6 +51,13 @@ struct ParanoiaOptions {
 /// Installs the deep auditor (CacheAuditor::auditManager after every
 /// mutation the level covers) on \p Manager.
 void armAuditor(CacheManager &Manager, ParanoiaOptions Options = {});
+
+/// Installs the deep auditor on both tier engines of a live translator:
+/// every install the level covers re-audits the whole DBT state
+/// (CacheAuditor::auditTranslator — placement, chaining, stats, and the
+/// dispatch.* table-vs-residency family). \p T must outlive its engines'
+/// hooks, which it does by construction.
+void armAuditor(Translator &T, ParanoiaOptions Options = {});
 
 } // namespace ccsim::check
 

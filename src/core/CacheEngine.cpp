@@ -1,26 +1,26 @@
-//===- core/CacheManager.cpp - Code cache management facade --------------===//
+//===- core/CacheEngine.cpp - Shared code cache engine --------------------===//
 
-#include "core/CacheManager.h"
+#include "core/CacheEngine.h"
 #include "support/Contracts.h"
 
 #include <algorithm>
 
 using namespace ccsim;
 
-CacheManager::CacheManager(const CacheManagerConfig &Config,
-                           std::unique_ptr<EvictionPolicy> Policy)
+CacheEngine::CacheEngine(const CacheEngineConfig &Config,
+                         std::unique_ptr<EvictionPolicy> Policy)
     : Config(Config), Policy(std::move(Policy)),
       Cache(Config.CapacityBytes) {
-  CCSIM_REQUIRE(this->Policy, "cache manager requires a policy");
+  CCSIM_REQUIRE(this->Policy, "cache engine requires a policy");
 }
 
-uint64_t CacheManager::currentQuantum() const {
+uint64_t CacheEngine::currentQuantum() const {
   const uint64_t Capacity = Cache.capacity();
   uint64_t Quantum = Policy->quantumBytes(Capacity);
   return std::clamp<uint64_t>(Quantum, 1, Capacity);
 }
 
-bool CacheManager::seenBefore(SuperblockId Id) {
+bool CacheEngine::seenBefore(SuperblockId Id) {
   if (Id >= Seen.size())
     Seen.resize(std::max<size_t>(Id + 1, Seen.size() * 2), 0);
   const bool Before = Seen[Id];
@@ -28,7 +28,7 @@ bool CacheManager::seenBefore(SuperblockId Id) {
   return Before;
 }
 
-void CacheManager::sampleBackPointerMemory() {
+void CacheEngine::sampleBackPointerMemory() {
   if (!Config.EnableChaining ||
       !Policy->usesBackPointerTable(Cache.capacity()))
     return;
@@ -37,7 +37,7 @@ void CacheManager::sampleBackPointerMemory() {
   Stats.BackPointerBytesSum += static_cast<double>(Bytes);
 }
 
-void CacheManager::maybeAudit(bool Evicted, const char *Where) {
+void CacheEngine::maybeAudit(bool Evicted, const char *Where) {
   if (Auditing == AuditLevel::Off || !Audit)
     return;
   if (Auditing == AuditLevel::Evictions && !Evicted)
@@ -45,8 +45,15 @@ void CacheManager::maybeAudit(bool Evicted, const char *Where) {
   Audit(*this, Where);
 }
 
-void CacheManager::chargeEvictions(uint64_t UnitsFlushed) {
+void CacheEngine::chargeEvictions(uint64_t UnitsFlushed) {
   CCSIM_ASSERT(!EvictedScratch.empty(), "no victims to charge");
+
+  // Front-end teardown first: an execution-driven owner drops its
+  // dispatch-table entries and fragment slots (and charges its own
+  // instrumented eviction cost) before the engine's accounting runs.
+  if (Config.OnEvictPayload)
+    Config.OnEvictPayload(EvictedScratch);
+
   uint64_t Bytes = 0;
   for (const CodeCache::Resident &V : EvictedScratch)
     Bytes += V.Size;
@@ -73,14 +80,20 @@ void CacheManager::chargeEvictions(uint64_t UnitsFlushed) {
         Stats.UnlinkOverhead += Config.Costs.unlinkingOverhead(NumLinks);
       }
     }
+    // The owner's unlink charge sees the same dangling counts the engine
+    // just accounted. Under FLUSH nothing survives an eviction, so the
+    // counts are all zero and the hook charges nothing — matching the
+    // engine's own back-pointer-table gate above.
+    if (Config.OnUnlinkPayload)
+      Config.OnUnlinkPayload(EvictedScratch, DanglingScratch);
   }
 
   if (Config.Telemetry) [[unlikely]]
     traceEvictionBatch(Bytes, HaveDangling);
 }
 
-void CacheManager::traceMiss(const SuperblockRecord &Rec, bool Cold,
-                             uint64_t Quantum) {
+void CacheEngine::traceMiss(const SuperblockRecord &Rec, bool Cold,
+                            uint64_t Quantum) {
   telemetry::EventTracer &Tracer = Config.Telemetry->Tracer;
   Tracer.record(telemetry::EventKind::Miss, Rec.Tenant, Rec.Id,
                 Rec.SizeBytes, Cold ? 1 : 0, Stats.Accesses);
@@ -94,8 +107,8 @@ void CacheManager::traceMiss(const SuperblockRecord &Rec, bool Cold,
   }
 }
 
-void CacheManager::traceEvictionBatch(uint64_t BatchBytes,
-                                      bool HaveDangling) {
+void CacheEngine::traceEvictionBatch(uint64_t BatchBytes,
+                                     bool HaveDangling) {
   telemetry::EventTracer &Tracer = Config.Telemetry->Tracer;
   for (size_t I = 0; I < EvictedScratch.size(); ++I) {
     const CodeCache::Resident &V = EvictedScratch[I];
@@ -112,7 +125,7 @@ void CacheManager::traceEvictionBatch(uint64_t BatchBytes,
                 Stats.Accesses);
 }
 
-void CacheManager::notifyEvictions() {
+void CacheEngine::notifyEvictions() {
   if (!Config.OnEviction)
     return;
   VictimTenantScratch.clear();
@@ -131,7 +144,51 @@ void CacheManager::notifyEvictions() {
   Config.OnEviction(Event);
 }
 
-AccessKind CacheManager::access(const SuperblockRecord &Rec) {
+AccessKind CacheEngine::missAndInsert(const SuperblockRecord &Rec) {
+  // Miss: the superblock must be regenerated (re-translated, inserted,
+  // hash table updated) at the Eq. 3 cost; there is no backing store.
+  ++Stats.Misses;
+  const bool Cold = !seenBefore(Rec.Id);
+  if (Cold)
+    ++Stats.ColdMisses;
+  else
+    ++Stats.CapacityMisses;
+  Stats.MissOverhead += Config.Costs.missOverhead(Rec.SizeBytes);
+
+  const uint64_t Quantum = currentQuantum();
+  if (Config.Telemetry) [[unlikely]]
+    traceMiss(Rec, Cold, Quantum);
+  EvictedScratch.clear();
+  const CodeCache::PrepareOutcome Prep =
+      Cache.prepareInsert(Rec.SizeBytes, Quantum, EvictedScratch);
+  Stats.WastedBytes += Prep.WastedBytes;
+  if (!EvictedScratch.empty()) {
+    chargeEvictions(Prep.UnitsFlushed);
+    notifyEvictions();
+  }
+
+  if (!Prep.CanInsert) {
+    ++Stats.TooBigMisses;
+    return AccessKind::MissTooBig;
+  }
+
+  Cache.commitInsert(Rec.Id, Rec.SizeBytes);
+  ++Stats.Inserts;
+  Stats.InsertedBytes += Rec.SizeBytes;
+  if (Rec.Id >= TenantById.size())
+    TenantById.resize(std::max<size_t>(Rec.Id + 1, TenantById.size() * 2),
+                      0);
+  TenantById[Rec.Id] = Rec.Tenant;
+  if (Config.EnableChaining)
+    Links.onInsert(Cache, Quantum, Rec.Id, Rec.OutEdges, Stats);
+  if (Config.Telemetry) [[unlikely]]
+    Config.Telemetry->Tracer.record(telemetry::EventKind::Insert,
+                                    Rec.Tenant, Rec.Id, Rec.SizeBytes,
+                                    0, Stats.Accesses);
+  return AccessKind::Miss;
+}
+
+AccessKind CacheEngine::access(const SuperblockRecord &Rec) {
   CCSIM_ASSERT(Rec.Id != InvalidSuperblockId, "invalid superblock id");
   CCSIM_ASSERT(Rec.SizeBytes > 0,
                "superblock %u must have a positive size", Rec.Id);
@@ -146,48 +203,9 @@ AccessKind CacheManager::access(const SuperblockRecord &Rec) {
   if (Hit) {
     ++Stats.Hits;
   } else {
-    // Miss: the superblock must be regenerated (re-translated, inserted,
-    // hash table updated) at the Eq. 3 cost; there is no backing store.
-    ++Stats.Misses;
-    const bool Cold = !seenBefore(Rec.Id);
-    if (Cold)
-      ++Stats.ColdMisses;
-    else
-      ++Stats.CapacityMisses;
-    Stats.MissOverhead += Config.Costs.missOverhead(Rec.SizeBytes);
-
-    const uint64_t Quantum = currentQuantum();
-    if (Config.Telemetry) [[unlikely]]
-      traceMiss(Rec, Cold, Quantum);
-    EvictedScratch.clear();
-    const CodeCache::PrepareOutcome Prep =
-        Cache.prepareInsert(Rec.SizeBytes, Quantum, EvictedScratch);
-    Stats.WastedBytes += Prep.WastedBytes;
-    if (!EvictedScratch.empty()) {
-      Evicted = true;
-      chargeEvictions(Prep.UnitsFlushed);
-      notifyEvictions();
-    }
-
-    if (Prep.CanInsert) {
-      Cache.commitInsert(Rec.Id, Rec.SizeBytes);
-      ++Stats.Inserts;
-      Stats.InsertedBytes += Rec.SizeBytes;
-      if (Rec.Id >= TenantById.size())
-        TenantById.resize(std::max<size_t>(Rec.Id + 1, TenantById.size() * 2),
-                          0);
-      TenantById[Rec.Id] = Rec.Tenant;
-      if (Config.EnableChaining)
-        Links.onInsert(Cache, Quantum, Rec.Id, Rec.OutEdges, Stats);
-      if (Config.Telemetry) [[unlikely]]
-        Config.Telemetry->Tracer.record(telemetry::EventKind::Insert,
-                                        Rec.Tenant, Rec.Id, Rec.SizeBytes,
-                                        0, Stats.Accesses);
-      Kind = AccessKind::Miss;
-    } else {
-      ++Stats.TooBigMisses;
-      Kind = AccessKind::MissTooBig;
-    }
+    const uint64_t InvocationsBefore = Stats.EvictionInvocations;
+    Kind = missAndInsert(Rec);
+    Evicted = Stats.EvictionInvocations != InvocationsBefore;
   }
 
   if (Policy->shouldFlushNow() && !Cache.empty()) {
@@ -204,7 +222,25 @@ AccessKind CacheManager::access(const SuperblockRecord &Rec) {
   return Kind;
 }
 
-void CacheManager::flushEntireCache() {
+bool CacheEngine::install(const SuperblockRecord &Rec) {
+  CCSIM_ASSERT(Rec.Id != InvalidSuperblockId, "invalid superblock id");
+  CCSIM_ASSERT(Rec.SizeBytes > 0,
+               "superblock %u must have a positive size", Rec.Id);
+  CCSIM_ASSERT(!Cache.contains(Rec.Id),
+               "superblock %u is already resident", Rec.Id);
+
+  CurrentTenant = Rec.Tenant;
+  // The owner only calls install() after a dispatch-table miss, so each
+  // install is one (missing) access; keeping both counters moving makes
+  // the CacheStats conservation identities hold for audited DBT runs.
+  ++Stats.Accesses;
+  const uint64_t InvocationsBefore = Stats.EvictionInvocations;
+  const bool Installed = missAndInsert(Rec) == AccessKind::Miss;
+  LastInstallEvicted = Stats.EvictionInvocations != InvocationsBefore;
+  return Installed;
+}
+
+void CacheEngine::flushEntireCache() {
   if (Cache.empty())
     return;
   if (Config.Telemetry) [[unlikely]]
@@ -229,7 +265,7 @@ void CacheManager::flushEntireCache() {
   maybeAudit(true, "flush");
 }
 
-bool CacheManager::checkInvariants() const {
+bool CacheEngine::checkInvariants() const {
   if (!Cache.checkInvariants())
     return false;
   if (Config.EnableChaining && !Links.checkInvariants(Cache))

@@ -5,193 +5,23 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The cache manager of Figure 1: the component a dynamic optimization
-/// system invokes on every superblock dispatch. It combines the placement
-/// engine (CodeCache), the eviction policy, the chaining state (LinkGraph)
-/// and the analytical cost model (CostModel), and accumulates CacheStats.
-///
-/// One access does the following:
-///   1. hit check (the hash table lookup of Figure 1),
-///   2. on a miss: charge regeneration overhead (Eq. 3), make room at the
-///      policy's eviction quantum (charging Eq. 2 per invocation and Eq. 4
-///      per evicted block with dangling incoming links), insert, and
-///      materialize chain links,
-///   3. poll the policy for a preemptive whole-cache flush.
+/// The cache manager of Figure 1, by the paper's name. The implementation
+/// lives in core/CacheEngine.h: one engine serves both the trace-driven
+/// path (this alias, via access()) and the execution-driven mini-DBT (via
+/// install() + payload hooks). Trace-driven call sites and docs keep
+/// using the CacheManager spelling.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CCSIM_CORE_CACHEMANAGER_H
 #define CCSIM_CORE_CACHEMANAGER_H
 
-#include "core/CacheStats.h"
-#include "core/CodeCache.h"
-#include "core/CostModel.h"
-#include "core/EvictionPolicy.h"
-#include "core/LinkGraph.h"
-#include "core/Superblock.h"
-#include "telemetry/Telemetry.h"
-
-#include <functional>
-#include <memory>
-#include <span>
+#include "core/CacheEngine.h"
 
 namespace ccsim {
 
-/// One batch of evictions (a single eviction invocation or full flush),
-/// reported to an observer with tenant attribution. All spans alias the
-/// manager's scratch buffers and are valid only during the callback.
-struct EvictionBatchEvent {
-  /// Tenant whose access triggered the batch (the "evictor").
-  TenantId Evictor = 0;
-
-  /// Victims in FIFO (oldest-first) eviction order.
-  std::span<const CodeCache::Resident> Victims;
-
-  /// Owner of each victim, parallel to Victims.
-  std::span<const TenantId> VictimTenants;
-
-  /// Incoming links from survivors repaired per victim, parallel to
-  /// Victims. Empty when the run has no back-pointer table (chaining
-  /// disabled or a whole-cache FLUSH policy).
-  std::span<const uint32_t> DanglingLinks;
-};
-
-/// Observer invoked after each eviction batch has been accounted.
-using EvictionObserver = std::function<void(const EvictionBatchEvent &)>;
-
-class CacheManager;
-
-/// When the installed audit hook (paranoid deep validation, see
-/// check::armAuditor) runs. Levels nest: Full implies Evictions.
-enum class AuditLevel : uint8_t {
-  Off,       ///< Hook never runs (production default).
-  Evictions, ///< After every access that evicted blocks, and after flushes.
-  Full,      ///< After every access and every flush.
-};
-
-/// Compile-time default audit level: Full in CCSIM_PARANOID builds
-/// (-DCCSIM_PARANOID=ON at configure time), Off otherwise. Config structs
-/// use this as their initializer so a paranoid build audits everywhere
-/// without per-call-site opt-in.
-constexpr AuditLevel defaultAuditLevel() {
-#ifdef CCSIM_PARANOID
-  return AuditLevel::Full;
-#else
-  return AuditLevel::Off;
-#endif
-}
-
-/// Deep-validation hook: receives the manager after a mutation settled and
-/// a short site label ("access", "flush"). Installed by check::armAuditor;
-/// kept as a std::function so ccsim_core never links against ccsim_check.
-using AuditHook =
-    std::function<void(const CacheManager &, const char *Where)>;
-
-/// Configuration for a CacheManager instance.
-struct CacheManagerConfig {
-  /// Code cache capacity in bytes (the paper's maxCache / pressure).
-  uint64_t CapacityBytes = 1 << 20;
-
-  /// Analytical instruction-overhead model.
-  CostModel Costs = CostModel::paperDefaults();
-
-  /// Maintain superblock chaining (links, back-pointer table, unlink
-  /// charges). Disabling models a system without chaining (Table 2).
-  bool EnableChaining = true;
-
-  /// Optional eviction attribution hook (multi-tenant accounting). Left
-  /// empty in single-tenant runs; the hot path never pays for it then.
-  EvictionObserver OnEviction;
-
-  /// Optional telemetry endpoint. Null (the default) is the disabled
-  /// fast path: hits emit nothing at all, and the miss/eviction paths pay
-  /// one predictable null-pointer branch each. When set, the manager
-  /// emits miss, insert, per-victim evict, eviction-batch, unlink, flush,
-  /// and quantum-change records into the sink's tracer.
-  telemetry::TelemetrySink *Telemetry = nullptr;
-};
-
-/// Result of one access.
-enum class AccessKind {
-  Hit,        ///< Superblock found in the cache.
-  Miss,       ///< Regenerated and inserted.
-  MissTooBig, ///< Regenerated but larger than the whole cache; executed
-              ///< unlinked and discarded (pathological; counted, never
-              ///< expected with realistic sizes).
-};
-
-/// Drives a CodeCache under an EvictionPolicy with full chaining and
-/// overhead accounting.
-class CacheManager {
-public:
-  CacheManager(const CacheManagerConfig &Config,
-               std::unique_ptr<EvictionPolicy> Policy);
-
-  /// Processes one superblock dispatch event.
-  AccessKind access(const SuperblockRecord &Rec);
-
-  /// Forces a whole-cache flush (used by tests and external phase
-  /// detectors; also the action behind PreemptiveFlushPolicy).
-  void flushEntireCache();
-
-  const CacheStats &stats() const { return Stats; }
-  const CodeCache &cache() const { return Cache; }
-  const LinkGraph &links() const { return Links; }
-  EvictionPolicy &policy() { return *Policy; }
-  const EvictionPolicy &policy() const { return *Policy; }
-  const CacheManagerConfig &config() const { return Config; }
-
-  /// The eviction quantum currently in force.
-  uint64_t currentQuantum() const;
-
-  /// Owner of resident or previously-seen superblock \p Id (tenant 0 if
-  /// never inserted). Only meaningful when records carry tenant ids.
-  TenantId tenantOf(SuperblockId Id) const {
-    return Id < TenantById.size() ? TenantById[Id] : 0;
-  }
-
-  /// Cross-checks CodeCache and LinkGraph invariants (tests).
-  bool checkInvariants() const;
-
-  /// Paranoid-mode control. The hook only runs while the level permits,
-  /// so arming an auditor on a manager left at AuditLevel::Off is free on
-  /// the hot path (one branch per access).
-  void setAuditLevel(AuditLevel Level) { Auditing = Level; }
-  AuditLevel auditLevel() const { return Auditing; }
-  void setAuditHook(AuditHook Hook) { Audit = std::move(Hook); }
-
-private:
-  CacheManagerConfig Config;
-  std::unique_ptr<EvictionPolicy> Policy;
-  CodeCache Cache;
-  LinkGraph Links;
-  CacheStats Stats;
-
-  std::vector<uint8_t> Seen; // Cold-miss detection, indexed by id.
-  std::vector<TenantId> TenantById;
-  std::vector<CodeCache::Resident> EvictedScratch;
-  std::vector<uint32_t> DanglingScratch;
-  std::vector<TenantId> VictimTenantScratch;
-  TenantId CurrentTenant = 0; // Tenant of the in-flight access.
-
-  // Telemetry bookkeeping (only touched when Config.Telemetry is set).
-  uint64_t LastQuantumTraced = 0;   // 0 = no quantum recorded yet.
-  bool PreemptiveFlushInFlight = false;
-
-  AuditLevel Auditing = defaultAuditLevel();
-  AuditHook Audit;
-
-  /// Runs the audit hook if the current level covers this site.
-  /// \p Evicted: whether the mutation removed blocks (Evictions level).
-  void maybeAudit(bool Evicted, const char *Where);
-
-  void chargeEvictions(uint64_t UnitsFlushed);
-  void notifyEvictions();
-  void sampleBackPointerMemory();
-  bool seenBefore(SuperblockId Id);
-  void traceMiss(const SuperblockRecord &Rec, bool Cold, uint64_t Quantum);
-  void traceEvictionBatch(uint64_t BatchBytes, bool HaveDangling);
-};
+using CacheManager = CacheEngine;
+using CacheManagerConfig = CacheEngineConfig;
 
 } // namespace ccsim
 

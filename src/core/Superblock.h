@@ -39,6 +39,12 @@ using TenantId = uint32_t;
 /// (potential chain links). The edge span must stay valid for the duration
 /// of the access() call only.
 struct SuperblockRecord {
+  SuperblockRecord() = default;
+  SuperblockRecord(SuperblockId Id, uint32_t SizeBytes,
+                   std::span<const SuperblockId> OutEdges = {},
+                   TenantId Tenant = 0)
+      : Id(Id), SizeBytes(SizeBytes), OutEdges(OutEdges), Tenant(Tenant) {}
+
   SuperblockId Id = InvalidSuperblockId;
   uint32_t SizeBytes = 0;
   std::span<const SuperblockId> OutEdges;

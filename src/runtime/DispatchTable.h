@@ -41,6 +41,14 @@ public:
 
   size_t size() const { return Live; }
 
+  /// Visits every live entry as (PC, FragmentIndex), in slot order.
+  /// Audit introspection; the table must not be mutated during the walk.
+  template <typename Fn> void forEachLive(Fn &&Visit) const {
+    for (const Slot &S : Slots)
+      if (S.State == SlotState::Live)
+        Visit(S.PC, S.Fragment);
+  }
+
   /// Structural check for tests: every live entry is findable and counts
   /// match.
   bool checkInvariants() const;

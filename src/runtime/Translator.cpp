@@ -11,11 +11,21 @@ using namespace ccsim;
 
 Translator::Translator(const Program &P, const TranslatorConfig &Config)
     : Prog(P), Config(Config), State(Config.GuestMemoryBytes),
-      Cache(Config.CacheBytes), BBCache(Config.BBCacheBytes),
-      Policy(makePolicy(Config.Policy)), Jitter(Config.Seed) {
+      Engine({Config.CacheBytes, Config.EnableChaining, Config.Telemetry},
+             makePolicy(Config.Policy)),
+      // BB fragments never enter the link graph; the tier runs
+      // fine-grained FIFO (DynamoRIO's default), i.e. a one-byte quantum.
+      BBEngine({Config.BBCacheBytes, /*EnableChaining=*/false,
+                Config.Telemetry},
+               makePolicy(GranularitySpec::fine())),
+      Jitter(Config.Seed) {
   State.PC = P.EntryPC;
   HotCounter.assign(P.size(), 0);
   IdLookup.assign(P.size(), -1);
+  Engine.setEvictPayload([this](auto V) { onSuperblockEvict(V); });
+  Engine.setUnlinkPayload(
+      [this](auto V, auto D) { onSuperblockUnlink(V, D); });
+  BBEngine.setEvictPayload([this](auto V) { onBasicBlockEvict(V); });
 }
 
 SuperblockId Translator::idForPC(uint32_t PC) {
@@ -34,6 +44,41 @@ double Translator::jittered(double Ops) {
   // A few percent of deterministic measurement noise, mimicking the
   // run-to-run variation of hardware counters.
   return Ops * (1.0 + (Jitter.nextDouble() - 0.5) * 0.06);
+}
+
+int32_t Translator::allocateSlot() {
+  if (!FreeSlots.empty()) {
+    const int32_t Slot = FreeSlots.back();
+    FreeSlots.pop_back();
+    return Slot;
+  }
+  Fragments.emplace_back();
+  return static_cast<int32_t>(Fragments.size()) - 1;
+}
+
+uint64_t Translator::dropVictims(std::span<const CodeCache::Resident> Victims,
+                                 DispatchTable &InTable,
+                                 std::vector<int32_t> &SlotMap,
+                                 double &ProbeOps) {
+  uint64_t Bytes = 0;
+  for (const CodeCache::Resident &V : Victims) {
+    Bytes += V.Size;
+    ProbeOps += InTable.remove(PCById[V.Id]) * Config.Weights.PerProbe;
+    const int32_t Slot = SlotMap[V.Id];
+    assert(Slot >= 0 && "evicted fragment has no slot");
+    Fragments[static_cast<size_t>(Slot)] = Fragment();
+    FreeSlots.push_back(Slot);
+    SlotMap[V.Id] = DispatchTable::NotFound;
+  }
+  return Bytes;
+}
+
+void Translator::chargeRecordedInstruction() {
+  ++Stats.GuestInstructions;
+  ++Stats.InterpretedInstructions;
+  Stats.Ops.InterpOps += Config.Weights.InterpPerGuestInstr;
+  if (Budget)
+    --Budget;
 }
 
 void Translator::chargeDispatch(unsigned Probes) {
@@ -87,11 +132,7 @@ void Translator::buildAndInstallFragment() {
     ++GuestCount;
 
     // Recording executes at interpreter speed.
-    ++Stats.GuestInstructions;
-    ++Stats.InterpretedInstructions;
-    Stats.Ops.InterpOps += Config.Weights.InterpPerGuestInstr;
-    if (Budget)
-      --Budget;
+    chargeRecordedInstruction();
 
     const uint32_t Next = executeInstruction(Inst, PC, State);
     State.PC = Next;
@@ -138,7 +179,7 @@ void Translator::buildAndInstallFragment() {
   const uint32_t NumExits =
       static_cast<uint32_t>(F.StaticEdges.size()) + (Indirect ? 1u : 0u);
   F.CodeBytes = Bytes + NumExits * Config.StubBytesPerExit;
-  if (F.CodeBytes > Cache.capacity())
+  if (F.CodeBytes > Engine.cache().capacity())
     return; // Uncacheable; it executed once during recording anyway.
 
   installFragment(std::move(F));
@@ -166,11 +207,7 @@ void Translator::buildAndInstallBasicBlock() {
     F.PCs.push_back(PC);
     Bytes += Inst.Size;
 
-    ++Stats.GuestInstructions;
-    ++Stats.InterpretedInstructions;
-    Stats.Ops.InterpOps += Config.Weights.InterpPerGuestInstr;
-    if (Budget)
-      --Budget;
+    chargeRecordedInstruction();
 
     const uint32_t Next = executeInstruction(Inst, PC, State);
     State.PC = Next;
@@ -199,139 +236,86 @@ void Translator::buildAndInstallBasicBlock() {
   const uint32_t NumExits =
       static_cast<uint32_t>(F.StaticEdges.size()) + (Indirect ? 1u : 0u);
   F.CodeBytes = Bytes + NumExits * Config.StubBytesPerExit;
-  if (F.CodeBytes > BBCache.capacity())
+  if (F.CodeBytes > BBEngine.cache().capacity())
     return;
 
-  // The BB cache runs fine-grained FIFO (DynamoRIO's default).
-  EvictedScratch.clear();
-  const CodeCache::PrepareOutcome Prep =
-      BBCache.prepareInsert(F.CodeBytes, /*Quantum=*/1, EvictedScratch);
-  assert(Prep.CanInsert && "size was checked against the BB capacity");
-  (void)Prep;
-  if (!EvictedScratch.empty())
-    processBBEvictions(EvictedScratch);
+  // Make room (firing onBasicBlockEvict per batch) and commit; no links.
+  const bool Installed = BBEngine.install({F.Id, F.CodeBytes});
+  assert(Installed && "size was checked against the BB capacity");
+  (void)Installed;
 
-  int32_t Slot;
-  if (!FreeSlots.empty()) {
-    Slot = FreeSlots.back();
-    FreeSlots.pop_back();
-  } else {
-    Slot = static_cast<int32_t>(Fragments.size());
-    Fragments.emplace_back();
-  }
-  const SuperblockId Id = F.Id;
-  const uint32_t EntryPC = F.EntryPC;
-  const uint32_t CodeBytes = F.CodeBytes;
-  BBCache.commitInsert(Id, CodeBytes);
-  Fragments[static_cast<size_t>(Slot)] = std::move(F);
-  BBSlotById[Id] = Slot;
-  const unsigned Probes = BBTable.insert(EntryPC, Slot);
+  const int32_t Slot = allocateSlot();
+  BBSlotById[F.Id] = Slot;
+  const unsigned Probes = BBTable.insert(F.EntryPC, Slot);
   ++Stats.BBFragmentsBuilt;
   Stats.Ops.BBTranslateOps +=
       jittered(Config.Weights.BBTranslateBase +
-               Config.Weights.BBTranslatePerByte * CodeBytes +
+               Config.Weights.BBTranslatePerByte * F.CodeBytes +
                Probes * Config.Weights.PerProbe);
+  Fragments[static_cast<size_t>(Slot)] = std::move(F);
+  BBEngine.maybeAudit(BBEngine.lastInstallEvicted(), "bb-install");
 }
 
-void Translator::processBBEvictions(
-    std::vector<CodeCache::Resident> &Victims) {
+void Translator::onBasicBlockEvict(
+    std::span<const CodeCache::Resident> Victims) {
   assert(!Victims.empty() && "no BB victims to process");
-  uint64_t Bytes = 0;
   double ProbeOps = 0;
-  for (const CodeCache::Resident &V : Victims) {
-    Bytes += V.Size;
-    ProbeOps += BBTable.remove(PCById[V.Id]) * Config.Weights.PerProbe;
-    const int32_t Slot = BBSlotById[V.Id];
-    assert(Slot >= 0 && "evicted BB fragment has no slot");
-    Fragments[static_cast<size_t>(Slot)] = Fragment();
-    FreeSlots.push_back(Slot);
-    BBSlotById[V.Id] = DispatchTable::NotFound;
-  }
-  ++Stats.BBEvictionInvocations;
-  Stats.BBEvictedFragments += Victims.size();
+  const uint64_t Bytes = dropVictims(Victims, BBTable, BBSlotById, ProbeOps);
   Stats.Ops.BBEvictOps +=
       jittered(Config.Weights.BBEvictBase +
                Config.Weights.BBEvictPerByte * static_cast<double>(Bytes) +
                ProbeOps);
-  Victims.clear();
 }
 
 void Translator::installFragment(Fragment &&Frag) {
-  const uint64_t Quantum = std::clamp<uint64_t>(
-      Policy->quantumBytes(Cache.capacity()), 1, Cache.capacity());
-
-  EvictedScratch.clear();
-  const CodeCache::PrepareOutcome Prep =
-      Cache.prepareInsert(Frag.CodeBytes, Quantum, EvictedScratch);
-  assert(Prep.CanInsert && "size was checked against the capacity");
-  (void)Prep;
-  if (!EvictedScratch.empty())
-    processEvictions();
-
-  // Allocate a slot and install.
-  int32_t Slot;
-  if (!FreeSlots.empty()) {
-    Slot = FreeSlots.back();
-    FreeSlots.pop_back();
-  } else {
-    Slot = static_cast<int32_t>(Fragments.size());
-    Fragments.emplace_back();
-  }
-  const SuperblockId Id = Frag.Id;
-  const uint32_t EntryPC = Frag.EntryPC;
-  const uint32_t CodeBytes = Frag.CodeBytes;
-
-  Cache.commitInsert(Id, CodeBytes);
-  if (Config.EnableChaining)
-    Links.onInsert(Cache, Quantum, Id, Frag.StaticEdges, Stats.ChainStats);
+  // The engine makes room at the policy's quantum (firing the payload
+  // hooks per batch), commits, and links the recorded static edges.
+  const bool Installed =
+      Engine.install({Frag.Id, Frag.CodeBytes, Frag.StaticEdges});
+  assert(Installed && "size was checked against the capacity");
+  (void)Installed;
 
   if (Config.RecordTrace) {
     // Remember the first-build shape of this superblock and count the
     // recording execution as one dispatch event.
-    if (Id >= FirstBuildSize.size()) {
-      FirstBuildSize.resize(Id + 1, 0);
-      FirstBuildEdges.resize(Id + 1);
+    if (Frag.Id >= FirstBuildSize.size()) {
+      FirstBuildSize.resize(Frag.Id + 1, 0);
+      FirstBuildEdges.resize(Frag.Id + 1);
     }
-    if (FirstBuildSize[Id] == 0) {
-      FirstBuildSize[Id] = CodeBytes;
-      FirstBuildEdges[Id] = Frag.StaticEdges;
+    if (FirstBuildSize[Frag.Id] == 0) {
+      FirstBuildSize[Frag.Id] = Frag.CodeBytes;
+      FirstBuildEdges[Frag.Id] = Frag.StaticEdges;
     }
-    RecordedAccesses.push_back(Id);
+    RecordedAccesses.push_back(Frag.Id);
   }
 
-  Fragments[static_cast<size_t>(Slot)] = std::move(Frag);
-  SlotById[Id] = Slot;
-  const unsigned Probes = Table.insert(EntryPC, Slot);
+  // Slots freed by this install's evictions are already reusable here.
+  const int32_t Slot = allocateSlot();
+  SlotById[Frag.Id] = Slot;
+  const unsigned Probes = Table.insert(Frag.EntryPC, Slot);
   ++Stats.FragmentsBuilt;
 
   // Regeneration cost (Equation 3's shape): decode/analyze/emit per byte
   // plus fragment allocation and hash-table update.
-  const double Ops = jittered(Config.Weights.TranslateBase +
-                              Config.Weights.TranslatePerByte * CodeBytes +
-                              Probes * Config.Weights.PerProbe);
+  const double Ops =
+      jittered(Config.Weights.TranslateBase +
+               Config.Weights.TranslatePerByte * Frag.CodeBytes +
+               Probes * Config.Weights.PerProbe);
   Stats.Ops.TranslateOps += Ops;
-  Stats.Ops.MissSamples.push_back({static_cast<double>(CodeBytes), Ops});
+  Stats.Ops.MissSamples.push_back({static_cast<double>(Frag.CodeBytes), Ops});
+  Fragments[static_cast<size_t>(Slot)] = std::move(Frag);
+
+  // Audit only after the dispatch-table entry exists, so the
+  // resident-unreachable rule never fires mid-install.
+  Engine.sampleBackPointerMemory();
+  Engine.maybeAudit(Engine.lastInstallEvicted(), "install");
 }
 
-void Translator::processEvictions() {
-  assert(!EvictedScratch.empty() && "no victims to process");
-  uint64_t Bytes = 0;
+void Translator::onSuperblockEvict(
+    std::span<const CodeCache::Resident> Victims) {
+  assert(!Victims.empty() && "no victims to process");
   double ProbeOps = 0;
-  for (const CodeCache::Resident &V : EvictedScratch) {
-    Bytes += V.Size;
-    // Real manager work: drop the dispatch-table entry and recycle the
-    // fragment slot.
-    ProbeOps += Table.remove(PCById[V.Id]) * Config.Weights.PerProbe;
-    const int32_t Slot = SlotById[V.Id];
-    assert(Slot >= 0 && "evicted fragment has no slot");
-    Fragments[static_cast<size_t>(Slot)] = Fragment();
-    FreeSlots.push_back(Slot);
-    SlotById[V.Id] = DispatchTable::NotFound;
-  }
-
-  ++Stats.EvictionInvocations;
-  Stats.EvictedFragments += EvictedScratch.size();
-  Stats.EvictedBytes += Bytes;
+  const uint64_t Bytes = dropVictims(Victims, Table, SlotById, ProbeOps);
 
   // Eviction cost (Equation 2's shape): invocation fixed cost (protection
   // toggles + bookkeeping) plus per-byte scrubbing/free-list work.
@@ -341,24 +325,21 @@ void Translator::processEvictions() {
                ProbeOps);
   Stats.Ops.EvictOps += Ops;
   Stats.Ops.EvictionSamples.push_back({static_cast<double>(Bytes), Ops});
+}
 
-  if (Config.EnableChaining) {
-    DanglingScratch.clear();
-    Links.onEvict(Cache, EvictedScratch, DanglingScratch);
-    for (uint32_t NumLinks : DanglingScratch) {
-      if (NumLinks == 0)
-        continue;
-      // Unlink cost (Equation 4's shape): back-pointer walk and patch.
-      const double UnlinkOps =
-          jittered(Config.Weights.UnlinkBase +
-                   Config.Weights.UnlinkPerLink * NumLinks);
-      Stats.Ops.UnlinkOps += UnlinkOps;
-      Stats.Ops.UnlinkSamples.push_back(
-          {static_cast<double>(NumLinks), UnlinkOps});
-      Stats.UnlinkedLinks += NumLinks;
-    }
+void Translator::onSuperblockUnlink(
+    std::span<const CodeCache::Resident> /*Victims*/,
+    std::span<const uint32_t> Dangling) {
+  for (uint32_t NumLinks : Dangling) {
+    if (NumLinks == 0)
+      continue;
+    // Unlink cost (Equation 4's shape): back-pointer walk and patch.
+    const double UnlinkOps = jittered(Config.Weights.UnlinkBase +
+                                      Config.Weights.UnlinkPerLink * NumLinks);
+    Stats.Ops.UnlinkOps += UnlinkOps;
+    Stats.Ops.UnlinkSamples.push_back(
+        {static_cast<double>(NumLinks), UnlinkOps});
   }
-  EvictedScratch.clear();
 }
 
 int32_t Translator::executeFragment(int32_t Slot) {
@@ -422,24 +403,31 @@ int32_t Translator::executeFragment(int32_t Slot) {
         ++Stats.IblMisses;
         return DispatchTable::NotFound;
       }
-      unsigned Probes = 0;
-      const int32_t NextSlot = Table.lookup(Next, Probes);
-      if (NextSlot >= 0) {
+      bool InBBTier = false;
+      const int32_t NextSlot = residentSlotFor(Next, InBBTier);
+      if (NextSlot >= 0)
         ++Stats.IndirectTransfers;
-        return NextSlot;
-      }
-      if (Config.UseBasicBlockCache) {
-        const int32_t BBSlot = BBTable.lookup(Next, Probes);
-        if (BBSlot >= 0) {
-          ++Stats.IndirectTransfers;
-          return BBSlot;
-        }
-      }
-      return DispatchTable::NotFound;
+      return NextSlot;
     }
     return resolveDirectExit(Next);
   }
   return DispatchTable::NotFound; // Not reached: last instr is terminal.
+}
+
+int32_t Translator::residentSlotFor(uint32_t TargetPC, bool &InBBTier) const {
+  InBBTier = false;
+  unsigned Probes = 0;
+  const int32_t Slot = Table.lookup(TargetPC, Probes);
+  if (Slot >= 0)
+    return Slot;
+  if (Config.UseBasicBlockCache) {
+    const int32_t BBSlot = BBTable.lookup(TargetPC, Probes);
+    if (BBSlot >= 0) {
+      InBBTier = true;
+      return BBSlot;
+    }
+  }
+  return DispatchTable::NotFound;
 }
 
 int32_t Translator::resolveDirectExit(uint32_t TargetPC) {
@@ -447,20 +435,12 @@ int32_t Translator::resolveDirectExit(uint32_t TargetPC) {
     return DispatchTable::NotFound;
   // A patched link is a plain jump: if the target fragment is resident
   // the transfer is free (links are kept consistent by the link graph).
-  unsigned Probes = 0;
-  const int32_t NextSlot = Table.lookup(TargetPC, Probes);
-  if (NextSlot >= 0) {
-    ++Stats.LinkedTransfers;
-    return NextSlot;
-  }
-  if (Config.UseBasicBlockCache) {
-    const int32_t BBSlot = BBTable.lookup(TargetPC, Probes);
-    if (BBSlot >= 0) {
-      ++Stats.BBLinkedTransfers;
-      return BBSlot;
-    }
-  }
-  return DispatchTable::NotFound;
+  bool InBBTier = false;
+  const int32_t Slot = residentSlotFor(TargetPC, InBBTier);
+  if (Slot < 0)
+    return DispatchTable::NotFound;
+  ++(InBBTier ? Stats.BBLinkedTransfers : Stats.LinkedTransfers);
+  return Slot;
 }
 
 const TranslatorStats &Translator::run(uint64_t MaxGuestInstructions) {
@@ -505,7 +485,24 @@ const TranslatorStats &Translator::run(uint64_t MaxGuestInstructions) {
     while (Slot >= 0 && !State.Halted && Budget > 0)
       Slot = executeFragment(Slot);
   }
+  syncEngineStats();
   return Stats;
+}
+
+void Translator::syncEngineStats() {
+  // The engines are the source of truth for eviction/link accounting;
+  // plain assignments keep repeated run() calls idempotent.
+  const CacheStats &ES = Engine.stats();
+  Stats.EvictionInvocations = ES.EvictionInvocations;
+  Stats.EvictedFragments = ES.EvictedBlocks;
+  Stats.EvictedBytes = ES.EvictedBytes;
+  Stats.UnlinkedLinks = ES.UnlinkedLinks;
+  Stats.ChainStats.LinksCreated = ES.LinksCreated;
+  Stats.ChainStats.InterUnitLinksCreated = ES.InterUnitLinksCreated;
+  Stats.ChainStats.SelfLinksCreated = ES.SelfLinksCreated;
+  const CacheStats &BS = BBEngine.stats();
+  Stats.BBEvictionInvocations = BS.EvictionInvocations;
+  Stats.BBEvictedFragments = BS.EvictedBlocks;
 }
 
 Trace Translator::exportTrace() const {
@@ -542,19 +539,19 @@ Trace Translator::exportTrace() const {
 }
 
 bool Translator::checkInvariants() const {
-  if (!Cache.checkInvariants() || !BBCache.checkInvariants())
-    return false;
-  if (Config.EnableChaining && !Links.checkInvariants(Cache))
+  // Cache/link structure lives in the engines; what remains here is the
+  // dispatch-table consistency the check library audits as dispatch.*.
+  if (!Engine.checkInvariants() || !BBEngine.checkInvariants())
     return false;
   if (!Table.checkInvariants() || !BBTable.checkInvariants())
     return false;
-  if (Table.size() != Cache.residentCount())
+  if (Table.size() != Engine.cache().residentCount())
     return false;
-  if (BBTable.size() != BBCache.residentCount())
+  if (BBTable.size() != BBEngine.cache().residentCount())
     return false;
   // Every resident fragment is reachable through the table at its PC.
   bool Ok = true;
-  Cache.forEachResident([&](const CodeCache::Resident &R) {
+  Engine.cache().forEachResident([&](const CodeCache::Resident &R) {
     unsigned Probes = 0;
     const int32_t Slot = Table.lookup(PCById[R.Id], Probes);
     if (Slot < 0 || Fragments[static_cast<size_t>(Slot)].Id != R.Id)

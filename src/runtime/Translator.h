@@ -20,19 +20,20 @@
 /// OpCounter (the PAPI substitute), producing the Figure 9 regression
 /// samples and the Table 2 chaining-on/off slowdowns.
 ///
-/// Fragment ids are dense and stable per entry PC, so the core library's
-/// CodeCache and LinkGraph are reused unchanged for placement and
-/// chaining state.
+/// Both tiers run on the shared CacheEngine (core/CacheEngine.h): the
+/// engine owns placement, quantum-driven eviction, link repair, and
+/// telemetry/audit hooks, while the translator's payload callbacks tear
+/// down Fragment slots and DispatchTable entries per victim and charge
+/// the instrumented (jittered) Eq. 2/Eq. 4 costs. Fragment ids are dense
+/// and stable per entry PC, so the engine's CodeCache and LinkGraph are
+/// reused unchanged.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CCSIM_RUNTIME_TRANSLATOR_H
 #define CCSIM_RUNTIME_TRANSLATOR_H
 
-#include "core/CacheStats.h"
-#include "core/CodeCache.h"
-#include "core/EvictionPolicy.h"
-#include "core/LinkGraph.h"
+#include "core/CacheEngine.h"
 #include "isa/Program.h"
 #include "runtime/DispatchTable.h"
 #include "trace/Trace.h"
@@ -40,7 +41,7 @@
 #include "runtime/OpCounter.h"
 #include "support/Random.h"
 
-#include <memory>
+#include <span>
 #include <vector>
 
 namespace ccsim {
@@ -80,6 +81,8 @@ struct TranslatorConfig {
                                    ///< interpreter; blocks are promoted
                                    ///< to superblocks at HotThreshold.
   uint64_t BBCacheBytes = 1 << 19; ///< Basic-block cache capacity.
+  telemetry::TelemetrySink *Telemetry = nullptr; ///< Shared by both tier
+                                                 ///< engines; null = off.
 };
 
 /// Aggregate statistics of one translated run.
@@ -116,13 +119,32 @@ public:
 
   const TranslatorStats &stats() const { return Stats; }
   const GuestState &guestState() const { return State; }
-  const CodeCache &cache() const { return Cache; }
-  const CodeCache &basicBlockCache() const { return BBCache; }
-  const LinkGraph &links() const { return Links; }
+  const TranslatorConfig &config() const { return Config; }
+  const CodeCache &cache() const { return Engine.cache(); }
+  const CodeCache &basicBlockCache() const { return BBEngine.cache(); }
+  const LinkGraph &links() const { return Engine.links(); }
   const DispatchTable &dispatchTable() const { return Table; }
+  const DispatchTable &basicBlockDispatchTable() const { return BBTable; }
+
+  /// The cache engines behind the two tiers. Auditors arm their hooks
+  /// here (check::armAuditor); the engines' CacheStats carry the
+  /// conservation counters the structural rules verify.
+  CacheEngine &engine() { return Engine; }
+  const CacheEngine &engine() const { return Engine; }
+  CacheEngine &basicBlockEngine() { return BBEngine; }
+  const CacheEngine &basicBlockEngine() const { return BBEngine; }
 
   /// Number of distinct superblock entry PCs seen (== id universe size).
   size_t numKnownEntryPCs() const { return PCById.size(); }
+
+  /// Entry PC of fragment id \p Id (audit introspection).
+  uint32_t entryPCOf(SuperblockId Id) const { return PCById[Id]; }
+
+  /// Fragment id stored at dispatch-table slot \p Slot (audit
+  /// introspection; pairs with DispatchTable::forEachLive).
+  SuperblockId fragmentIdAtSlot(int32_t Slot) const {
+    return Fragments[static_cast<size_t>(Slot)].Id;
+  }
 
   /// Exports the recorded run as a superblock trace (requires
   /// Config.RecordTrace). Ids are re-densified over the fragments that
@@ -131,7 +153,10 @@ public:
   /// trace simulator directly.
   Trace exportTrace() const;
 
-  /// Cross-checks cache/table/link invariants (tests).
+  /// Cross-checks cache/table/link invariants (tests). Structure checks
+  /// now live in the engines; what remains here is the dispatch-table
+  /// consistency the check library also audits rule-by-rule
+  /// (check::checkDispatchTable).
   bool checkInvariants() const;
 
 private:
@@ -139,12 +164,10 @@ private:
   TranslatorConfig Config;
   GuestState State;
   TranslatorStats Stats;
-  CodeCache Cache;
-  CodeCache BBCache; ///< Tier-0 basic-block cache (may be unused).
-  LinkGraph Links;
+  CacheEngine Engine;   ///< Superblock-tier cache engine.
+  CacheEngine BBEngine; ///< Basic-block-tier cache engine (may be unused).
   DispatchTable Table;
   DispatchTable BBTable;
-  std::unique_ptr<EvictionPolicy> Policy;
   Rng Jitter;
 
   std::vector<Fragment> Fragments;   ///< Slot pool, indexed by table value.
@@ -154,8 +177,6 @@ private:
   std::vector<uint32_t> PCById;      ///< Entry PC per id.
   std::vector<int32_t> IdLookup;     ///< Dense PC -> id map (-1 = none).
   std::vector<uint32_t> HotCounter;  ///< Per-PC execution counts (dense).
-  std::vector<CodeCache::Resident> EvictedScratch;
-  std::vector<uint32_t> DanglingScratch;
 
   uint64_t Budget = 0;     ///< Remaining guest instructions.
   uint32_t DispatchPC = 0; ///< PC at the current dispatcher entry.
@@ -167,6 +188,21 @@ private:
 
   /// Dense, stable fragment id for a guest entry PC.
   SuperblockId idForPC(uint32_t PC);
+
+  /// Pops a free fragment slot, growing the pool if none is free.
+  int32_t allocateSlot();
+
+  /// Shared eviction teardown for both tiers: per victim, removes the
+  /// \p InTable entry (accumulating hash-probe cost into \p ProbeOps),
+  /// clears the fragment, and recycles its slot through \p SlotMap.
+  /// Returns the total victim bytes for the caller's cost charge.
+  uint64_t dropVictims(std::span<const CodeCache::Resident> Victims,
+                       DispatchTable &InTable, std::vector<int32_t> &SlotMap,
+                       double &ProbeOps);
+
+  /// Accounts one guest instruction executed while recording a fragment
+  /// (recording runs at interpreter speed).
+  void chargeRecordedInstruction();
 
   /// Adds measurement jitter of a few percent (models run-to-run PAPI
   /// variation) deterministically.
@@ -184,24 +220,37 @@ private:
   /// it in the basic-block cache (two-tier mode only).
   void buildAndInstallBasicBlock();
 
-  /// Evicts victims from the basic-block cache (table removal + cost).
-  void processBBEvictions(std::vector<CodeCache::Resident> &Victims);
-
   /// Executes \p Slot from the cache. Returns the slot of the next
   /// fragment when control can stay inside the cache (linked transfer or
   /// IBL hit), or NotFound when it must return to the dispatcher.
   int32_t executeFragment(int32_t Slot);
 
+  /// Slot of the resident fragment whose entry is \p TargetPC, checking
+  /// the superblock tier first and then (in two-tier mode) the BB tier.
+  /// \p InBBTier reports which tier matched. NotFound when neither did.
+  int32_t residentSlotFor(uint32_t TargetPC, bool &InBBTier) const;
+
   /// Follows a direct exit to \p TargetPC: the slot of the resident
   /// target fragment (a patched link) or NotFound.
   int32_t resolveDirectExit(uint32_t TargetPC);
 
-  /// Makes room for and installs \p Frag. May evict.
+  /// Installs \p Frag through the superblock-tier engine. May evict.
   void installFragment(Fragment &&Frag);
 
-  /// Removes the victims in EvictedScratch from table/links, charging
-  /// measured costs.
-  void processEvictions();
+  /// Superblock-tier eviction payload: drops table entries, recycles
+  /// slots, and charges the measured Eq. 2 cost.
+  void onSuperblockEvict(std::span<const CodeCache::Resident> Victims);
+
+  /// Superblock-tier unlink payload: charges the measured Eq. 4 cost per
+  /// victim with dangling incoming links.
+  void onSuperblockUnlink(std::span<const CodeCache::Resident> Victims,
+                          std::span<const uint32_t> Dangling);
+
+  /// BB-tier eviction payload (table removal + cost).
+  void onBasicBlockEvict(std::span<const CodeCache::Resident> Victims);
+
+  /// Pulls the engine-side counters into TranslatorStats (end of run()).
+  void syncEngineStats();
 
   void chargeDispatch(unsigned Probes);
 };

@@ -42,6 +42,10 @@ constexpr AuditRule AllRules[] = {
     AuditRule::StatsLinkAccountingMismatch,
     AuditRule::StatsEvictionAccountingMismatch,
     AuditRule::StatsBackPointerPeakLow,
+    AuditRule::DispatchEntryNotResident,
+    AuditRule::DispatchEntryStale,
+    AuditRule::DispatchResidentUnreachable,
+    AuditRule::DispatchSizeMismatch,
 };
 
 } // namespace
@@ -99,6 +103,14 @@ TEST(AuditReportTest, RuleIdsAreStable) {
                "stats.eviction-accounting-mismatch");
   EXPECT_STREQ(ruleId(AuditRule::StatsBackPointerPeakLow),
                "stats.backpointer-peak-low");
+  EXPECT_STREQ(ruleId(AuditRule::DispatchEntryNotResident),
+               "dispatch.entry-not-resident");
+  EXPECT_STREQ(ruleId(AuditRule::DispatchEntryStale),
+               "dispatch.entry-stale");
+  EXPECT_STREQ(ruleId(AuditRule::DispatchResidentUnreachable),
+               "dispatch.resident-unreachable");
+  EXPECT_STREQ(ruleId(AuditRule::DispatchSizeMismatch),
+               "dispatch.size-mismatch");
 }
 
 TEST(AuditReportTest, RuleIdsAreUniqueAndHintsNonEmpty) {

@@ -10,6 +10,8 @@
 
 #include "check/CacheAuditor.h"
 
+#include "isa/ProgramGenerator.h"
+#include "runtime/Translator.h"
 #include "support/Random.h"
 #include "gtest/gtest.h"
 
@@ -523,4 +525,108 @@ TEST(CacheAuditorCorruptionTest, StatsRulesSkippedWithoutChaining) {
   State.BackPointerBytes = 64;
   EXPECT_FALSE(auditOf(State).has(AuditRule::StatsLinkAccountingMismatch));
   EXPECT_FALSE(auditOf(State).has(AuditRule::StatsBackPointerPeakLow));
+}
+
+// --- Seeded corruption: DispatchTable rules ------------------------------
+
+namespace {
+
+/// Entries for cleanCache()'s residents 0,1,2 at their entry PCs; id 3 is
+/// known (has an entry PC) but currently evicted.
+DispatchTableState cleanDispatch() {
+  DispatchTableState State;
+  State.PCById = {0x100, 0x200, 0x300, 0x400};
+  State.Entries = {{0x100, 0}, {0x200, 1}, {0x300, 2}};
+  return State;
+}
+
+AuditReport auditOf(const DispatchTableState &State) {
+  AuditReport Report;
+  checkDispatchTable(State, cleanCache(), Report);
+  return Report;
+}
+
+} // namespace
+
+TEST(CacheAuditorCorruptionTest, CleanDispatchBaseline) {
+  EXPECT_TRUE(auditOf(cleanDispatch()).clean())
+      << auditOf(cleanDispatch()).render();
+}
+
+TEST(CacheAuditorCorruptionTest, DispatchEntryPointsAtEvictedFragment) {
+  DispatchTableState State = cleanDispatch();
+  State.Entries[0].Id = 3; // PC 0x100 now maps to the evicted fragment.
+  EXPECT_TRUE(auditOf(State).has(AuditRule::DispatchEntryNotResident));
+}
+
+TEST(CacheAuditorCorruptionTest, DispatchEntryAtWrongPC) {
+  DispatchTableState State = cleanDispatch();
+  State.Entries[0].PC = 0x999; // Fragment 0's entry PC is 0x100.
+  EXPECT_TRUE(auditOf(State).has(AuditRule::DispatchEntryStale));
+}
+
+TEST(CacheAuditorCorruptionTest, DispatchResidentWithoutEntry) {
+  DispatchTableState State = cleanDispatch();
+  State.Entries.pop_back(); // Resident 2 is no longer dispatchable.
+  const AuditReport Report = auditOf(State);
+  EXPECT_TRUE(Report.has(AuditRule::DispatchResidentUnreachable));
+  EXPECT_TRUE(Report.has(AuditRule::DispatchSizeMismatch));
+}
+
+TEST(CacheAuditorCorruptionTest, DispatchDuplicateEntry) {
+  DispatchTableState State = cleanDispatch();
+  State.Entries.push_back(State.Entries.front());
+  const AuditReport Report = auditOf(State);
+  EXPECT_TRUE(Report.has(AuditRule::DispatchSizeMismatch));
+  EXPECT_FALSE(Report.has(AuditRule::DispatchEntryNotResident));
+  EXPECT_FALSE(Report.has(AuditRule::DispatchResidentUnreachable));
+}
+
+// --- Live translator audits ----------------------------------------------
+
+TEST(CacheAuditorTest, LiveTranslatorAuditsCleanUnderEveryGranularity) {
+  ProgramSpec Spec;
+  Spec.NumFunctions = 12;
+  Spec.OuterIterations = 300;
+  Spec.MeanCallsPerFunction = 0.5;
+  Spec.RareBranchProb = 0.1;
+  Spec.Seed = 2004;
+  const Program P = generateProgram(Spec);
+  for (const GranularitySpec &G :
+       {GranularitySpec::flush(), GranularitySpec::units(8),
+        GranularitySpec::fine()}) {
+    TranslatorConfig Config;
+    Config.CacheBytes = 2048; // Small enough to churn both tiers.
+    Config.BBCacheBytes = 1024;
+    Config.Policy = G;
+    Config.UseBasicBlockCache = true;
+    Translator T(P, Config);
+    T.run(1ULL << 40);
+    const AuditReport Report = CacheAuditor().auditTranslator(T);
+    EXPECT_TRUE(Report.clean()) << G.label() << "\n" << Report.render();
+    EXPECT_GT(T.engine().stats().EvictedBlocks, 0u);
+    EXPECT_GT(T.basicBlockEngine().stats().EvictedBlocks, 0u);
+  }
+}
+
+TEST(CacheAuditorTest, DispatchCaptureMirrorsLiveTranslator) {
+  ProgramSpec Spec;
+  Spec.NumFunctions = 10;
+  Spec.OuterIterations = 200;
+  Spec.Seed = 7;
+  const Program P = generateProgram(Spec);
+  TranslatorConfig Config;
+  Config.CacheBytes = 4096;
+  Translator T(P, Config);
+  T.run(1ULL << 40);
+
+  const DispatchTableState State =
+      captureDispatchTable(T, /*BasicBlockTier=*/false);
+  EXPECT_EQ(State.Entries.size(), T.dispatchTable().size());
+  EXPECT_EQ(State.Entries.size(), T.cache().residentCount());
+  EXPECT_EQ(State.PCById.size(), T.numKnownEntryPCs());
+  for (const DispatchTableState::Entry &E : State.Entries) {
+    EXPECT_TRUE(T.cache().contains(E.Id));
+    EXPECT_EQ(State.PCById[E.Id], E.PC);
+  }
 }

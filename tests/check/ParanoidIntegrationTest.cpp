@@ -8,6 +8,8 @@
 #include "check/Paranoia.h"
 
 #include "check/CacheAuditor.h"
+#include "isa/ProgramGenerator.h"
+#include "runtime/Translator.h"
 #include "sim/Simulator.h"
 #include "trace/TraceGenerator.h"
 #include "gtest/gtest.h"
@@ -147,4 +149,78 @@ TEST(ParanoidIntegrationTest, AuditedSimulationMatchesUnaudited) {
   EXPECT_EQ(A.Stats.EvictedBlocks, B.Stats.EvictedBlocks);
   EXPECT_EQ(A.Stats.LinksCreated, B.Stats.LinksCreated);
   EXPECT_DOUBLE_EQ(A.Stats.totalOverhead(true), B.Stats.totalOverhead(true));
+}
+
+TEST(ParanoidIntegrationTest, ArmedTranslatorStaysQuietOnCorrectRun) {
+  // The execution-driven twin of ArmedAuditorStaysQuietOnCorrectManager:
+  // a two-tier mini-DBT run with every install on either tier re-audited
+  // (including the dispatch.* table-vs-residency family).
+  ProgramSpec Spec;
+  Spec.NumFunctions = 12;
+  Spec.OuterIterations = 300;
+  Spec.MeanCallsPerFunction = 0.5;
+  Spec.RareBranchProb = 0.1;
+  Spec.Seed = 2004;
+  const Program P = generateProgram(Spec);
+  for (const GranularitySpec &G :
+       {GranularitySpec::flush(), GranularitySpec::units(8),
+        GranularitySpec::fine()}) {
+    TranslatorConfig Config;
+    Config.CacheBytes = 2048;
+    Config.BBCacheBytes = 1024;
+    Config.Policy = G;
+    Config.UseBasicBlockCache = true;
+    Translator T(P, Config);
+
+    size_t Violations = 0;
+    ParanoiaOptions Opts;
+    Opts.Level = AuditLevel::Full;
+    Opts.OnViolation = [&Violations](const AuditReport &Report,
+                                     const char *) {
+      Violations += Report.size();
+      ADD_FAILURE() << Report.render();
+    };
+    armAuditor(T, Opts);
+    EXPECT_EQ(T.engine().auditLevel(), AuditLevel::Full);
+    EXPECT_EQ(T.basicBlockEngine().auditLevel(), AuditLevel::Full);
+
+    const TranslatorStats &S = T.run(1ULL << 40);
+    EXPECT_EQ(Violations, 0u) << G.label();
+    EXPECT_GT(S.EvictionInvocations, 0u)
+        << "run too small to evict under " << G.label();
+    EXPECT_GT(S.BBEvictionInvocations, 0u);
+    EXPECT_TRUE(T.checkInvariants());
+  }
+}
+
+TEST(ParanoidIntegrationTest, TranslatorInstallSitesAreLabeled) {
+  ProgramSpec Spec;
+  Spec.NumFunctions = 8;
+  Spec.OuterIterations = 150;
+  Spec.Seed = 3;
+  const Program P = generateProgram(Spec);
+  TranslatorConfig Config;
+  Config.CacheBytes = 2048;
+  Config.BBCacheBytes = 1024;
+  Config.UseBasicBlockCache = true;
+  Translator T(P, Config);
+  armAuditor(T, {});
+  std::vector<std::string> MainSites, BBSites;
+  T.engine().setAuditLevel(AuditLevel::Full);
+  T.engine().setAuditHook(
+      [&MainSites](const CacheEngine &, const char *Where) {
+        MainSites.push_back(Where);
+      });
+  T.basicBlockEngine().setAuditLevel(AuditLevel::Full);
+  T.basicBlockEngine().setAuditHook(
+      [&BBSites](const CacheEngine &, const char *Where) {
+        BBSites.push_back(Where);
+      });
+  T.run(1ULL << 40);
+  ASSERT_FALSE(MainSites.empty());
+  ASSERT_FALSE(BBSites.empty());
+  for (const std::string &Site : MainSites)
+    EXPECT_EQ(Site, "install");
+  for (const std::string &Site : BBSites)
+    EXPECT_EQ(Site, "bb-install");
 }

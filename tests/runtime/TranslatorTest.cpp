@@ -430,6 +430,33 @@ TEST(TwoTierTest, TinyBBCacheChurnsButStaysCorrect) {
   EXPECT_TRUE(T.checkInvariants());
 }
 
+TEST(TwoTierTest, BBEvictionsUnderEveryMainGranularity) {
+  // The BB tier always evicts at quantum 1 (its own engine, fine policy),
+  // regardless of the superblock tier's granularity. Under all three main
+  // policies both tiers must churn and still match the interpreter.
+  const Program P = generateProgram(longSpec(89));
+  uint64_t RefSteps = 0;
+  const uint64_t RefDigest = referenceDigest(P, 1 << 17, RefSteps);
+  for (const GranularitySpec &G :
+       {GranularitySpec::flush(), GranularitySpec::units(8),
+        GranularitySpec::fine()}) {
+    TranslatorConfig Config;
+    Config.UseBasicBlockCache = true;
+    Config.CacheBytes = 2048;
+    Config.BBCacheBytes = 1024;
+    Config.Policy = G;
+    Translator T(P, Config);
+    const TranslatorStats &Stats = T.run(1ULL << 40);
+    EXPECT_EQ(T.guestState().digest(), RefDigest) << G.label();
+    EXPECT_GT(Stats.EvictionInvocations, 0u) << G.label();
+    EXPECT_GT(Stats.BBEvictionInvocations, 0u) << G.label();
+    EXPECT_GT(Stats.BBEvictedFragments, 0u) << G.label();
+    // The BB engine's quantum is one fragment no matter the main policy.
+    EXPECT_EQ(T.basicBlockEngine().currentQuantum(), 1u);
+    EXPECT_TRUE(T.checkInvariants()) << G.label();
+  }
+}
+
 TEST(TwoTierTest, BBTierKeepsFigure9SamplesPure) {
   const Program P = generateProgram(testSpec(83));
   TranslatorConfig Config;
