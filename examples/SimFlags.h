@@ -1,0 +1,147 @@
+//===- examples/SimFlags.h - Shared simulation-config flag handling -------===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulation-facing counterpart of TelemetryFlags.h: one place that
+/// declares the policy / pressure / capacity / cost-model / workload flags
+/// the drivers used to each re-declare by hand, and one place that turns
+/// them back into validated configs. The batch manifest parser reuses
+/// these helpers verbatim, which is what keeps a manifest line and the
+/// equivalent serial command line byte-identical in meaning.
+///
+/// Parsing here is strict: a malformed --policy or an inconsistent config
+/// is an error returned to the caller, never a warning plus a silent
+/// default.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_EXAMPLES_SIMFLAGS_H
+#define CCSIM_EXAMPLES_SIMFLAGS_H
+
+#include "sim/Simulator.h"
+#include "support/Flags.h"
+#include "trace/TraceGenerator.h"
+#include "trace/WorkloadModel.h"
+
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ccsim {
+
+/// Declares "--policy" with \p Default ("flush" | "fine" | unit count).
+inline void addPolicyFlag(FlagSet &Flags, const std::string &Default = "8") {
+  Flags.addString("policy", Default, "flush | fine | <unit count>.");
+}
+
+/// Declares the SimConfig-shaped flags: pressure, explicit capacity,
+/// chaining, and the six Eq. 2-4 cost-model coefficients. Pressure
+/// defaults differ per driver, so it is a parameter.
+inline void addSimConfigFlags(FlagSet &Flags, double DefaultPressure) {
+  Flags.addDouble("pressure", DefaultPressure,
+                  "Cache pressure factor (cache = maxCache / pressure).");
+  Flags.addInt("capacity", 0,
+               "Explicit cache capacity in bytes (overrides --pressure "
+               "when nonzero).");
+  Flags.addBool("no-chain", false, "Disable superblock chaining state.");
+  const CostModel D = CostModel::paperDefaults();
+  Flags.addDouble("cost-evict-per-byte", D.EvictionPerByte,
+                  "Eviction cost per byte (Eq. 2 slope).");
+  Flags.addDouble("cost-evict-base", D.EvictionBase,
+                  "Eviction cost per invocation (Eq. 2 intercept).");
+  Flags.addDouble("cost-miss-per-byte", D.MissPerByte,
+                  "Miss cost per byte (Eq. 3 slope).");
+  Flags.addDouble("cost-miss-base", D.MissBase,
+                  "Miss cost per miss (Eq. 3 intercept).");
+  Flags.addDouble("cost-unlink-per-link", D.UnlinkPerLink,
+                  "Unlink cost per link (Eq. 4 slope).");
+  Flags.addDouble("cost-unlink-base", D.UnlinkBase,
+                  "Unlink cost per victim (Eq. 4 intercept).");
+}
+
+/// Declares the synthetic-workload flags: benchmark, scale, seed.
+inline void addWorkloadFlags(FlagSet &Flags,
+                             const std::string &DefaultBenchmark = "crafty",
+                             int64_t DefaultSeed = 42) {
+  Flags.addString("benchmark", DefaultBenchmark, "Table 1 benchmark name.");
+  Flags.addDouble("scale", 1.0, "Workload size multiplier.");
+  Flags.addInt("seed", DefaultSeed, "Trace generation seed.");
+}
+
+/// Strict "--policy" parser: "flush", "fine"/"fifo", or a positive unit
+/// count. Anything else is nullopt — callers report the error instead of
+/// running a policy the user did not ask for.
+inline std::optional<GranularitySpec>
+parsePolicySpec(const std::string &Text) {
+  if (Text == "flush" || Text == "FLUSH")
+    return GranularitySpec::flush();
+  if (Text == "fine" || Text == "fifo" || Text == "FIFO")
+    return GranularitySpec::fine();
+  char *End = nullptr;
+  const long Units = std::strtol(Text.c_str(), &End, 10);
+  if (End && *End == '\0' && !Text.empty() && Units >= 1)
+    return GranularitySpec::units(static_cast<unsigned>(Units));
+  return std::nullopt;
+}
+
+/// Assembles a SimConfig from the addSimConfigFlags() flags and validates
+/// it. On failure returns nullopt with the description in \p Error.
+inline std::optional<SimConfig> simConfigFromFlags(const FlagSet &Flags,
+                                                   std::string *Error) {
+  CostModel Costs;
+  Costs.EvictionPerByte = Flags.getDouble("cost-evict-per-byte");
+  Costs.EvictionBase = Flags.getDouble("cost-evict-base");
+  Costs.MissPerByte = Flags.getDouble("cost-miss-per-byte");
+  Costs.MissBase = Flags.getDouble("cost-miss-base");
+  Costs.UnlinkPerLink = Flags.getDouble("cost-unlink-per-link");
+  Costs.UnlinkBase = Flags.getDouble("cost-unlink-base");
+  SimConfig Config;
+  Config.withPressure(Flags.getDouble("pressure"))
+      .withCapacityBytes(static_cast<uint64_t>(Flags.getInt("capacity")))
+      .withCosts(Costs)
+      .withChaining(!Flags.getBool("no-chain"));
+  std::string Err = Config.validate();
+  if (!Err.empty()) {
+    if (Error)
+      *Error = Err;
+    return std::nullopt;
+  }
+  return Config;
+}
+
+/// Resolves the addWorkloadFlags() flags to a (possibly scaled) workload
+/// model. On failure returns nullopt with the description in \p Error.
+inline std::optional<WorkloadModel>
+workloadFromFlags(const FlagSet &Flags, std::string *Error) {
+  const WorkloadModel *M = findWorkload(Flags.getString("benchmark"));
+  if (!M) {
+    if (Error) {
+      *Error = "unknown benchmark '" + Flags.getString("benchmark") +
+               "'; pick one of:";
+      for (const WorkloadModel &W : table1Workloads())
+        *Error += " " + W.Name;
+    }
+    return std::nullopt;
+  }
+  if (Flags.getDouble("scale") < 0.999)
+    return scaledWorkload(*M, Flags.getDouble("scale"));
+  return *M;
+}
+
+/// Generates the trace the addWorkloadFlags() flags describe.
+inline std::optional<Trace> workloadTraceFromFlags(const FlagSet &Flags,
+                                                   std::string *Error) {
+  const auto Model = workloadFromFlags(Flags, Error);
+  if (!Model)
+    return std::nullopt;
+  return TraceGenerator::generateBenchmark(
+      *Model, static_cast<uint64_t>(Flags.getInt("seed")));
+}
+
+} // namespace ccsim
+
+#endif // CCSIM_EXAMPLES_SIMFLAGS_H

@@ -24,6 +24,17 @@
 //       Same auditor over the execution-driven path: the mini-DBT runs
 //       two-tier with every install re-validated (including the
 //       dispatch-table-vs-residency rules).
+//   ccsim_cli batch jobs.mf [--jobs=N] [--queue=N] [--backpressure=...]
+//       Run a manifest of simulate/replay/suite/tenants jobs through the
+//       asynchronous SimService. Output is byte-identical to running the
+//       same manifest with --serial (one job at a time on this thread);
+//       --verify-serial checks that property on every run.
+//   ccsim_cli help [subcommand]
+//       This overview, or the full flag reference of one subcommand.
+//
+// Exit codes are uniform across subcommands: 0 on success, 1 on usage
+// errors (bad flags, unknown benchmarks/policies, malformed manifests),
+// 2 on runtime failures (I/O, failed jobs, audit violations).
 //
 //===----------------------------------------------------------------------===//
 
@@ -36,85 +47,310 @@
 #include "isa/ProgramGenerator.h"
 #include "runtime/SystemProfiles.h"
 #include "runtime/Translator.h"
+#include "service/SimService.h"
 #include "sim/Sweep.h"
 #include "support/Flags.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
+#include "telemetry/Exporters.h"
 #include "trace/TraceGenerator.h"
 #include "trace/TraceIO.h"
 
+#include "SimFlags.h"
 #include "TelemetryFlags.h"
 
+#include <cstdarg>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <map>
 #include <memory>
+#include <optional>
+#include <sstream>
+#include <tuple>
+#include <vector>
 
 using namespace ccsim;
 
 namespace {
 
-/// Parses "--policy": "flush", "fine"/"fifo", or a unit count.
-GranularitySpec parsePolicy(const std::string &Text) {
-  if (Text == "flush" || Text == "FLUSH")
-    return GranularitySpec::flush();
-  if (Text == "fine" || Text == "fifo" || Text == "FIFO")
-    return GranularitySpec::fine();
-  const long Units = std::strtol(Text.c_str(), nullptr, 10);
-  if (Units >= 1)
-    return GranularitySpec::units(static_cast<unsigned>(Units));
-  std::fprintf(stderr, "warning: bad policy '%s', using 8 units\n",
-               Text.c_str());
-  return GranularitySpec::units(8);
+// Uniform exit codes (see the file header).
+constexpr int ExitOk = 0;
+constexpr int ExitUsage = 1;
+constexpr int ExitRuntime = 2;
+
+void appendf(std::string &Out, const char *Fmt, ...) {
+  char Buf[512];
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vsnprintf(Buf, sizeof(Buf), Fmt, Args);
+  va_end(Args);
+  Out += Buf;
 }
 
-void printSimResult(const SimResult &R) {
-  std::printf("benchmark %s under %s (cache %s of maxCache %s)\n",
-              R.BenchmarkName.c_str(), R.PolicyName.c_str(),
-              formatBytes(R.CapacityBytes).c_str(),
-              formatBytes(R.MaxCacheBytes).c_str());
-  const CacheStats &S = R.Stats;
-  std::printf("  accesses %s | miss rate %s | evictions %s | inter-unit "
-              "links %s\n",
-              formatWithCommas(S.Accesses).c_str(),
-              formatPercent(S.missRate(), 3).c_str(),
-              formatWithCommas(S.EvictionInvocations).c_str(),
-              formatPercent(S.interUnitLinkFraction(), 1).c_str());
-  std::printf("  overhead: %.0f instructions (miss %.0f + eviction %.0f "
-              "+ unlink %.0f)\n",
-              S.totalOverhead(true), S.MissOverhead, S.EvictionOverhead,
-              S.UnlinkOverhead);
-}
-
-int cmdSimulate(int Argc, char **Argv) {
-  FlagSet Flags("ccsim_cli simulate: trace-driven simulation.");
-  Flags.addString("benchmark", "crafty", "Table 1 benchmark name.");
-  Flags.addString("policy", "8", "flush | fine | <unit count>.");
-  Flags.addDouble("pressure", 10.0, "Cache pressure factor.");
-  Flags.addDouble("scale", 1.0, "Workload size multiplier.");
-  Flags.addInt("seed", 42, "Trace seed.");
-  addTelemetryFlags(Flags);
-  if (!Flags.parse(Argc, Argv))
-    return 1;
-  const WorkloadModel *M = findWorkload(Flags.getString("benchmark"));
-  if (!M) {
-    std::fprintf(stderr, "error: unknown benchmark\n");
-    return 1;
+std::vector<std::string> splitList(const std::string &Text) {
+  std::vector<std::string> Parts;
+  std::string Cur;
+  for (char C : Text) {
+    if (C == ',') {
+      if (!Cur.empty())
+        Parts.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur.push_back(C);
+    }
   }
-  WorkloadModel Chosen = *M;
-  if (Flags.getDouble("scale") < 0.999)
-    Chosen = scaledWorkload(*M, Flags.getDouble("scale"));
-  const Trace T = TraceGenerator::generateBenchmark(
-      Chosen, static_cast<uint64_t>(Flags.getInt("seed")));
-  SimConfig Config;
-  Config.PressureFactor = Flags.getDouble("pressure");
-  const auto Sink = makeSinkIfRequested(Flags);
-  Config.Telemetry = Sink.get();
-  printSimResult(
-      sim::run(T, parsePolicy(Flags.getString("policy")), Config));
-  return exportTelemetry(Flags, Sink.get());
+  if (!Cur.empty())
+    Parts.push_back(Cur);
+  return Parts;
 }
 
-int cmdRecord(int Argc, char **Argv) {
+//===----------------------------------------------------------------------===//
+// Result rendering, shared between the serial subcommands and `batch`.
+// Rendering is a pure function of the results, so identical results render
+// to identical bytes -- the property the batch round-trip test pins.
+//===----------------------------------------------------------------------===//
+
+std::string renderSimResult(const SimResult &R) {
+  std::string Out;
+  appendf(Out, "benchmark %s under %s (cache %s of maxCache %s)\n",
+          R.BenchmarkName.c_str(), R.PolicyName.c_str(),
+          formatBytes(R.CapacityBytes).c_str(),
+          formatBytes(R.MaxCacheBytes).c_str());
+  const CacheStats &S = R.Stats;
+  appendf(Out,
+          "  accesses %s | miss rate %s | evictions %s | inter-unit "
+          "links %s\n",
+          formatWithCommas(S.Accesses).c_str(),
+          formatPercent(S.missRate(), 3).c_str(),
+          formatWithCommas(S.EvictionInvocations).c_str(),
+          formatPercent(S.interUnitLinkFraction(), 1).c_str());
+  appendf(Out,
+          "  overhead: %.0f instructions (miss %.0f + eviction %.0f "
+          "+ unlink %.0f)\n",
+          S.totalOverhead(true), S.MissOverhead, S.EvictionOverhead,
+          S.UnlinkOverhead);
+  return Out;
+}
+
+std::string renderSuiteResults(const std::vector<SuiteResult> &Results) {
+  const auto Rel = relativeOverheadPerBenchmarkMean(Results, true);
+  Table Out({"Granularity", "Miss rate", "Evictions", "Rel overhead"});
+  for (size_t I = 0; I < Results.size(); ++I) {
+    Out.beginRow();
+    Out.cell(Results[I].PolicyLabel);
+    Out.cell(formatPercent(Results[I].Combined.missRate(), 3));
+    Out.cell(Results[I].Combined.EvictionInvocations);
+    Out.cell(Rel[I], 3);
+  }
+  return Out.render();
+}
+
+std::string renderTenantResult(const MultiTenantResult &R) {
+  std::string Head;
+  appendf(Head, "%s / %s over %zu tenants (capacity %s, schedule %s)\n",
+          R.PolicyLabel.c_str(), R.ModeLabel.c_str(), R.Tenants.size(),
+          formatBytes(R.TotalCapacityBytes).c_str(),
+          R.ScheduleLabel.c_str());
+  Table Out({"Tenant", "Miss rate", "Lost blocks", "Lost to others",
+             "Overhead (instr)"});
+  for (const TenantResult &TR : R.Tenants) {
+    Out.beginRow();
+    Out.cell(TR.Name);
+    Out.cell(formatPercent(TR.missRate(), 3));
+    Out.cell(TR.BlocksEvicted);
+    Out.cell(TR.BlocksLostToOthers);
+    Out.cell(TR.totalOverhead(true), 0);
+  }
+  Out.beginRow();
+  Out.cell("ALL");
+  Out.cell(formatPercent(R.aggregateMissRate(), 3));
+  Out.cell(R.Global.EvictedBlocks);
+  uint64_t Lost = 0;
+  for (size_t T = 0; T < R.Tenants.size(); ++T)
+    Lost += R.Tenants[T].BlocksLostToOthers;
+  Out.cell(Lost);
+  Out.cell(R.Global.totalOverhead(true), 0);
+  return Head + Out.render();
+}
+
+/// Renders whatever payload a terminal outcome carries.
+std::string renderOutcome(const service::JobOutcome &O) {
+  std::string Out;
+  for (const SimResult &R : O.Replay)
+    Out += renderSimResult(R);
+  if (!O.Suite.empty())
+    Out += renderSuiteResults(O.Suite);
+  if (O.Tenants)
+    Out += renderTenantResult(*O.Tenants);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Job builders, shared between the serial subcommands and the batch
+// manifest parser. Each consumes the same FlagSet its subcommand declares,
+// so a manifest line means exactly what the equivalent command line means.
+//===----------------------------------------------------------------------===//
+
+std::optional<service::ReplayJob>
+replayJobFromSimulateFlags(const FlagSet &Flags, std::string *Error) {
+  auto T = workloadTraceFromFlags(Flags, Error);
+  if (!T)
+    return std::nullopt;
+  const auto Spec = parsePolicySpec(Flags.getString("policy"));
+  if (!Spec) {
+    *Error = "bad policy '" + Flags.getString("policy") +
+             "' (flush | fine | <unit count>)";
+    return std::nullopt;
+  }
+  const auto Config = simConfigFromFlags(Flags, Error);
+  if (!Config)
+    return std::nullopt;
+  service::ReplayJob Job;
+  Job.TraceData = std::move(*T);
+  Job.Spec = *Spec;
+  Job.Config = *Config;
+  return Job;
+}
+
+std::optional<service::ReplayJob>
+replayJobFromReplayFlags(const FlagSet &Flags, std::string *Error) {
+  if (Flags.positional().empty()) {
+    *Error = "replay needs a trace file: replay <file.cct> [flags]";
+    return std::nullopt;
+  }
+  const auto T = readTrace(Flags.positional().front());
+  if (!T) {
+    *Error = "cannot read " + Flags.positional().front();
+    return std::nullopt;
+  }
+  const auto Spec = parsePolicySpec(Flags.getString("policy"));
+  if (!Spec) {
+    *Error = "bad policy '" + Flags.getString("policy") +
+             "' (flush | fine | <unit count>)";
+    return std::nullopt;
+  }
+  const auto Config = simConfigFromFlags(Flags, Error);
+  if (!Config)
+    return std::nullopt;
+  service::ReplayJob Job;
+  Job.TraceData = *T;
+  Job.Spec = *Spec;
+  Job.Config = *Config;
+  return Job;
+}
+
+/// Suite engines are expensive (trace generation for the whole Table 1
+/// suite), so manifest lines with the same (scale, seed, jobs) share one.
+using EngineCache =
+    std::map<std::tuple<double, int64_t, int64_t>,
+             std::shared_ptr<const SweepEngine>>;
+
+std::optional<service::SweepBatchJob>
+sweepJobFromSuiteFlags(const FlagSet &Flags, EngineCache &Engines,
+                       std::string *Error) {
+  const auto Config = simConfigFromFlags(Flags, Error);
+  if (!Config)
+    return std::nullopt;
+  const double Scale = Flags.getDouble("scale");
+  const int64_t Seed = Flags.getInt("seed");
+  const int64_t Jobs = Flags.getInt("jobs");
+  auto &Slot = Engines[{Scale, Seed, Jobs}];
+  if (!Slot) {
+    SweepEngine Engine =
+        Scale >= 0.999
+            ? SweepEngine::forTable1(static_cast<uint64_t>(Seed))
+            : SweepEngine::forScaledTable1(Scale,
+                                           static_cast<uint64_t>(Seed));
+    Engine.setNumThreads(Jobs > 0 ? static_cast<unsigned>(Jobs)
+                                  : ThreadPool::hardwareThreads());
+    Slot = std::make_shared<const SweepEngine>(std::move(Engine));
+  }
+  service::SweepBatchJob Job;
+  Job.Engine = Slot;
+  Job.Jobs = makeSweepGrid(standardGranularitySweep(),
+                           {Config->PressureFactor}, *Config);
+  return Job;
+}
+
+std::optional<service::TenantJob>
+tenantJobFromTenantsFlags(const FlagSet &Flags, std::string *Error) {
+  std::vector<Trace> Traces;
+  for (const std::string &Name : splitList(Flags.getString("tenants"))) {
+    const WorkloadModel *M = findWorkload(Name);
+    if (!M) {
+      *Error = "unknown benchmark '" + Name + "'";
+      return std::nullopt;
+    }
+    WorkloadModel Chosen = *M;
+    if (Flags.getDouble("scale") < 0.999)
+      Chosen = scaledWorkload(*M, Flags.getDouble("scale"));
+    Traces.push_back(TraceGenerator::generateBenchmark(
+        Chosen, static_cast<uint64_t>(Flags.getInt("seed"))));
+  }
+  if (Traces.size() < 2) {
+    *Error = "need at least two tenants";
+    return std::nullopt;
+  }
+
+  const auto Spec = parsePolicySpec(Flags.getString("policy"));
+  if (!Spec) {
+    *Error = "bad policy '" + Flags.getString("policy") +
+             "' (flush | fine | <unit count>)";
+    return std::nullopt;
+  }
+  const auto SC = simConfigFromFlags(Flags, Error);
+  if (!SC)
+    return std::nullopt;
+
+  MultiTenantConfig Config;
+  Config.withGranularity(*Spec)
+      .withPressure(SC->PressureFactor)
+      .withCapacityBytes(SC->ExplicitCapacityBytes)
+      .withCosts(SC->Costs)
+      .withChaining(SC->EnableChaining);
+  const std::string Mode = Flags.getString("mode");
+  if (Mode == "static")
+    Config.Mode = PartitionMode::StaticPartition;
+  else if (Mode == "quota")
+    Config.Mode = PartitionMode::UnitQuota;
+  else if (Mode == "shared")
+    Config.Mode = PartitionMode::Shared;
+  else {
+    *Error = "unknown mode '" + Mode + "' (shared|static|quota)";
+    return std::nullopt;
+  }
+  const std::string Schedule = Flags.getString("schedule");
+  if (Schedule == "weighted")
+    Config.Schedule = InterleaveKind::Weighted;
+  else if (Schedule == "rr" || Schedule == "round-robin")
+    Config.Schedule = InterleaveKind::RoundRobin;
+  else {
+    *Error = "unknown schedule '" + Schedule + "' (rr|weighted)";
+    return std::nullopt;
+  }
+
+  service::TenantJob Job;
+  Job.Traces = std::move(Traces);
+  Job.Config = Config;
+  return Job;
+}
+
+//===----------------------------------------------------------------------===//
+// Subcommand flag factories. Exposed as factories (not locals) so
+// `help <subcommand>` can render any subcommand's full flag reference.
+//===----------------------------------------------------------------------===//
+
+FlagSet makeSimulateFlags() {
+  FlagSet Flags("ccsim_cli simulate: trace-driven simulation.");
+  addWorkloadFlags(Flags);
+  addPolicyFlag(Flags);
+  addSimConfigFlags(Flags, 10.0);
+  addTelemetryFlags(Flags);
+  return Flags;
+}
+
+FlagSet makeRecordFlags() {
   FlagSet Flags("ccsim_cli record: run the mini-DBT and save its log.");
   Flags.addString("out", "ccsim_run.cct", "Output trace path.");
   Flags.addInt("functions", 48, "Guest call-graph size.");
@@ -122,8 +358,136 @@ int cmdRecord(int Argc, char **Argv) {
   Flags.addInt("phases", 6, "Program phases.");
   Flags.addInt("seed", 7, "Program seed.");
   addTelemetryFlags(Flags);
-  if (!Flags.parse(Argc, Argv))
-    return 1;
+  return Flags;
+}
+
+FlagSet makeReplayFlags() {
+  FlagSet Flags("ccsim_cli replay: replay a saved log (replay <file.cct>).");
+  addPolicyFlag(Flags);
+  addSimConfigFlags(Flags, 4.0);
+  addTelemetryFlags(Flags);
+  return Flags;
+}
+
+FlagSet makeFitFlags() {
+  FlagSet Flags("ccsim_cli fit: re-derive Equations 2-4.");
+  Flags.addInt("cache-kb", 24, "Mini-DBT cache size in KB.");
+  Flags.addInt("budget", 20000000, "Guest instruction budget.");
+  return Flags;
+}
+
+FlagSet makeSuiteFlags() {
+  FlagSet Flags("ccsim_cli suite: Table 1 granularity sweep.");
+  addSimConfigFlags(Flags, 2.0);
+  Flags.addDouble("scale", 1.0, "Suite size multiplier.");
+  Flags.addInt("seed", static_cast<int64_t>(DefaultSuiteSeed),
+               "Suite seed.");
+  Flags.addInt("jobs", 0,
+               "Worker threads (0 = hardware concurrency, 1 = serial).");
+  addTelemetryFlags(Flags);
+  return Flags;
+}
+
+FlagSet makeTenantsFlags() {
+  FlagSet Flags("ccsim_cli tenants: multi-tenant shared-cache simulation.");
+  Flags.addString("tenants", "gzip,vpr,crafty",
+                  "Comma-separated Table 1 benchmark names.");
+  Flags.addString("mode", "shared", "shared | static | quota.");
+  Flags.addString("schedule", "rr", "Interleaving: rr | weighted.");
+  addPolicyFlag(Flags);
+  addSimConfigFlags(Flags, 2.0);
+  Flags.addDouble("scale", 1.0, "Workload size multiplier.");
+  Flags.addInt("seed", 42, "Trace seed.");
+  addTelemetryFlags(Flags);
+  return Flags;
+}
+
+FlagSet makeAuditFlags() {
+  FlagSet Flags("ccsim_cli audit: replay a trace with the structural "
+                "auditor checking every cache mutation.");
+  addWorkloadFlags(Flags);
+  Flags.addString("policies", "flush,8,fine",
+                  "Comma-separated policies to audit (flush | fine | "
+                  "<unit count>).");
+  addSimConfigFlags(Flags, 8.0);
+  Flags.addBool("dbt", false,
+                "Audit the execution-driven path instead: run the "
+                "mini-DBT (two-tier) with the auditor armed on every "
+                "install.");
+  Flags.addInt("functions", 32, "Guest call-graph size (--dbt).");
+  Flags.addInt("iterations", 600, "Main loop trip count (--dbt).");
+  Flags.addInt("cache-kb", 2, "Code cache size in KB (--dbt).");
+  return Flags;
+}
+
+FlagSet makeBatchFlags() {
+  FlagSet Flags(
+      "ccsim_cli batch: run a manifest of jobs through the asynchronous "
+      "SimService.\n\nThe manifest holds one job per line in subcommand "
+      "syntax (simulate/replay/suite/tenants plus their usual flags), "
+      "with optional per-job --priority=N, --deadline-ms=N, and "
+      "--label=NAME. Blank lines and '#' comments are skipped. Results "
+      "print in manifest order and are byte-identical to --serial "
+      "execution.");
+  Flags.addInt("jobs", 0, "Service worker threads (0 = hardware).");
+  Flags.addInt("queue", 64, "Admission queue capacity.");
+  Flags.addString("backpressure", "block",
+                  "Full-queue policy: block | reject | shed-oldest.");
+  Flags.addBool("serial", false,
+                "Run the manifest on this thread without the service "
+                "(the byte-identical baseline).");
+  Flags.addBool("verify-serial", false,
+                "Run through the service, then re-run serially and fail "
+                "unless every job's output and metrics match "
+                "byte-for-byte.");
+  Flags.addString("service-metrics-out", "",
+                  "Write the service's own queue/latency/outcome metrics "
+                  "to this path ('' = off).");
+  return Flags;
+}
+
+//===----------------------------------------------------------------------===//
+// Serial subcommands
+//===----------------------------------------------------------------------===//
+
+/// Runs one job on the calling thread and prints it -- the tail shared by
+/// simulate/replay/tenants.
+int runJobAndPrint(service::Job Job, const FlagSet &Flags,
+                   const std::unique_ptr<telemetry::TelemetrySink> &Sink) {
+  const service::JobOutcome O = service::executeJob(Job, nullptr);
+  if (O.Status != service::JobStatus::Done) {
+    std::fprintf(stderr, "error: %s\n", O.Error.c_str());
+    return ExitRuntime;
+  }
+  std::fputs(renderOutcome(O).c_str(), stdout);
+  return exportTelemetry(Flags, Sink.get()) == 0 ? ExitOk : ExitRuntime;
+}
+
+/// Threads \p Sink into whichever payload \p Job carries.
+void setJobTelemetry(service::Job &Job, telemetry::TelemetrySink *Sink) {
+  if (auto *R = std::get_if<service::ReplayJob>(&Job.Payload)) {
+    R->Config.Telemetry = Sink;
+  } else if (auto *S = std::get_if<service::SweepBatchJob>(&Job.Payload)) {
+    for (SweepJob &Point : S->Jobs)
+      Point.Config.Telemetry = Sink;
+  } else {
+    std::get<service::TenantJob>(Job.Payload).Config.Telemetry = Sink;
+  }
+}
+
+int runSimulate(FlagSet &Flags) {
+  std::string Error;
+  auto Job = replayJobFromSimulateFlags(Flags, &Error);
+  if (!Job) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return ExitUsage;
+  }
+  const auto Sink = makeSinkIfRequested(Flags);
+  Job->Config.Telemetry = Sink.get();
+  return runJobAndPrint(service::Job(std::move(*Job)), Flags, Sink);
+}
+
+int runRecord(FlagSet &Flags) {
   ProgramSpec Spec;
   Spec.NumFunctions = static_cast<uint32_t>(Flags.getInt("functions"));
   Spec.OuterIterations = static_cast<uint32_t>(Flags.getInt("iterations"));
@@ -144,7 +508,7 @@ int cmdRecord(int Argc, char **Argv) {
   if (!writeTrace(Log, Flags.getString("out"))) {
     std::fprintf(stderr, "error: cannot write %s\n",
                  Flags.getString("out").c_str());
-    return 1;
+    return ExitRuntime;
   }
   std::printf("recorded %s guest instructions into %zu superblocks / %s "
               "events -> %s\n",
@@ -152,41 +516,23 @@ int cmdRecord(int Argc, char **Argv) {
               Log.numSuperblocks(),
               formatWithCommas(Log.numAccesses()).c_str(),
               Flags.getString("out").c_str());
-  return exportTelemetry(Flags, Sink.get());
+  return exportTelemetry(Flags, Sink.get()) == 0 ? ExitOk : ExitRuntime;
 }
 
-int cmdReplay(int Argc, char **Argv) {
-  FlagSet Flags("ccsim_cli replay: replay a saved log.");
-  Flags.addString("policy", "8", "flush | fine | <unit count>.");
-  Flags.addDouble("pressure", 4.0, "Cache pressure factor.");
-  addTelemetryFlags(Flags);
-  if (!Flags.parse(Argc, Argv))
-    return 1;
-  if (Flags.positional().empty()) {
-    std::fprintf(stderr, "usage: ccsim_cli replay <file.cct> [flags]\n");
-    return 1;
+int runReplay(FlagSet &Flags) {
+  std::string Error;
+  auto Job = replayJobFromReplayFlags(Flags, &Error);
+  if (!Job) {
+    const bool Usage = Flags.positional().empty();
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return Usage ? ExitUsage : ExitRuntime;
   }
-  const auto T = readTrace(Flags.positional().front());
-  if (!T) {
-    std::fprintf(stderr, "error: cannot read %s\n",
-                 Flags.positional().front().c_str());
-    return 1;
-  }
-  SimConfig Config;
-  Config.PressureFactor = Flags.getDouble("pressure");
   const auto Sink = makeSinkIfRequested(Flags);
-  Config.Telemetry = Sink.get();
-  printSimResult(
-      sim::run(*T, parsePolicy(Flags.getString("policy")), Config));
-  return exportTelemetry(Flags, Sink.get());
+  Job->Config.Telemetry = Sink.get();
+  return runJobAndPrint(service::Job(std::move(*Job)), Flags, Sink);
 }
 
-int cmdFit(int Argc, char **Argv) {
-  FlagSet Flags("ccsim_cli fit: re-derive Equations 2-4.");
-  Flags.addInt("cache-kb", 24, "Mini-DBT cache size in KB.");
-  Flags.addInt("budget", 20000000, "Guest instruction budget.");
-  if (!Flags.parse(Argc, Argv))
-    return 1;
+int runFit(FlagSet &Flags) {
   const Program P = generateProgram(fig9ProgramSpec());
   TranslatorConfig Config;
   Config.CacheBytes = static_cast<uint64_t>(Flags.getInt("cache-kb")) << 10;
@@ -199,158 +545,36 @@ int cmdFit(int Argc, char **Argv) {
               Fits.Miss.Slope, Fits.Miss.Intercept);
   std::printf("unlink:   %.2f * links + %.1f   (paper 296.5x + 95.7)\n",
               Fits.Unlink.Slope, Fits.Unlink.Intercept);
-  return 0;
+  return ExitOk;
 }
 
-int cmdSuite(int Argc, char **Argv) {
-  FlagSet Flags("ccsim_cli suite: Table 1 granularity sweep.");
-  Flags.addDouble("pressure", 2.0, "Cache pressure factor.");
-  Flags.addDouble("scale", 1.0, "Suite size multiplier.");
-  Flags.addInt("seed", static_cast<int64_t>(DefaultSuiteSeed),
-               "Suite seed.");
-  Flags.addInt("jobs", 0,
-               "Worker threads (0 = hardware concurrency, 1 = serial).");
-  addTelemetryFlags(Flags);
-  if (!Flags.parse(Argc, Argv))
-    return 1;
-  SweepEngine Engine =
-      Flags.getDouble("scale") >= 0.999
-          ? SweepEngine::forTable1(
-                static_cast<uint64_t>(Flags.getInt("seed")))
-          : SweepEngine::forScaledTable1(
-                Flags.getDouble("scale"),
-                static_cast<uint64_t>(Flags.getInt("seed")));
-  Engine.setNumThreads(
-      Flags.getInt("jobs") > 0 ? static_cast<unsigned>(Flags.getInt("jobs"))
-                               : ThreadPool::hardwareThreads());
-  SimConfig Config;
+int runSuite(FlagSet &Flags) {
+  std::string Error;
+  EngineCache Engines;
+  auto Job = sweepJobFromSuiteFlags(Flags, Engines, &Error);
+  if (!Job) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return ExitUsage;
+  }
   const auto Sink = makeSinkIfRequested(Flags);
-  Config.Telemetry = Sink.get();
-  // The whole granularity x benchmark grid runs as one parallel batch;
-  // results are bit-identical to the serial sweep.
-  const auto Results = Engine.runParallel(makeSweepGrid(
-      standardGranularitySweep(), {Flags.getDouble("pressure")}, Config));
-  const auto Rel = relativeOverheadPerBenchmarkMean(Results, true);
-  Table Out({"Granularity", "Miss rate", "Evictions", "Rel overhead"});
-  for (size_t I = 0; I < Results.size(); ++I) {
-    Out.beginRow();
-    Out.cell(Results[I].PolicyLabel);
-    Out.cell(formatPercent(Results[I].Combined.missRate(), 3));
-    Out.cell(Results[I].Combined.EvictionInvocations);
-    Out.cell(Rel[I], 3);
-  }
-  std::fputs(Out.render().c_str(), stdout);
-  return exportTelemetry(Flags, Sink.get());
+  service::Job Wrapped(std::move(*Job));
+  setJobTelemetry(Wrapped, Sink.get());
+  return runJobAndPrint(std::move(Wrapped), Flags, Sink);
 }
 
-std::vector<std::string> splitList(const std::string &Text) {
-  std::vector<std::string> Parts;
-  std::string Cur;
-  for (char C : Text) {
-    if (C == ',') {
-      if (!Cur.empty())
-        Parts.push_back(Cur);
-      Cur.clear();
-    } else {
-      Cur.push_back(C);
-    }
+int runTenants(FlagSet &Flags) {
+  std::string Error;
+  auto Job = tenantJobFromTenantsFlags(Flags, &Error);
+  if (!Job) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return ExitUsage;
   }
-  if (!Cur.empty())
-    Parts.push_back(Cur);
-  return Parts;
-}
-
-int cmdTenants(int Argc, char **Argv) {
-  FlagSet Flags("ccsim_cli tenants: multi-tenant shared-cache simulation.");
-  Flags.addString("tenants", "gzip,vpr,crafty",
-                  "Comma-separated Table 1 benchmark names.");
-  Flags.addString("mode", "shared", "shared | static | quota.");
-  Flags.addString("policy", "8", "flush | fine | <unit count>.");
-  Flags.addString("schedule", "rr", "Interleaving: rr | weighted.");
-  Flags.addDouble("pressure", 2.0,
-                  "Pressure (capacity = sum maxCache / pressure).");
-  Flags.addDouble("scale", 1.0, "Workload size multiplier.");
-  Flags.addInt("seed", 42, "Trace seed.");
-  addTelemetryFlags(Flags);
-  if (!Flags.parse(Argc, Argv))
-    return 1;
-
-  std::vector<Trace> Traces;
-  for (const std::string &Name : splitList(Flags.getString("tenants"))) {
-    const WorkloadModel *M = findWorkload(Name);
-    if (!M) {
-      std::fprintf(stderr, "error: unknown benchmark '%s'\n", Name.c_str());
-      return 1;
-    }
-    WorkloadModel Chosen = *M;
-    if (Flags.getDouble("scale") < 0.999)
-      Chosen = scaledWorkload(*M, Flags.getDouble("scale"));
-    Traces.push_back(TraceGenerator::generateBenchmark(
-        Chosen, static_cast<uint64_t>(Flags.getInt("seed"))));
-  }
-  if (Traces.size() < 2) {
-    std::fprintf(stderr, "error: need at least two tenants\n");
-    return 1;
-  }
-
-  MultiTenantConfig Config;
-  Config.Granularity = parsePolicy(Flags.getString("policy"));
-  const std::string Mode = Flags.getString("mode");
-  if (Mode == "static")
-    Config.Mode = PartitionMode::StaticPartition;
-  else if (Mode == "quota")
-    Config.Mode = PartitionMode::UnitQuota;
-  else if (Mode == "shared")
-    Config.Mode = PartitionMode::Shared;
-  else {
-    std::fprintf(stderr, "error: unknown mode '%s' (shared|static|quota)\n",
-                 Mode.c_str());
-    return 1;
-  }
-  const std::string Schedule = Flags.getString("schedule");
-  if (Schedule == "weighted")
-    Config.Schedule = InterleaveKind::Weighted;
-  else if (Schedule == "rr" || Schedule == "round-robin")
-    Config.Schedule = InterleaveKind::RoundRobin;
-  else {
-    std::fprintf(stderr, "error: unknown schedule '%s' (rr|weighted)\n",
-                 Schedule.c_str());
-    return 1;
-  }
-  Config.PressureFactor = Flags.getDouble("pressure");
   const auto Sink = makeSinkIfRequested(Flags);
-  Config.Telemetry = Sink.get();
-
-  MultiTenantSimulator Sim(Traces, Config);
-  const MultiTenantResult R = Sim.run();
-  std::printf("%s / %s over %zu tenants (capacity %s, schedule %s)\n",
-              R.PolicyLabel.c_str(), R.ModeLabel.c_str(), R.Tenants.size(),
-              formatBytes(R.TotalCapacityBytes).c_str(),
-              R.ScheduleLabel.c_str());
-  Table Out({"Tenant", "Miss rate", "Lost blocks", "Lost to others",
-             "Overhead (instr)"});
-  for (const TenantResult &TR : R.Tenants) {
-    Out.beginRow();
-    Out.cell(TR.Name);
-    Out.cell(formatPercent(TR.missRate(), 3));
-    Out.cell(TR.BlocksEvicted);
-    Out.cell(TR.BlocksLostToOthers);
-    Out.cell(TR.totalOverhead(true), 0);
-  }
-  Out.beginRow();
-  Out.cell("ALL");
-  Out.cell(formatPercent(R.aggregateMissRate(), 3));
-  Out.cell(R.Global.EvictedBlocks);
-  uint64_t Lost = 0;
-  for (size_t T = 0; T < R.Tenants.size(); ++T)
-    Lost += R.Tenants[T].BlocksLostToOthers;
-  Out.cell(Lost);
-  Out.cell(R.Global.totalOverhead(true), 0);
-  std::fputs(Out.render().c_str(), stdout);
-  return exportTelemetry(Flags, Sink.get());
+  Job->Config.Telemetry = Sink.get();
+  return runJobAndPrint(service::Job(std::move(*Job)), Flags, Sink);
 }
 
-/// The --dbt arm of cmdAudit: run the mini-DBT (two-tier) with the deep
+/// The --dbt arm of runAudit: run the mini-DBT (two-tier) with the deep
 /// auditor armed on both engines, so every install re-validates placement,
 /// chaining, stats, and the dispatch.* table-vs-residency rules.
 int auditTranslatorRun(const FlagSet &Flags) {
@@ -363,11 +587,16 @@ int auditTranslatorRun(const FlagSet &Flags) {
   const Program P = generateProgram(Spec);
 
   for (const std::string &PolSpec : splitList(Flags.getString("policies"))) {
+    const auto Policy = parsePolicySpec(PolSpec);
+    if (!Policy) {
+      std::fprintf(stderr, "error: bad policy '%s'\n", PolSpec.c_str());
+      return ExitUsage;
+    }
     TranslatorConfig Config;
     Config.CacheBytes = static_cast<uint64_t>(Flags.getInt("cache-kb"))
                         << 10;
     Config.BBCacheBytes = Config.CacheBytes / 2;
-    Config.Policy = parsePolicy(PolSpec);
+    Config.Policy = *Policy;
     Config.UseBasicBlockCache = true; // Exercise both tier engines.
     Translator T(P, Config);
 
@@ -391,7 +620,7 @@ int auditTranslatorRun(const FlagSet &Flags) {
                    PolSpec.c_str(), Final.render().c_str());
     }
     if (Violations > 0)
-      return 1;
+      return ExitRuntime;
     std::printf("policy %-8s %s guest instrs, %llu fragments, %llu "
                 "evictions (+%llu BB) -- audit clean\n",
                 T.engine().policy().name().c_str(),
@@ -402,30 +631,10 @@ int auditTranslatorRun(const FlagSet &Flags) {
   }
   std::printf("mini-DBT: every install audited on both tiers, all "
               "invariants held\n");
-  return 0;
+  return ExitOk;
 }
 
-int cmdAudit(int Argc, char **Argv) {
-  FlagSet Flags("ccsim_cli audit: replay a trace with the structural "
-                "auditor checking every cache mutation.");
-  Flags.addString("benchmark", "crafty",
-                  "Table 1 benchmark (ignored when a .cct file is given).");
-  Flags.addString("policies", "flush,8,fine",
-                  "Comma-separated policies to audit (flush | fine | "
-                  "<unit count>).");
-  Flags.addDouble("pressure", 8.0, "Cache pressure factor.");
-  Flags.addDouble("scale", 0.2, "Workload size multiplier.");
-  Flags.addInt("seed", 42, "Trace seed.");
-  Flags.addBool("dbt", false,
-                "Audit the execution-driven path instead: run the "
-                "mini-DBT (two-tier) with the auditor armed on every "
-                "install.");
-  Flags.addInt("functions", 32, "Guest call-graph size (--dbt).");
-  Flags.addInt("iterations", 600, "Main loop trip count (--dbt).");
-  Flags.addInt("cache-kb", 2, "Code cache size in KB (--dbt).");
-  if (!Flags.parse(Argc, Argv))
-    return 1;
-
+int runAudit(FlagSet &Flags) {
   if (Flags.getBool("dbt"))
     return auditTranslatorRun(Flags);
 
@@ -435,29 +644,35 @@ int cmdAudit(int Argc, char **Argv) {
     if (!Loaded) {
       std::fprintf(stderr, "error: cannot read %s\n",
                    Flags.positional().front().c_str());
-      return 1;
+      return ExitRuntime;
     }
     T = *Loaded;
   } else {
-    const WorkloadModel *M = findWorkload(Flags.getString("benchmark"));
-    if (!M) {
-      std::fprintf(stderr, "error: unknown benchmark\n");
-      return 1;
+    std::string Error;
+    auto Generated = workloadTraceFromFlags(Flags, &Error);
+    if (!Generated) {
+      std::fprintf(stderr, "error: %s\n", Error.c_str());
+      return ExitUsage;
     }
-    WorkloadModel Chosen = *M;
-    if (Flags.getDouble("scale") < 0.999)
-      Chosen = scaledWorkload(*M, Flags.getDouble("scale"));
-    T = TraceGenerator::generateBenchmark(
-        Chosen, static_cast<uint64_t>(Flags.getInt("seed")));
+    T = std::move(*Generated);
   }
 
-  SimConfig Capacity;
-  Capacity.PressureFactor = Flags.getDouble("pressure");
+  std::string Error;
+  const auto Capacity = simConfigFromFlags(Flags, &Error);
+  if (!Capacity) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return ExitUsage;
+  }
 
   for (const std::string &Spec : splitList(Flags.getString("policies"))) {
+    const auto Policy = parsePolicySpec(Spec);
+    if (!Policy) {
+      std::fprintf(stderr, "error: bad policy '%s'\n", Spec.c_str());
+      return ExitUsage;
+    }
     CacheManagerConfig MC;
-    MC.CapacityBytes = sim::capacityFor(T, Capacity);
-    CacheManager Manager(MC, makePolicy(parsePolicy(Spec)));
+    MC.CapacityBytes = sim::capacityFor(T, *Capacity);
+    CacheManager Manager(MC, makePolicy(*Policy));
 
     size_t Violations = 0;
     check::ParanoiaOptions Opts;
@@ -473,7 +688,7 @@ int cmdAudit(int Argc, char **Argv) {
     for (SuperblockId Id : T.Accesses) {
       Manager.access(T.recordFor(Id));
       if (Violations > 0)
-        return 1; // First corrupt state wins; the report is out already.
+        return ExitRuntime; // First corrupt state wins; report is out.
     }
     std::printf("policy %-8s %s accesses, %s evictions, %s links peak "
                 "-- audit clean\n",
@@ -484,46 +699,413 @@ int cmdAudit(int Argc, char **Argv) {
   }
   std::printf("trace %s: every mutation audited, all invariants held\n",
               T.Name.c_str());
-  return 0;
+  return ExitOk;
 }
 
-void usage() {
-  std::fputs("ccsim_cli <simulate|record|replay|fit|suite|tenants|audit> "
-             "[flags]\n"
-             "  simulate  trace-driven simulation of a Table 1 benchmark\n"
-             "  record    run the mini-DBT, save its superblock log\n"
-             "  replay    replay a saved log through the simulator\n"
-             "  fit       re-derive the paper's overhead equations\n"
-             "  suite     granularity sweep over the whole suite (--jobs)\n"
-             "  tenants   multi-tenant shared-cache simulation\n"
-             "  audit     replay under the paranoid structural auditor\n"
-             "            (--dbt: audit a mini-DBT run instead)\n",
-             stderr);
+//===----------------------------------------------------------------------===//
+// batch: the asynchronous SimService front-end
+//===----------------------------------------------------------------------===//
+
+/// One parsed manifest line: the job it means (telemetry unset), its
+/// scheduling options, and the per-job outputs it requested.
+struct JobRecipe {
+  size_t LineNo = 0;
+  std::string Verb;
+  std::string Text;
+  service::Job Proto;
+  int64_t DeadlineMs = 0;
+  std::string MetricsOut;
+  std::string TraceOut;
+  std::string TraceFormat;
+};
+
+/// Scheduling and output flags every manifest line accepts on top of its
+/// subcommand's own flags.
+void addManifestLineFlags(FlagSet &Flags) {
+  Flags.addInt("priority", 0,
+               "Service scheduling priority (higher runs first).");
+  Flags.addInt("deadline-ms", 0,
+               "Cancel the job this many ms after submission (0 = none).");
+  Flags.addString("label", "",
+                  "Telemetry label (default: line-<n> in batch mode).");
+}
+
+std::optional<std::vector<JobRecipe>>
+parseManifest(const std::string &Path, EngineCache &Engines,
+              std::string *Error) {
+  std::ifstream In(Path);
+  if (!In) {
+    *Error = "cannot read manifest " + Path;
+    return std::nullopt;
+  }
+  std::vector<JobRecipe> Recipes;
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    std::istringstream Tok(Line);
+    std::vector<std::string> Tokens;
+    std::string T;
+    while (Tok >> T)
+      Tokens.push_back(T);
+    if (Tokens.empty() || Tokens.front()[0] == '#')
+      continue;
+
+    char Prefix[48];
+    std::snprintf(Prefix, sizeof(Prefix), "manifest line %zu: ", LineNo);
+    const std::string &Verb = Tokens.front();
+    FlagSet Flags =
+        Verb == "simulate" ? makeSimulateFlags()
+        : Verb == "replay" ? makeReplayFlags()
+        : Verb == "suite"  ? makeSuiteFlags()
+        : Verb == "tenants"
+            ? makeTenantsFlags()
+            : FlagSet("ccsim_cli batch: unknown manifest verb.");
+    if (Verb != "simulate" && Verb != "replay" && Verb != "suite" &&
+        Verb != "tenants") {
+      *Error = Prefix + ("unknown verb '" + Verb +
+                         "' (simulate|replay|suite|tenants)");
+      return std::nullopt;
+    }
+    addManifestLineFlags(Flags);
+    std::vector<const char *> Argv;
+    Argv.reserve(Tokens.size());
+    for (const std::string &Arg : Tokens)
+      Argv.push_back(Arg.c_str());
+    if (!Flags.parse(static_cast<int>(Argv.size()), Argv.data())) {
+      *Error = Prefix + std::string("bad flags (see above)");
+      return std::nullopt;
+    }
+
+    JobRecipe R;
+    R.LineNo = LineNo;
+    R.Verb = Verb;
+    R.Text = Line;
+    std::string BuildError;
+    if (Verb == "simulate") {
+      auto J = replayJobFromSimulateFlags(Flags, &BuildError);
+      if (!J) {
+        *Error = Prefix + BuildError;
+        return std::nullopt;
+      }
+      R.Proto = service::Job(std::move(*J));
+    } else if (Verb == "replay") {
+      auto J = replayJobFromReplayFlags(Flags, &BuildError);
+      if (!J) {
+        *Error = Prefix + BuildError;
+        return std::nullopt;
+      }
+      R.Proto = service::Job(std::move(*J));
+    } else if (Verb == "suite") {
+      auto J = sweepJobFromSuiteFlags(Flags, Engines, &BuildError);
+      if (!J) {
+        *Error = Prefix + BuildError;
+        return std::nullopt;
+      }
+      R.Proto = service::Job(std::move(*J));
+    } else {
+      auto J = tenantJobFromTenantsFlags(Flags, &BuildError);
+      if (!J) {
+        *Error = Prefix + BuildError;
+        return std::nullopt;
+      }
+      R.Proto = service::Job(std::move(*J));
+    }
+    R.Proto.Options.Priority =
+        static_cast<int>(Flags.getInt("priority"));
+    R.Proto.Options.Label = Flags.getString("label");
+    if (R.Proto.Options.Label.empty())
+      R.Proto.Options.Label = "line-" + std::to_string(LineNo);
+    R.DeadlineMs = Flags.getInt("deadline-ms");
+    R.MetricsOut = Flags.getString("metrics-out");
+    R.TraceOut = Flags.getString("trace-out");
+    R.TraceFormat = Flags.getString("trace-format");
+    Recipes.push_back(std::move(R));
+  }
+  if (Recipes.empty()) {
+    *Error = "manifest " + Path + " holds no jobs";
+    return std::nullopt;
+  }
+  return Recipes;
+}
+
+/// The per-job report `batch` prints, in manifest order. A pure function
+/// of (recipe, outcome), so service and serial execution render identical
+/// bytes for identical outcomes.
+std::string renderJobReport(size_t Index, const JobRecipe &R,
+                            const service::JobOutcome &O) {
+  std::string Out;
+  appendf(Out, "=== job %zu [%s] %s -> %s\n", Index + 1,
+          R.Proto.Options.Label.c_str(), R.Verb.c_str(),
+          service::jobStatusName(O.Status));
+  if (O.Status == service::JobStatus::Done)
+    Out += renderOutcome(O);
+  else
+    appendf(Out, "error: %s\n", O.Error.c_str());
+  return Out;
+}
+
+/// Writes the per-job outputs a manifest line requested.
+int writeJobOutputs(const JobRecipe &R,
+                    const telemetry::TelemetrySink &Sink) {
+  if (!R.TraceOut.empty()) {
+    const auto Format = telemetry::parseTraceFormat(R.TraceFormat);
+    if (!Format) {
+      std::fprintf(stderr,
+                   "error: unknown trace format '%s' (chrome|jsonl|csv)\n",
+                   R.TraceFormat.c_str());
+      return ExitRuntime;
+    }
+    if (!telemetry::writeTraceFile(Sink.Tracer, R.TraceOut, *Format)) {
+      std::fprintf(stderr, "error: cannot write %s\n", R.TraceOut.c_str());
+      return ExitRuntime;
+    }
+  }
+  if (!R.MetricsOut.empty() &&
+      !telemetry::writeMetricsFile(Sink.Metrics, R.MetricsOut)) {
+    std::fprintf(stderr, "error: cannot write %s\n", R.MetricsOut.c_str());
+    return ExitRuntime;
+  }
+  return ExitOk;
+}
+
+/// One job's authoritative result: the printed report plus the canonical
+/// metrics rendering (what --verify-serial compares).
+struct JobRun {
+  service::JobStatus Status = service::JobStatus::Queued;
+  std::string Report;
+  std::string MetricsCsv;
+};
+
+JobRun runRecipeSerial(size_t Index, const JobRecipe &R) {
+  telemetry::TelemetrySink Sink(1 << 20);
+  service::Job Job = R.Proto;
+  setJobTelemetry(Job, &Sink);
+  const service::JobOutcome O = service::executeJob(Job, nullptr);
+  JobRun Run;
+  Run.Status = O.Status;
+  Run.Report = renderJobReport(Index, R, O);
+  Run.MetricsCsv = telemetry::renderMetricsCsv(Sink.Metrics);
+  return Run;
+}
+
+int runBatch(FlagSet &Flags) {
+  if (Flags.positional().empty()) {
+    std::fprintf(stderr,
+                 "error: batch needs a manifest: batch <jobs.mf> [flags]\n");
+    return ExitUsage;
+  }
+  const auto Pressure =
+      service::parseBackpressurePolicy(Flags.getString("backpressure"));
+  if (!Pressure) {
+    std::fprintf(stderr,
+                 "error: unknown backpressure policy '%s' "
+                 "(block|reject|shed-oldest)\n",
+                 Flags.getString("backpressure").c_str());
+    return ExitUsage;
+  }
+
+  EngineCache Engines;
+  std::string Error;
+  const auto Recipes =
+      parseManifest(Flags.positional().front(), Engines, &Error);
+  if (!Recipes) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return ExitUsage;
+  }
+
+  int Exit = ExitOk;
+  std::vector<JobRun> ServiceRuns;
+
+  if (Flags.getBool("serial")) {
+    for (size_t I = 0; I < Recipes->size(); ++I) {
+      telemetry::TelemetrySink Sink(1 << 20);
+      service::Job Job = (*Recipes)[I].Proto;
+      setJobTelemetry(Job, &Sink);
+      const service::JobOutcome O = service::executeJob(Job, nullptr);
+      std::fputs(renderJobReport(I, (*Recipes)[I], O).c_str(), stdout);
+      if (O.Status != service::JobStatus::Done)
+        Exit = ExitRuntime;
+      if (writeJobOutputs((*Recipes)[I], Sink) != ExitOk)
+        Exit = ExitRuntime;
+    }
+    return Exit;
+  }
+
+  telemetry::TelemetrySink ServiceSink(1 << 20);
+  service::SimServiceConfig SC;
+  SC.Threads = Flags.getInt("jobs") > 0
+                   ? static_cast<unsigned>(Flags.getInt("jobs"))
+                   : 0;
+  SC.QueueCapacity = static_cast<size_t>(std::max<int64_t>(
+      1, Flags.getInt("queue")));
+  SC.Pressure = *Pressure;
+  // Pausing lets priorities order the whole manifest deterministically,
+  // but a paused Block-policy service would deadlock the submitter once
+  // the queue fills; fall back to free-running admission in that case.
+  SC.StartPaused = *Pressure != service::BackpressurePolicy::Block ||
+                   Recipes->size() <= SC.QueueCapacity;
+  SC.Telemetry = &ServiceSink;
+
+  std::vector<std::unique_ptr<telemetry::TelemetrySink>> Sinks;
+  std::vector<service::JobHandle> Handles;
+  size_t StatusCounts[8] = {};
+  {
+    service::SimService Service(SC);
+    for (const JobRecipe &R : *Recipes) {
+      Sinks.push_back(std::make_unique<telemetry::TelemetrySink>(1 << 20));
+      service::Job Job = R.Proto;
+      setJobTelemetry(Job, Sinks.back().get());
+      if (R.DeadlineMs > 0)
+        Job.Options.withDeadlineIn(std::chrono::milliseconds(R.DeadlineMs));
+      Handles.push_back(Service.submit(std::move(Job)));
+    }
+    Service.start();
+    for (size_t I = 0; I < Handles.size(); ++I) {
+      const service::JobOutcome &O = Handles[I].wait();
+      JobRun Run;
+      Run.Status = O.Status;
+      Run.Report = renderJobReport(I, (*Recipes)[I], O);
+      Run.MetricsCsv = telemetry::renderMetricsCsv(Sinks[I]->Metrics);
+      std::fputs(Run.Report.c_str(), stdout);
+      ++StatusCounts[static_cast<size_t>(O.Status)];
+      if (O.Status != service::JobStatus::Done)
+        Exit = ExitRuntime;
+      if (writeJobOutputs((*Recipes)[I], *Sinks[I]) != ExitOk)
+        Exit = ExitRuntime;
+      ServiceRuns.push_back(std::move(Run));
+    }
+    Service.drain();
+  }
+
+  std::printf("service: %zu jobs over %s backpressure -- ",
+              Recipes->size(),
+              service::backpressurePolicyName(*Pressure));
+  for (size_t S = 0; S < 8; ++S)
+    if (StatusCounts[S] > 0)
+      std::printf("%zu %s ", StatusCounts[S],
+                  service::jobStatusName(
+                      static_cast<service::JobStatus>(S)));
+  std::printf("(queue peak %.0f)\n",
+              ServiceSink.Metrics.gaugeValue("service_queue_depth_peak"));
+
+  const std::string ServiceMetricsOut =
+      Flags.getString("service-metrics-out");
+  if (!ServiceMetricsOut.empty()) {
+    if (!telemetry::writeMetricsFile(ServiceSink.Metrics,
+                                     ServiceMetricsOut)) {
+      std::fprintf(stderr, "error: cannot write %s\n",
+                   ServiceMetricsOut.c_str());
+      Exit = ExitRuntime;
+    } else {
+      std::printf("service metrics: %zu series -> %s\n",
+                  ServiceSink.Metrics.size(), ServiceMetricsOut.c_str());
+    }
+  }
+
+  if (Flags.getBool("verify-serial")) {
+    size_t Mismatches = 0;
+    for (size_t I = 0; I < Recipes->size(); ++I) {
+      const JobRun Serial = runRecipeSerial(I, (*Recipes)[I]);
+      if (Serial.Report != ServiceRuns[I].Report ||
+          Serial.MetricsCsv != ServiceRuns[I].MetricsCsv) {
+        ++Mismatches;
+        std::fprintf(stderr,
+                     "verify: job %zu [%s] diverged from serial "
+                     "execution (service status %s, serial status %s)\n",
+                     I + 1, (*Recipes)[I].Proto.Options.Label.c_str(),
+                     service::jobStatusName(ServiceRuns[I].Status),
+                     service::jobStatusName(Serial.Status));
+      }
+    }
+    if (Mismatches > 0) {
+      std::fprintf(stderr, "verify: %zu of %zu jobs diverged\n", Mismatches,
+                   Recipes->size());
+      return ExitRuntime;
+    }
+    std::printf("verify: all %zu jobs byte-identical to serial execution\n",
+                Recipes->size());
+  }
+  return Exit;
+}
+
+//===----------------------------------------------------------------------===//
+// Dispatch
+//===----------------------------------------------------------------------===//
+
+struct SubcommandDef {
+  const char *Name;
+  const char *Brief;
+  FlagSet (*Make)();
+  int (*Run)(FlagSet &);
+};
+
+constexpr SubcommandDef Subcommands[] = {
+    {"simulate", "trace-driven simulation of a Table 1 benchmark",
+     makeSimulateFlags, runSimulate},
+    {"record", "run the mini-DBT, save its superblock log", makeRecordFlags,
+     runRecord},
+    {"replay", "replay a saved log through the simulator", makeReplayFlags,
+     runReplay},
+    {"fit", "re-derive the paper's overhead equations", makeFitFlags,
+     runFit},
+    {"suite", "granularity sweep over the whole suite (--jobs)",
+     makeSuiteFlags, runSuite},
+    {"tenants", "multi-tenant shared-cache simulation", makeTenantsFlags,
+     runTenants},
+    {"audit",
+     "replay under the paranoid structural auditor (--dbt: audit a "
+     "mini-DBT run instead)",
+     makeAuditFlags, runAudit},
+    {"batch", "run a job manifest through the async SimService",
+     makeBatchFlags, runBatch},
+};
+
+void usage(std::FILE *Out) {
+  std::fputs("ccsim_cli <subcommand> [flags]\n\nsubcommands:\n", Out);
+  for (const SubcommandDef &Def : Subcommands)
+    std::fprintf(Out, "  %-9s %s\n", Def.Name, Def.Brief);
+  std::fputs("  help      help <subcommand>: full flag reference\n"
+             "\nexit codes: 0 success, 1 usage error, 2 runtime failure "
+             "or audit violation\n",
+             Out);
+}
+
+int runHelp(int Argc, char **Argv) {
+  if (Argc < 2) {
+    usage(stdout);
+    return ExitOk;
+  }
+  for (const SubcommandDef &Def : Subcommands)
+    if (std::strcmp(Argv[1], Def.Name) == 0) {
+      std::fputs(Def.Make().usage().c_str(), stdout);
+      return ExitOk;
+    }
+  std::fprintf(stderr, "error: unknown subcommand '%s'\n", Argv[1]);
+  usage(stderr);
+  return ExitUsage;
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
   if (Argc < 2) {
-    usage();
-    return 1;
+    usage(stderr);
+    return ExitUsage;
   }
   const char *Cmd = Argv[1];
-  // Shift argv so each subcommand's FlagSet sees its own flags.
-  if (std::strcmp(Cmd, "simulate") == 0)
-    return cmdSimulate(Argc - 1, Argv + 1);
-  if (std::strcmp(Cmd, "record") == 0)
-    return cmdRecord(Argc - 1, Argv + 1);
-  if (std::strcmp(Cmd, "replay") == 0)
-    return cmdReplay(Argc - 1, Argv + 1);
-  if (std::strcmp(Cmd, "fit") == 0)
-    return cmdFit(Argc - 1, Argv + 1);
-  if (std::strcmp(Cmd, "suite") == 0)
-    return cmdSuite(Argc - 1, Argv + 1);
-  if (std::strcmp(Cmd, "tenants") == 0)
-    return cmdTenants(Argc - 1, Argv + 1);
-  if (std::strcmp(Cmd, "audit") == 0)
-    return cmdAudit(Argc - 1, Argv + 1);
-  usage();
-  return 1;
+  if (std::strcmp(Cmd, "help") == 0 || std::strcmp(Cmd, "--help") == 0 ||
+      std::strcmp(Cmd, "-h") == 0)
+    return runHelp(Argc - 1, Argv + 1);
+  for (const SubcommandDef &Def : Subcommands)
+    if (std::strcmp(Cmd, Def.Name) == 0) {
+      // Shift argv so each subcommand's FlagSet sees its own flags.
+      FlagSet Flags = Def.Make();
+      if (!Flags.parse(Argc - 1, Argv + 1))
+        return ExitUsage;
+      return Def.Run(Flags);
+    }
+  std::fprintf(stderr, "error: unknown subcommand '%s'\n", Cmd);
+  usage(stderr);
+  return ExitUsage;
 }

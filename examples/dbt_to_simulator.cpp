@@ -24,6 +24,8 @@
 #include "support/Table.h"
 #include "trace/TraceIO.h"
 
+#include "SimFlags.h"
+
 #include <cstdio>
 
 using namespace ccsim;
@@ -31,7 +33,7 @@ using namespace ccsim;
 int main(int Argc, char **Argv) {
   FlagSet Flags("Record a mini-DBT run and replay it through the trace "
                 "simulator at every granularity.");
-  Flags.addDouble("pressure", 4.0, "Replay cache pressure factor.");
+  addSimConfigFlags(Flags, 4.0);
   Flags.addInt("iterations", 2000, "Guest main-loop trip count.");
   Flags.addString("save", "", "Optional path to save the recorded log.");
   if (!Flags.parse(Argc, Argv))
@@ -70,8 +72,13 @@ int main(int Argc, char **Argv) {
     std::printf("saved log to %s\n\n", SavePath.c_str());
 
   // 3. Drive the simulator from the log.
-  SimConfig Sim;
-  Sim.PressureFactor = Flags.getDouble("pressure");
+  std::string Error;
+  const auto Parsed = simConfigFromFlags(Flags, &Error);
+  if (!Parsed) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  const SimConfig Sim = *Parsed;
   std::printf("replaying through the cache simulator at pressure %.0f "
               "(cache %s):\n",
               Sim.PressureFactor,

@@ -16,6 +16,7 @@
 #include "support/Table.h"
 #include "trace/TraceGenerator.h"
 
+#include "SimFlags.h"
 #include "TelemetryFlags.h"
 
 #include <cstdio>
@@ -26,35 +27,30 @@ using namespace ccsim;
 int main(int Argc, char **Argv) {
   FlagSet Flags("Sweep eviction granularities for one benchmark and "
                 "recommend a policy.");
-  Flags.addString("benchmark", "crafty",
-                  "Table 1 benchmark name (gzip, gcc, word, ...).");
-  Flags.addDouble("pressure", 10.0,
-                  "Cache pressure factor (cache = maxCache / pressure).");
-  Flags.addDouble("scale", 1.0, "Workload size multiplier.");
-  Flags.addInt("seed", 42, "Trace generation seed.");
+  addWorkloadFlags(Flags);
+  addSimConfigFlags(Flags, 10.0);
   Flags.addInt("jobs", 0,
                "Worker threads (0 = hardware concurrency, 1 = serial).");
   addTelemetryFlags(Flags);
   if (!Flags.parse(Argc, Argv))
     return 1;
 
-  const WorkloadModel *Model = findWorkload(Flags.getString("benchmark"));
+  std::string Error;
+  const auto Model = workloadFromFlags(Flags, &Error);
   if (!Model) {
-    std::fprintf(stderr, "error: unknown benchmark '%s'; pick one of:\n",
-                 Flags.getString("benchmark").c_str());
-    for (const WorkloadModel &M : table1Workloads())
-      std::fprintf(stderr, "  %s\n", M.Name.c_str());
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
     return 1;
   }
-
-  WorkloadModel Chosen = *Model;
-  if (Flags.getDouble("scale") < 0.999)
-    Chosen = scaledWorkload(*Model, Flags.getDouble("scale"));
+  const WorkloadModel &Chosen = *Model;
   const Trace T = TraceGenerator::generateBenchmark(
       Chosen, static_cast<uint64_t>(Flags.getInt("seed")));
 
-  SimConfig Config;
-  Config.PressureFactor = Flags.getDouble("pressure");
+  auto Parsed = simConfigFromFlags(Flags, &Error);
+  if (!Parsed) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
+  SimConfig Config = *Parsed;
   const auto Sink = makeSinkIfRequested(Flags);
   Config.Telemetry = Sink.get();
   std::printf("benchmark %s: %zu superblocks, maxCache %s, cache budget "

@@ -8,8 +8,37 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 
 using namespace ccsim;
+
+std::string MultiTenantConfig::validate() const {
+  if (ExplicitCapacityBytes == 0 && PressureFactor < 1.0) {
+    char Buf[128];
+    std::snprintf(Buf, sizeof(Buf),
+                  "pressure factor %g below 1 would be an over-provisioned "
+                  "cache (set an explicit capacity instead)",
+                  PressureFactor);
+    return Buf;
+  }
+  if (Granularity.Kind == GranularitySpec::KindType::Units &&
+      Granularity.Units < 1)
+    return "unit granularity needs at least one unit";
+  for (size_t I = 0; I < Tenants.size(); ++I)
+    if (!(Tenants[I].Weight > 0.0)) {
+      char Buf[96];
+      std::snprintf(Buf, sizeof(Buf), "tenant %zu weight %g must be positive",
+                    I, Tenants[I].Weight);
+      return Buf;
+    }
+  if (Costs.EvictionPerByte < 0.0 || Costs.MissPerByte < 0.0 ||
+      Costs.UnlinkPerLink < 0.0 || Costs.EvictionBase < 0.0 ||
+      Costs.MissBase < 0.0 || Costs.UnlinkBase < 0.0)
+    return "cost model coefficients must be nonnegative";
+  if (CancelCheckInterval == 0)
+    return "cancellation check interval must be at least 1 access";
+  return {};
+}
 
 uint64_t MultiTenantResult::blocksLostToOthers(size_t Victim) const {
   const size_t K = Tenants.size();
@@ -232,7 +261,24 @@ MultiTenantResult MultiTenantSimulator::run() {
     if (!Traces[T].Accesses.empty())
       ++LiveCount;
 
+  // Cancellation at interleave-chunk granularity, mirroring sim::run.
+  uint64_t StepsUntilCheck = std::max<uint32_t>(1, Config.CancelCheckInterval);
+  auto CheckCancel = [&]() {
+    if (!Config.Cancel)
+      return;
+    if (--StepsUntilCheck > 0)
+      return;
+    StepsUntilCheck = std::max<uint32_t>(1, Config.CancelCheckInterval);
+    if (const char *Reason = Config.Cancel->stopReason())
+      throw ReplayCancelled(
+          "multi-tenant replay stopped mid-interleave: " +
+              std::string(Reason),
+          Config.Cancel->deadlineExpired() &&
+              !Config.Cancel->cancelRequested());
+  };
+
   auto Step = [&](size_t T) {
+    CheckCancel();
     const Trace &Tr = Traces[T];
     const SuperblockId Local = Tr.Accesses[Cursor[T]++];
     const SuperblockDef &Def = Tr.Blocks[Local];

@@ -27,6 +27,7 @@
 #define CCSIM_CONCURRENT_MULTITENANTSIMULATOR_H
 
 #include "core/CacheManager.h"
+#include "support/Cancellation.h"
 #include "trace/Trace.h"
 
 #include <string>
@@ -86,6 +87,68 @@ struct MultiTenantConfig {
   /// replay (check::armAuditor). Defaults to Full in CCSIM_PARANOID
   /// builds, Off otherwise; violations print their report and abort.
   AuditLevel Audit = defaultAuditLevel();
+
+  /// Optional cooperative cancellation. When set, run() polls the token
+  /// every CancelCheckInterval interleaved accesses and throws
+  /// ReplayCancelled when it asks to stop.
+  CancelToken *Cancel = nullptr;
+
+  /// Interleaved accesses between cancellation checks.
+  uint32_t CancelCheckInterval = 1024;
+
+  // Fluent setters, mirroring SimConfig's.
+  MultiTenantConfig &withMode(PartitionMode M) {
+    Mode = M;
+    return *this;
+  }
+  MultiTenantConfig &withSchedule(InterleaveKind K) {
+    Schedule = K;
+    return *this;
+  }
+  MultiTenantConfig &withScheduleSeed(uint64_t Seed) {
+    ScheduleSeed = Seed;
+    return *this;
+  }
+  MultiTenantConfig &withGranularity(const GranularitySpec &Spec) {
+    Granularity = Spec;
+    return *this;
+  }
+  MultiTenantConfig &withPressure(double Factor) {
+    PressureFactor = Factor;
+    return *this;
+  }
+  MultiTenantConfig &withCapacityBytes(uint64_t Bytes) {
+    ExplicitCapacityBytes = Bytes;
+    return *this;
+  }
+  MultiTenantConfig &withCosts(const CostModel &Model) {
+    Costs = Model;
+    return *this;
+  }
+  MultiTenantConfig &withChaining(bool Enable) {
+    EnableChaining = Enable;
+    return *this;
+  }
+  MultiTenantConfig &withTenants(std::vector<TenantSpec> Specs) {
+    Tenants = std::move(Specs);
+    return *this;
+  }
+  MultiTenantConfig &withTelemetry(telemetry::TelemetrySink *Sink) {
+    Telemetry = Sink;
+    return *this;
+  }
+  MultiTenantConfig &withAudit(AuditLevel Level) {
+    Audit = Level;
+    return *this;
+  }
+  MultiTenantConfig &withCancel(CancelToken *Token) {
+    Cancel = Token;
+    return *this;
+  }
+
+  /// Empty when the config is usable, else a descriptive error (same
+  /// contract as SimConfig::validate).
+  std::string validate() const;
 };
 
 /// Counters attributed to one tenant. Access-side counters (accesses,

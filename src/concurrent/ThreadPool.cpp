@@ -15,10 +15,11 @@ unsigned ThreadPool::hardwareThreads() {
   return HW ? HW : 4;
 }
 
-ThreadPool::ThreadPool(unsigned NumThreads)
+ThreadPool::ThreadPool(unsigned NumThreads, bool AlwaysSpawnWorkers)
     : NumThreads(NumThreads ? NumThreads : hardwareThreads()) {
-  // A one-thread pool runs everything inline; no worker needed.
-  if (this->NumThreads <= 1)
+  // A one-thread pool runs everything inline; no worker needed — unless
+  // the caller wants submit() to be asynchronous even then.
+  if (this->NumThreads <= 1 && !AlwaysSpawnWorkers)
     return;
   Workers.reserve(this->NumThreads);
   for (unsigned T = 0; T < this->NumThreads; ++T)
@@ -63,7 +64,7 @@ void ThreadPool::workerLoop() {
 
 void ThreadPool::submit(std::function<void()> Task) {
   CCSIM_REQUIRE(Task, "cannot submit an empty task");
-  if (NumThreads <= 1) {
+  if (Workers.empty()) {
     // Inline execution preserves FIFO semantics trivially.
     Task();
     return;
@@ -76,10 +77,20 @@ void ThreadPool::submit(std::function<void()> Task) {
 }
 
 void ThreadPool::waitIdle() {
-  if (NumThreads <= 1)
+  if (Workers.empty())
     return;
   std::unique_lock<std::mutex> Lock(Mutex);
   Idle.wait(Lock, [this]() { return Queue.empty() && ActiveTasks == 0; });
+}
+
+size_t ThreadPool::pendingTasks() const {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  return Queue.size();
+}
+
+size_t ThreadPool::activeTaskCount() const {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  return ActiveTasks;
 }
 
 namespace {
@@ -112,7 +123,7 @@ void ThreadPool::parallelFor(size_t N,
                              size_t ChunkSize) {
   if (N == 0)
     return;
-  if (NumThreads <= 1) {
+  if (Workers.empty()) {
     for (size_t I = 0; I < N; ++I)
       Body(I); // Exceptions propagate directly; index order is sequential.
     return;

@@ -42,8 +42,12 @@ namespace ccsim {
 /// Fixed worker pool with a FIFO task queue.
 class ThreadPool {
 public:
-  /// Spawns \p NumThreads workers; 0 means hardwareThreads().
-  explicit ThreadPool(unsigned NumThreads = 0);
+  /// Spawns \p NumThreads workers; 0 means hardwareThreads(). By default
+  /// a one-thread pool executes inline on the calling thread;
+  /// \p AlwaysSpawnWorkers forces a real worker even then, so submit()
+  /// never blocks the submitter (what an asynchronous service needs).
+  explicit ThreadPool(unsigned NumThreads = 0,
+                      bool AlwaysSpawnWorkers = false);
 
   /// Joins all workers. Pending tasks are completed first.
   ~ThreadPool();
@@ -59,6 +63,12 @@ public:
   /// Blocks until the queue is empty and every worker is idle.
   void waitIdle();
 
+  /// Tasks submitted but not yet picked up by a worker.
+  size_t pendingTasks() const;
+
+  /// Tasks currently executing on a worker.
+  size_t activeTaskCount() const;
+
   /// Runs Body(0) .. Body(N-1) across the pool in contiguous chunks and
   /// blocks until all have finished. \p ChunkSize 0 picks a chunk that
   /// yields ~4 chunks per worker (good load balance for uneven cells).
@@ -73,7 +83,7 @@ private:
   unsigned NumThreads;
   std::vector<std::thread> Workers;
 
-  std::mutex Mutex;
+  mutable std::mutex Mutex;
   std::condition_variable WorkAvailable;
   std::condition_variable Idle;
   std::deque<std::function<void()>> Queue;

@@ -1,0 +1,483 @@
+//===- service/SimService.cpp - Async simulation job service --------------===//
+
+#include "service/SimService.h"
+
+#include "concurrent/MultiTenantSimulator.h"
+#include "sim/Simulator.h"
+#include "sim/Sweep.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+using namespace ccsim;
+using namespace ccsim::service;
+
+//===----------------------------------------------------------------------===//
+// Job vocabulary
+//===----------------------------------------------------------------------===//
+
+const char *ccsim::service::jobStatusName(JobStatus S) {
+  switch (S) {
+  case JobStatus::Queued:
+    return "queued";
+  case JobStatus::Running:
+    return "running";
+  case JobStatus::Done:
+    return "done";
+  case JobStatus::Failed:
+    return "failed";
+  case JobStatus::Cancelled:
+    return "cancelled";
+  case JobStatus::TimedOut:
+    return "timed-out";
+  case JobStatus::Rejected:
+    return "rejected";
+  case JobStatus::Shed:
+    return "shed";
+  }
+  return "unknown";
+}
+
+const char *Job::kindName() const {
+  if (std::holds_alternative<ReplayJob>(Payload))
+    return "replay";
+  if (std::holds_alternative<SweepBatchJob>(Payload))
+    return "sweep";
+  return "tenants";
+}
+
+std::string Job::validate() const {
+  if (const auto *R = std::get_if<ReplayJob>(&Payload)) {
+    if (!R->TraceData.validate())
+      return "replay job trace '" + R->TraceData.Name +
+             "' is structurally invalid";
+    if (R->Spec.Kind == GranularitySpec::KindType::Units && R->Spec.Units < 1)
+      return "replay job needs at least one eviction unit";
+    return R->Config.validate();
+  }
+  if (const auto *S = std::get_if<SweepBatchJob>(&Payload)) {
+    if (!S->Engine)
+      return "sweep batch job has no suite engine";
+    for (size_t I = 0; I < S->Jobs.size(); ++I) {
+      std::string Err = S->Jobs[I].validate();
+      if (!Err.empty()) {
+        char Buf[32];
+        std::snprintf(Buf, sizeof(Buf), "sweep point %zu: ", I);
+        return Buf + Err;
+      }
+    }
+    return "";
+  }
+  const auto &T = std::get<TenantJob>(Payload);
+  if (T.Traces.empty())
+    return "tenant job has no traces";
+  for (const Trace &Tr : T.Traces)
+    if (!Tr.validate())
+      return "tenant job trace '" + Tr.Name + "' is structurally invalid";
+  if (!T.Config.Tenants.empty() && T.Config.Tenants.size() != T.Traces.size()) {
+    char Buf[96];
+    std::snprintf(Buf, sizeof(Buf),
+                  "tenant job has %zu traces but %zu tenant specs",
+                  T.Traces.size(), T.Config.Tenants.size());
+    return Buf;
+  }
+  return T.Config.validate();
+}
+
+JobOutcome ccsim::service::executeJob(const Job &J, CancelToken *Cancel) {
+  JobOutcome Out;
+  std::string Err = J.validate();
+  if (!Err.empty()) {
+    Out.Status = JobStatus::Failed;
+    Out.Error = std::move(Err);
+    return Out;
+  }
+  try {
+    if (const auto *R = std::get_if<ReplayJob>(&J.Payload)) {
+      SimConfig Config = R->Config;
+      Config.Cancel = Cancel;
+      Out.Replay.push_back(sim::run(R->TraceData, R->Spec, Config));
+    } else if (const auto *S = std::get_if<SweepBatchJob>(&J.Payload)) {
+      Out.Suite.reserve(S->Jobs.size());
+      for (const SweepJob &Point : S->Jobs) {
+        SimConfig Config = Point.Config;
+        Config.Cancel = Cancel;
+        Out.Suite.push_back(S->Engine->runSuite(Point.Spec, Config));
+      }
+    } else {
+      const auto &T = std::get<TenantJob>(J.Payload);
+      MultiTenantConfig Config = T.Config;
+      Config.Cancel = Cancel;
+      MultiTenantSimulator Sim(T.Traces, Config);
+      Out.Tenants = Sim.run();
+    }
+    Out.Status = JobStatus::Done;
+  } catch (const ReplayCancelled &RC) {
+    Out.Status = RC.TimedOut ? JobStatus::TimedOut : JobStatus::Cancelled;
+    Out.Error = RC.what();
+    Out.Replay.clear();
+    Out.Suite.clear();
+    Out.Tenants.reset();
+  } catch (const std::exception &E) {
+    Out.Status = JobStatus::Failed;
+    Out.Error = E.what();
+    Out.Replay.clear();
+    Out.Suite.clear();
+    Out.Tenants.reset();
+  }
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Backpressure policy names
+//===----------------------------------------------------------------------===//
+
+const char *ccsim::service::backpressurePolicyName(BackpressurePolicy P) {
+  switch (P) {
+  case BackpressurePolicy::Block:
+    return "block";
+  case BackpressurePolicy::Reject:
+    return "reject";
+  case BackpressurePolicy::ShedOldest:
+    return "shed-oldest";
+  }
+  return "unknown";
+}
+
+std::optional<BackpressurePolicy>
+ccsim::service::parseBackpressurePolicy(const std::string &Text) {
+  if (Text == "block")
+    return BackpressurePolicy::Block;
+  if (Text == "reject")
+    return BackpressurePolicy::Reject;
+  if (Text == "shed" || Text == "shed-oldest")
+    return BackpressurePolicy::ShedOldest;
+  return std::nullopt;
+}
+
+//===----------------------------------------------------------------------===//
+// Shared per-job state
+//===----------------------------------------------------------------------===//
+
+namespace ccsim::service::detail {
+
+/// The shared state behind one JobHandle. The service mutex orders queue
+/// membership; this struct's own mutex orders the status/outcome pair.
+/// Lock order is always service mutex before job mutex, never the
+/// reverse: JobHandle methods take only the job mutex.
+struct JobState {
+  uint64_t Id = 0;
+  Job TheJob;
+  CancelToken Cancel;
+  std::string Label;
+  uint32_t LabelId = 0;
+  std::chrono::steady_clock::time_point SubmitTime;
+
+  mutable std::mutex Mu;
+  std::condition_variable Terminal;
+  JobStatus Status = JobStatus::Queued;
+  uint64_t StartSeq = 0;
+  JobOutcome Outcome;
+};
+
+} // namespace ccsim::service::detail
+
+using ccsim::service::detail::JobState;
+
+//===----------------------------------------------------------------------===//
+// JobHandle
+//===----------------------------------------------------------------------===//
+
+uint64_t JobHandle::id() const { return State ? State->Id : 0; }
+
+JobStatus JobHandle::status() const {
+  std::lock_guard<std::mutex> Lock(State->Mu);
+  return State->Status;
+}
+
+uint64_t JobHandle::startSequence() const {
+  std::lock_guard<std::mutex> Lock(State->Mu);
+  return State->StartSeq;
+}
+
+const JobOutcome &JobHandle::wait() const {
+  std::unique_lock<std::mutex> Lock(State->Mu);
+  State->Terminal.wait(Lock, [&] { return isTerminal(State->Status); });
+  return State->Outcome;
+}
+
+bool JobHandle::waitFor(std::chrono::milliseconds Timeout) const {
+  std::unique_lock<std::mutex> Lock(State->Mu);
+  return State->Terminal.wait_for(Lock, Timeout,
+                                  [&] { return isTerminal(State->Status); });
+}
+
+void JobHandle::cancel() {
+  if (State)
+    State->Cancel.requestCancel();
+}
+
+//===----------------------------------------------------------------------===//
+// SimService
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+double msBetween(std::chrono::steady_clock::time_point From,
+                 std::chrono::steady_clock::time_point To) {
+  return std::chrono::duration<double, std::milli>(To - From).count();
+}
+
+} // namespace
+
+SimService::SimService(SimServiceConfig C)
+    : Config(std::move(C)), Paused(Config.StartPaused),
+      Pool(Config.Threads, /*AlwaysSpawnWorkers=*/true) {
+  Config.QueueCapacity = std::max<size_t>(1, Config.QueueCapacity);
+  Config.LatencyBuckets = std::max<size_t>(1, Config.LatencyBuckets);
+  if (Config.LatencyBucketMs <= 0.0)
+    Config.LatencyBucketMs = 10.0;
+}
+
+SimService::~SimService() { drain(); }
+
+void SimService::recordTransition(const JobState &S, JobStatus To) {
+  telemetry::TelemetrySink *Sink = Config.Telemetry;
+  if (!Sink)
+    return;
+  Sink->Tracer.record(telemetry::EventKind::JobState,
+                      static_cast<uint32_t>(S.Id), telemetry::NoBlock,
+                      S.LabelId, static_cast<uint64_t>(To), S.Id);
+  if (isTerminal(To))
+    Sink->Metrics
+        .counter("service_jobs_finished",
+                 {{"kind", S.TheJob.kindName()}, {"status", jobStatusName(To)}})
+        .increment();
+}
+
+void SimService::updateQueueGauges(size_t Depth) {
+  QueueDepthPeak = std::max<uint64_t>(QueueDepthPeak, Depth);
+  if (telemetry::TelemetrySink *Sink = Config.Telemetry) {
+    Sink->Metrics.gauge("service_queue_depth").set(static_cast<double>(Depth));
+    Sink->Metrics.gauge("service_queue_depth_peak")
+        .set(static_cast<double>(QueueDepthPeak));
+  }
+}
+
+void SimService::finish(const std::shared_ptr<JobState> &S, JobStatus Terminal,
+                        std::string Error, JobOutcome Outcome) {
+  Outcome.Status = Terminal;
+  if (!Error.empty())
+    Outcome.Error = std::move(Error);
+  {
+    std::lock_guard<std::mutex> Lock(S->Mu);
+    S->Outcome = std::move(Outcome);
+    S->Status = Terminal;
+  }
+  S->Terminal.notify_all();
+  recordTransition(*S, Terminal);
+}
+
+JobHandle SimService::submit(Job J) {
+  auto S = std::make_shared<JobState>();
+  S->TheJob = std::move(J);
+  S->SubmitTime = std::chrono::steady_clock::now();
+
+  // Admission happens under the service mutex: id assignment, validation
+  // verdicts, and backpressure all serialize here.
+  std::string Invalid = S->TheJob.validate();
+  bool Admitted = false;
+  std::string RejectError;
+  std::shared_ptr<JobState> Victim;
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    S->Id = NextJobId++;
+    if (S->TheJob.Options.Label.empty())
+      S->TheJob.Options.Label = "job-" + std::to_string(S->Id);
+    S->Label = S->TheJob.Options.Label;
+    if (Config.Telemetry)
+      S->LabelId = Config.Telemetry->Tracer.internLabel(S->Label);
+    if (Config.Telemetry)
+      Config.Telemetry->Metrics
+          .counter("service_jobs_submitted", {{"kind", S->TheJob.kindName()}})
+          .increment();
+
+    if (!Invalid.empty()) {
+      RejectError = "invalid job: " + Invalid;
+    } else if (Draining) {
+      RejectError = "service is draining";
+    } else {
+      if (Queue.size() >= Config.QueueCapacity) {
+        switch (Config.Pressure) {
+        case BackpressurePolicy::Block:
+          SpaceAvailable.wait(Lock, [&] {
+            return Queue.size() < Config.QueueCapacity || Draining;
+          });
+          if (Draining)
+            RejectError = "service is draining";
+          break;
+        case BackpressurePolicy::Reject: {
+          char Buf[96];
+          std::snprintf(Buf, sizeof(Buf),
+                        "queue full (%zu jobs) under the reject policy",
+                        Queue.size());
+          RejectError = Buf;
+          break;
+        }
+        case BackpressurePolicy::ShedOldest:
+          // The deque is in submission order, so the front is the oldest
+          // job still queued.
+          Victim = Queue.front();
+          Queue.pop_front();
+          break;
+        }
+      }
+      if (RejectError.empty()) {
+        Queue.push_back(S);
+        updateQueueGauges(Queue.size());
+        Admitted = true;
+      }
+    }
+  }
+
+  if (Victim) {
+    if (Config.Telemetry)
+      Config.Telemetry->Metrics.counter("service_jobs_shed").increment();
+    finish(Victim, JobStatus::Shed,
+           "shed from a full queue by a newer submission", {});
+  }
+
+  if (!Admitted) {
+    if (Config.Telemetry)
+      Config.Telemetry->Metrics.counter("service_jobs_rejected").increment();
+    finish(S, JobStatus::Rejected, std::move(RejectError), {});
+    return JobHandle(std::move(S));
+  }
+
+  recordTransition(*S, JobStatus::Queued);
+  // One pump task per admitted job. A pump that finds the queue empty
+  // (its job was shed) simply returns.
+  Pool.submit([this] { runOne(); });
+  return JobHandle(std::move(S));
+}
+
+std::shared_ptr<JobState> SimService::popBest() {
+  if (Queue.empty())
+    return nullptr;
+  // Highest priority first; ties resolve to the earliest submission. The
+  // deque is in submission (id) order, so a strict > keeps FIFO ties.
+  auto Best = Queue.begin();
+  for (auto It = std::next(Queue.begin()); It != Queue.end(); ++It)
+    if ((*It)->TheJob.Options.Priority > (*Best)->TheJob.Options.Priority)
+      Best = It;
+  std::shared_ptr<JobState> S = std::move(*Best);
+  Queue.erase(Best);
+  return S;
+}
+
+void SimService::runOne() {
+  std::shared_ptr<JobState> S;
+  {
+    std::unique_lock<std::mutex> Lock(Mu);
+    Unpaused.wait(Lock, [&] { return !Paused; });
+    S = popBest();
+    if (!S)
+      return;
+    ++Running;
+    updateQueueGauges(Queue.size());
+  }
+  SpaceAvailable.notify_one();
+
+  if (S->TheJob.Options.Deadline)
+    S->Cancel.setDeadline(*S->TheJob.Options.Deadline);
+
+  const auto PickTime = std::chrono::steady_clock::now();
+  const double WaitMs = msBetween(S->SubmitTime, PickTime);
+  if (telemetry::TelemetrySink *Sink = Config.Telemetry) {
+    Sink->Metrics
+        .histogram("service_wait_ms", Config.LatencyBucketMs,
+                   Config.LatencyBuckets, {{"kind", S->TheJob.kindName()}})
+        .observe(WaitMs);
+    Sink->Metrics.gauge("service_job_wait_ms", {{"job", S->Label}})
+        .set(WaitMs);
+  }
+
+  // A deadline or cancellation that fired while the job sat in the queue
+  // resolves it without running it at all.
+  if (const char *Reason = S->Cancel.stopReason()) {
+    const bool TimedOut =
+        S->Cancel.deadlineExpired() && !S->Cancel.cancelRequested();
+    finish(S,
+           TimedOut ? JobStatus::TimedOut : JobStatus::Cancelled,
+           std::string("stopped while queued: ") + Reason, {});
+  } else {
+    uint64_t Seq;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Seq = NextStartSeq++;
+    }
+    {
+      std::lock_guard<std::mutex> Lock(S->Mu);
+      S->Status = JobStatus::Running;
+      S->StartSeq = Seq;
+    }
+    recordTransition(*S, JobStatus::Running);
+
+    JobOutcome Outcome = executeJob(S->TheJob, &S->Cancel);
+    const double RunMs = msBetween(PickTime, std::chrono::steady_clock::now());
+    if (telemetry::TelemetrySink *Sink = Config.Telemetry) {
+      Sink->Metrics
+          .histogram("service_run_ms", Config.LatencyBucketMs,
+                     Config.LatencyBuckets, {{"kind", S->TheJob.kindName()}})
+          .observe(RunMs);
+      Sink->Metrics.gauge("service_job_run_ms", {{"job", S->Label}})
+          .set(RunMs);
+    }
+    const JobStatus Terminal = Outcome.Status;
+    finish(S, Terminal, "", std::move(Outcome));
+  }
+
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    --Running;
+  }
+}
+
+void SimService::start() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Paused = false;
+  }
+  Unpaused.notify_all();
+}
+
+void SimService::drain() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Draining = true;
+    Paused = false;
+  }
+  Unpaused.notify_all();
+  SpaceAvailable.notify_all();
+  // Every admitted job holds one pump task, so an idle pool means every
+  // admitted job is terminal.
+  Pool.waitIdle();
+  std::lock_guard<std::mutex> Lock(Mu);
+  updateQueueGauges(Queue.size());
+}
+
+bool SimService::draining() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Draining;
+}
+
+size_t SimService::queueDepth() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Queue.size();
+}
+
+size_t SimService::runningCount() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Running;
+}

@@ -9,6 +9,24 @@
 
 using namespace ccsim;
 
+std::string SimConfig::validate() const {
+  if (ExplicitCapacityBytes == 0 && PressureFactor < 1.0) {
+    char Buf[128];
+    std::snprintf(Buf, sizeof(Buf),
+                  "pressure factor %g below 1 would be an over-provisioned "
+                  "cache (set an explicit capacity instead)",
+                  PressureFactor);
+    return Buf;
+  }
+  if (Costs.EvictionPerByte < 0.0 || Costs.MissPerByte < 0.0 ||
+      Costs.UnlinkPerLink < 0.0 || Costs.EvictionBase < 0.0 ||
+      Costs.MissBase < 0.0 || Costs.UnlinkBase < 0.0)
+    return "cost model coefficients must be nonnegative";
+  if (CancelCheckInterval == 0)
+    return "cancellation check interval must be at least 1 access";
+  return {};
+}
+
 uint64_t ccsim::sim::capacityFor(const Trace &T, const SimConfig &Config) {
   if (Config.ExplicitCapacityBytes != 0)
     return Config.ExplicitCapacityBytes;
@@ -48,8 +66,27 @@ SimResult ccsim::sim::run(const Trace &T,
   CacheManager Manager(MC, std::move(Policy));
   if (Config.Audit != AuditLevel::Off)
     check::armAuditor(Manager, check::ParanoiaOptions{Config.Audit, true, {}});
-  for (SuperblockId Id : T.Accesses)
-    Manager.access(T.recordFor(Id));
+  if (!Config.Cancel) {
+    for (SuperblockId Id : T.Accesses)
+      Manager.access(T.recordFor(Id));
+  } else {
+    // Cancellable replay: poll the token once per trace chunk so a
+    // cancellation or deadline lands within CancelCheckInterval accesses.
+    const size_t N = T.Accesses.size();
+    const size_t Chunk = std::max<uint32_t>(1, Config.CancelCheckInterval);
+    size_t I = 0;
+    while (I < N) {
+      if (const char *Reason = Config.Cancel->stopReason())
+        throw ReplayCancelled("replay of " + T.Name + " stopped after " +
+                                  std::to_string(I) + " of " +
+                                  std::to_string(N) + " accesses: " + Reason,
+                              Config.Cancel->deadlineExpired() &&
+                                  !Config.Cancel->cancelRequested());
+      const size_t End = std::min(N, I + Chunk);
+      for (; I < End; ++I)
+        Manager.access(T.recordFor(T.Accesses[I]));
+    }
+  }
 
   Result.Stats = Manager.stats();
   if (Tel) {

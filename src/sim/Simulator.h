@@ -17,6 +17,7 @@
 #define CCSIM_SIM_SIMULATOR_H
 
 #include "core/CacheManager.h"
+#include "support/Cancellation.h"
 #include "trace/Trace.h"
 
 #include <memory>
@@ -48,6 +49,51 @@ struct SimConfig {
   /// Defaults to Full in CCSIM_PARANOID builds, Off otherwise; any
   /// violation prints its report and aborts the process.
   AuditLevel Audit = defaultAuditLevel();
+
+  /// Optional cooperative cancellation. When set, run() polls the token
+  /// every CancelCheckInterval accesses and throws ReplayCancelled when it
+  /// asks to stop. Null costs one branch per run.
+  CancelToken *Cancel = nullptr;
+
+  /// Accesses replayed between cancellation checks (the trace-chunk
+  /// granularity of cancellation and deadline enforcement).
+  uint32_t CancelCheckInterval = 1024;
+
+  // Fluent setters, so drivers can assemble a config in one expression.
+  SimConfig &withPressure(double Factor) {
+    PressureFactor = Factor;
+    return *this;
+  }
+  SimConfig &withCapacityBytes(uint64_t Bytes) {
+    ExplicitCapacityBytes = Bytes;
+    return *this;
+  }
+  SimConfig &withCosts(const CostModel &Model) {
+    Costs = Model;
+    return *this;
+  }
+  SimConfig &withChaining(bool Enable) {
+    EnableChaining = Enable;
+    return *this;
+  }
+  SimConfig &withTelemetry(telemetry::TelemetrySink *Sink) {
+    Telemetry = Sink;
+    return *this;
+  }
+  SimConfig &withAudit(AuditLevel Level) {
+    Audit = Level;
+    return *this;
+  }
+  SimConfig &withCancel(CancelToken *Token) {
+    Cancel = Token;
+    return *this;
+  }
+
+  /// Checks every field for consistency. Returns an empty string when the
+  /// config is usable and a descriptive error otherwise; callers that
+  /// cannot abort (SimService) reject the job with this message instead
+  /// of tripping the CCSIM_REQUIRE contracts mid-run.
+  std::string validate() const;
 };
 
 /// Outcome of simulating one (trace, policy, capacity) combination.

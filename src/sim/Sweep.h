@@ -47,6 +47,23 @@ struct SuiteResult {
 struct SweepJob {
   GranularitySpec Spec;
   SimConfig Config;
+
+  SweepJob &withSpec(const GranularitySpec &S) {
+    Spec = S;
+    return *this;
+  }
+  SweepJob &withConfig(const SimConfig &C) {
+    Config = C;
+    return *this;
+  }
+
+  /// Empty when the job is runnable, else a descriptive error (same
+  /// contract as SimConfig::validate).
+  std::string validate() const {
+    if (Spec.Kind == GranularitySpec::KindType::Units && Spec.Units < 1)
+      return "unit-granularity sweep point needs at least one unit";
+    return Config.validate();
+  }
 };
 
 /// Cartesian helper: one SweepJob per (spec, pressure), each with \p Base

@@ -27,6 +27,8 @@ const char *ccsim::telemetry::eventKindName(EventKind K) {
     return "tenant-tag";
   case EventKind::Mark:
     return "mark";
+  case EventKind::JobState:
+    return "job-state";
   }
   return "unknown";
 }

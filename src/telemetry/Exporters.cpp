@@ -60,7 +60,8 @@ namespace {
 
 /// Whether records of kind \p K carry an interned label id in A.
 bool hasLabel(EventKind K) {
-  return K == EventKind::TenantTag || K == EventKind::Mark;
+  return K == EventKind::TenantTag || K == EventKind::Mark ||
+         K == EventKind::JobState;
 }
 
 std::string formatDouble(double Value) {

@@ -42,11 +42,13 @@ enum class EventKind : uint8_t {
   TenantTag,     ///< Tenant registered. A = interned label id.
   Mark,          ///< Driver phase mark. A = interned label id, B = 1 for
                  ///< begin, 0 for end.
+  JobState,      ///< SimService job transition. Tenant = job id,
+                 ///< A = interned job label id, B = numeric JobStatus.
 };
 
 /// Number of distinct EventKind values (for per-kind tallies).
 inline constexpr size_t NumEventKinds =
-    static_cast<size_t>(EventKind::Mark) + 1;
+    static_cast<size_t>(EventKind::JobState) + 1;
 
 /// Stable lower-case name of \p K ("miss", "eviction-batch", ...). Used
 /// as the category string of every exporter.
