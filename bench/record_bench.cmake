@@ -1,0 +1,77 @@
+# record_bench.cmake - run/validate the sweep_onepass benchmark record.
+#
+# Script mode (cmake -P) helper behind bench/record_bench.sh and the CI
+# bench smoke step. Two jobs:
+#
+#   1. Optionally run the sweep_onepass binary first:
+#        cmake -DSWEEP_ONEPASS=<path/to/sweep_onepass> \
+#              -DSWEEP_JSON=<out.json> [-DSWEEP_ARGS=--scale=0.02] \
+#              -P bench/record_bench.cmake
+#      (SWEEP_ARGS is a semicolon-separated list of extra flags.)
+#
+#   2. Validate the BENCH_sweep.json schema: every key the record
+#      promises must be present and well-typed, and the `equal` bit —
+#      the correctness contract, not a performance number — must be
+#      true. Wall-clock numbers are never gated: this box's timings are
+#      too noisy for that, and the recorded speedup is informational.
+#
+# Exits nonzero (FATAL_ERROR) on any schema violation or divergence.
+
+cmake_minimum_required(VERSION 3.19)
+
+if(NOT DEFINED SWEEP_JSON)
+  message(FATAL_ERROR "pass -DSWEEP_JSON=<path to BENCH_sweep.json>")
+endif()
+
+if(DEFINED SWEEP_ONEPASS)
+  message(STATUS "running ${SWEEP_ONEPASS} --out=${SWEEP_JSON} ${SWEEP_ARGS}")
+  execute_process(
+    COMMAND "${SWEEP_ONEPASS}" "--out=${SWEEP_JSON}" ${SWEEP_ARGS}
+    RESULT_VARIABLE RunResult)
+  if(NOT RunResult EQUAL 0)
+    message(FATAL_ERROR "sweep_onepass exited ${RunResult} (2 means the "
+                        "one-pass and per-config results diverged)")
+  endif()
+endif()
+
+if(NOT EXISTS "${SWEEP_JSON}")
+  message(FATAL_ERROR "no record at ${SWEEP_JSON}")
+endif()
+file(READ "${SWEEP_JSON}" Record)
+
+# Every key sweep_onepass writes; a missing or retyped key breaks the
+# consumers (CI trend tracking, bench/record_bench.sh).
+set(RequiredKeys
+  bench suite scale seed benchmarks configs_per_pass accesses_per_pass
+  shared_misses all_hit_fraction threads per_config_ms one_pass_ms
+  speedup equal)
+foreach(Key IN LISTS RequiredKeys)
+  string(JSON Value ERROR_VARIABLE JsonError GET "${Record}" "${Key}")
+  if(JsonError)
+    message(FATAL_ERROR "BENCH_sweep.json: missing key '${Key}': ${JsonError}")
+  endif()
+endforeach()
+
+string(JSON BenchName GET "${Record}" bench)
+if(NOT BenchName STREQUAL "sweep_onepass")
+  message(FATAL_ERROR "BENCH_sweep.json: bench is '${BenchName}', expected "
+                      "'sweep_onepass'")
+endif()
+
+string(JSON Equal GET "${Record}" equal)
+if(NOT Equal STREQUAL "ON")  # string(JSON) maps JSON true to ON.
+  message(FATAL_ERROR "BENCH_sweep.json: equal=${Equal} — one-pass results "
+                      "diverged from per-config replay")
+endif()
+
+foreach(Key accesses_per_pass configs_per_pass benchmarks)
+  string(JSON Value GET "${Record}" "${Key}")
+  if(Value LESS_EQUAL 0)
+    message(FATAL_ERROR "BENCH_sweep.json: ${Key}=${Value} must be positive")
+  endif()
+endforeach()
+
+string(JSON Speedup GET "${Record}" speedup)
+string(JSON Configs GET "${Record}" configs_per_pass)
+message(STATUS "BENCH_sweep.json ok: ${Configs} configs/pass, "
+               "speedup ${Speedup}x, results bit-identical")

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# record_bench.sh - build and run the one-pass sweep benchmark, then
+# validate and install the BENCH_sweep.json record at the repo root.
+#
+# Usage:
+#   bench/record_bench.sh                 # paper lattice at scale 0.1
+#   bench/record_bench.sh --scale=0.02    # quicker smoke record
+#   bench/record_bench.sh --pressures=2   # hit-dominated slice
+#
+# All flags are forwarded to bench/sweep_onepass. The build tree defaults
+# to ./build (override with BUILD_DIR). The record is only installed if
+# sweep_onepass exits 0, i.e. the one-pass and per-config results were
+# bit-identical; schema validation happens in record_bench.cmake so CI
+# can reuse it without a shell.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+
+SCALE_ARGS=("$@")
+if [[ $# -eq 0 ]]; then
+  SCALE_ARGS=(--scale=0.1)
+fi
+
+cmake -B "$BUILD" -S "$ROOT" >/dev/null
+cmake --build "$BUILD" --target sweep_onepass -j "$(nproc)"
+
+ARGS_LIST="$(IFS=';'; echo "${SCALE_ARGS[*]}")"
+cmake -DSWEEP_ONEPASS="$BUILD/bench/sweep_onepass" \
+      -DSWEEP_JSON="$ROOT/BENCH_sweep.json" \
+      -DSWEEP_ARGS="$ARGS_LIST" \
+      -P "$ROOT/bench/record_bench.cmake"
+
+echo "recorded $ROOT/BENCH_sweep.json"

@@ -21,6 +21,7 @@
 #ifndef CCSIM_EXAMPLES_SIMFLAGS_H
 #define CCSIM_EXAMPLES_SIMFLAGS_H
 
+#include "multisweep/MultiConfigEngine.h"
 #include "sim/Simulator.h"
 #include "support/Flags.h"
 #include "trace/TraceGenerator.h"
@@ -61,6 +62,26 @@ inline void addSimConfigFlags(FlagSet &Flags, double DefaultPressure) {
                   "Unlink cost per link (Eq. 4 slope).");
   Flags.addDouble("cost-unlink-base", D.UnlinkBase,
                   "Unlink cost per victim (Eq. 4 intercept).");
+}
+
+/// Declares "--sweep-mode" for drivers that run whole sweep grids.
+inline void addSweepModeFlag(FlagSet &Flags) {
+  Flags.addString("sweep-mode", "one-pass",
+                  "Sweep grid backend: one-pass (evaluate the whole grid "
+                  "in a single trace pass) | per-config (dense replay per "
+                  "grid point). Results are byte-identical either way.");
+}
+
+/// Strict "--sweep-mode" parser: nullopt (with \p Error set) for anything
+/// but the two backend names.
+inline std::optional<multisweep::SweepMode>
+sweepModeFromFlags(const FlagSet &Flags, std::string *Error) {
+  const auto Mode =
+      multisweep::parseSweepMode(Flags.getString("sweep-mode"));
+  if (!Mode && Error)
+    *Error = "bad sweep mode '" + Flags.getString("sweep-mode") +
+             "' (one-pass | per-config)";
+  return Mode;
 }
 
 /// Declares the synthetic-workload flags: benchmark, scale, seed.

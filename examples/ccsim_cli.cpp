@@ -13,7 +13,10 @@
 //       Re-derive the paper's overhead equations from a mini-DBT run.
 //   ccsim_cli suite --pressure=2 [--scale=0.2] [--jobs=N]
 //       Granularity sweep over the whole Table 1 suite, parallelized over
-//       N worker threads (default: hardware concurrency).
+//       N worker threads (default: hardware concurrency). The grid runs
+//       through the one-pass multi-configuration engine by default;
+//       --sweep-mode=per-config selects dense per-point replay (results
+//       are byte-identical either way).
 //   ccsim_cli tenants --tenants=gzip,vpr,crafty --mode=shared
 //       Multi-tenant simulation: interleave several benchmarks into one
 //       shared (or partitioned) code cache.
@@ -266,10 +269,14 @@ sweepJobFromSuiteFlags(const FlagSet &Flags, EngineCache &Engines,
                                   : ThreadPool::hardwareThreads());
     Slot = std::make_shared<const SweepEngine>(std::move(Engine));
   }
+  const auto Mode = sweepModeFromFlags(Flags, Error);
+  if (!Mode)
+    return std::nullopt;
   service::SweepBatchJob Job;
   Job.Engine = Slot;
   Job.Jobs = makeSweepGrid(standardGranularitySweep(),
                            {Config->PressureFactor}, *Config);
+  Job.Mode = *Mode;
   return Job;
 }
 
@@ -384,6 +391,7 @@ FlagSet makeSuiteFlags() {
                "Suite seed.");
   Flags.addInt("jobs", 0,
                "Worker threads (0 = hardware concurrency, 1 = serial).");
+  addSweepModeFlag(Flags);
   addTelemetryFlags(Flags);
   return Flags;
 }

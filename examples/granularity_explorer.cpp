@@ -10,7 +10,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "concurrent/ThreadPool.h"
+#include "multisweep/MultiConfigEngine.h"
 #include "sim/Simulator.h"
+#include "sim/Sweep.h"
 #include "support/Flags.h"
 #include "support/StringUtils.h"
 #include "support/Table.h"
@@ -31,11 +33,17 @@ int main(int Argc, char **Argv) {
   addSimConfigFlags(Flags, 10.0);
   Flags.addInt("jobs", 0,
                "Worker threads (0 = hardware concurrency, 1 = serial).");
+  addSweepModeFlag(Flags);
   addTelemetryFlags(Flags);
   if (!Flags.parse(Argc, Argv))
     return 1;
 
   std::string Error;
+  const auto Mode = sweepModeFromFlags(Flags, &Error);
+  if (!Mode) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return 1;
+  }
   const auto Model = workloadFromFlags(Flags, &Error);
   if (!Model) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());
@@ -60,17 +68,28 @@ int main(int Argc, char **Argv) {
               formatBytes(sim::capacityFor(T, Config)).c_str(),
               Config.PressureFactor);
 
-  // Every sweep point is an independent simulation; fan them out and
-  // render in canonical order afterwards.
+  // Every sweep point replays the same trace, so the one-pass engine can
+  // evaluate the whole spectrum in a single decode; per-config keeps the
+  // dense fan-out. Both render byte-identical tables.
   const std::vector<GranularitySpec> Specs = standardGranularitySweep();
   std::vector<SimResult> Results(Specs.size());
-  ThreadPool Pool(Flags.getInt("jobs") > 0
-                      ? static_cast<unsigned>(Flags.getInt("jobs"))
-                      : ThreadPool::hardwareThreads());
-  Pool.parallelFor(
-      Specs.size(),
-      [&](size_t I) { Results[I] = sim::run(T, Specs[I], Config); },
-      /*ChunkSize=*/1);
+  if (*Mode == multisweep::SweepMode::OnePass) {
+    std::vector<SweepJob> Points;
+    Points.reserve(Specs.size());
+    for (const GranularitySpec &Spec : Specs)
+      Points.push_back({Spec, Config});
+    const multisweep::LatticePlan Plan = multisweep::planLattice(Points);
+    multisweep::MultiConfigEngine Engine(T, Points, Plan);
+    Results = Engine.run();
+  } else {
+    ThreadPool Pool(Flags.getInt("jobs") > 0
+                        ? static_cast<unsigned>(Flags.getInt("jobs"))
+                        : ThreadPool::hardwareThreads());
+    Pool.parallelFor(
+        Specs.size(),
+        [&](size_t I) { Results[I] = sim::run(T, Specs[I], Config); },
+        /*ChunkSize=*/1);
+  }
 
   Table Out({"Granularity", "Miss rate", "Evictions", "Backptr peak",
              "Overhead (instr)", "Relative"});

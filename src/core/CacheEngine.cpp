@@ -37,6 +37,36 @@ void CacheEngine::sampleBackPointerMemory() {
   Stats.BackPointerBytesSum += static_cast<double>(Bytes);
 }
 
+AccessKind CacheEngine::deferredMiss(const SuperblockRecord &Rec) {
+  CCSIM_ASSERT(Rec.Id != InvalidSuperblockId, "invalid superblock id");
+  CCSIM_ASSERT(Rec.SizeBytes > 0,
+               "superblock %u must have a positive size", Rec.Id);
+  CCSIM_ASSERT(!Cache.contains(Rec.Id),
+               "superblock %u is already resident", Rec.Id);
+  CurrentTenant = Rec.Tenant;
+  return missAndInsert(Rec);
+}
+
+void CacheEngine::addDeferredBackPointerSamples(uint64_t Count) {
+  if (Count == 0 || !Config.EnableChaining ||
+      !Policy->usesBackPointerTable(Cache.capacity()))
+    return;
+  const uint64_t Bytes = Links.backPointerBytes();
+  Stats.BackPointerBytesPeak = std::max(Stats.BackPointerBytesPeak, Bytes);
+  Stats.BackPointerBytesSum +=
+      static_cast<double>(Bytes) * static_cast<double>(Count);
+}
+
+void CacheEngine::settleDeferredAccesses(uint64_t TotalAccesses) {
+  CCSIM_REQUIRE(Stats.Accesses == 0 && Stats.Hits == 0,
+                "deferred settlement on an engine that counted accesses "
+                "directly");
+  CCSIM_REQUIRE(TotalAccesses >= Stats.Misses,
+                "deferred pass recorded more misses than accesses");
+  Stats.Accesses = TotalAccesses;
+  Stats.Hits = TotalAccesses - Stats.Misses;
+}
+
 void CacheEngine::maybeAudit(bool Evicted, const char *Where) {
   if (Auditing == AuditLevel::Off || !Audit)
     return;

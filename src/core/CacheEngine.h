@@ -247,6 +247,44 @@ public:
   /// sample at their own cadence.
   void sampleBackPointerMemory();
 
+  /// --- Deferred-access front door (one-pass multi-configuration) ------
+  ///
+  /// The src/multisweep shared pass drives many engines over one decoded
+  /// access stream and batches everything a stateless policy
+  /// (EvictionPolicy::isAccessStateless) cannot observe on a hit: the
+  /// access/hit counters and the per-access back-pointer sample. The
+  /// driver calls deferredMiss() for exactly the accesses that miss in
+  /// this engine, keeps every access sampled exactly once in stream order
+  /// via addDeferredBackPointerSamples() (legal because the table size
+  /// only changes on the miss path), and finally reconciles the counters
+  /// with settleDeferredAccesses(). Must not be mixed with access() on
+  /// the same engine.
+
+  /// The miss half of access() for a deferred-accounting run: sets the
+  /// in-flight tenant and runs missAndInsert(). \p Rec must not be
+  /// resident. Never returns Hit.
+  AccessKind deferredMiss(const SuperblockRecord &Rec);
+
+  /// Accounts \p Count back-pointer samples at the table's current size
+  /// (same gate as sampleBackPointerMemory). Batching is exact: all
+  /// sampled values are integral and far below 2^53, so the sum of one
+  /// bytes*Count product equals Count per-access additions bit for bit.
+  void addDeferredBackPointerSamples(uint64_t Count);
+
+  /// Settles the deferred counters after the pass: Accesses becomes
+  /// \p TotalAccesses and every access that did not miss was a hit. The
+  /// engine must not have counted accesses through access()/install().
+  void settleDeferredAccesses(uint64_t TotalAccesses);
+
+  /// Victims of the most recent miss/flush (empty when it evicted
+  /// nothing). Read-only view of the internal scratch — valid until the
+  /// next mutating call. Lets a one-pass driver maintain its residency
+  /// index without the copying OnEviction observer costs on the miss
+  /// path.
+  const std::vector<CodeCache::Resident> &lastEvictions() const {
+    return EvictedScratch;
+  }
+
 private:
   CacheEngineConfig Config;
   std::unique_ptr<EvictionPolicy> Policy;

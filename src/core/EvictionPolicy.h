@@ -58,6 +58,15 @@ public:
   /// needs no table (Section 3.1); everything else does.
   virtual bool usesBackPointerTable(uint64_t Capacity) const;
 
+  /// Whether hits are pure reads for this policy: it never observes
+  /// accesses (noteAccess is a no-op), never requests preemptive flushes,
+  /// and its quantum is a pure function of capacity. Such policies mutate
+  /// cache state only on misses, which is what qualifies them for the
+  /// one-pass multi-configuration shortcuts in src/multisweep (the DEW
+  /// single-pass FIFO property). Defaults to false; only the stateless
+  /// FIFO family opts in.
+  virtual bool isAccessStateless() const { return false; }
+
   /// Observes one access (hit or miss). Called before the miss handling.
   virtual void noteAccess(bool Hit);
 
@@ -78,6 +87,7 @@ public:
 
   std::string name() const override;
   uint64_t quantumBytes(uint64_t Capacity) const override;
+  bool isAccessStateless() const override { return true; }
 
   unsigned unitCount() const { return UnitCount; }
 
@@ -91,6 +101,7 @@ class FineFifoPolicy final : public EvictionPolicy {
 public:
   std::string name() const override { return "FIFO"; }
   uint64_t quantumBytes(uint64_t) const override { return 1; }
+  bool isAccessStateless() const override { return true; }
 };
 
 /// Extension (paper future work): adapts the unit count to perceived

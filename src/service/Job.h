@@ -19,6 +19,7 @@
 #define CCSIM_SERVICE_JOB_H
 
 #include "concurrent/MultiTenantSimulator.h"
+#include "multisweep/MultiConfigEngine.h"
 #include "sim/Simulator.h"
 #include "sim/Sweep.h"
 
@@ -68,6 +69,13 @@ struct ReplayJob {
 struct SweepBatchJob {
   std::shared_ptr<const SweepEngine> Engine;
   std::vector<SweepJob> Jobs;
+
+  /// Grid backend: one-pass (default) evaluates the whole lattice in a
+  /// single trace pass per benchmark; per-config replays each point
+  /// densely. Reports and metrics are byte-identical either way (the
+  /// tests/multisweep contract); points one-pass cannot cover fall back
+  /// to dense replay automatically.
+  multisweep::SweepMode Mode = multisweep::SweepMode::OnePass;
 };
 
 /// Interleave several traces into one shared/partitioned cache (the

@@ -59,15 +59,9 @@ std::string Job::validate() const {
   if (const auto *S = std::get_if<SweepBatchJob>(&Payload)) {
     if (!S->Engine)
       return "sweep batch job has no suite engine";
-    for (size_t I = 0; I < S->Jobs.size(); ++I) {
-      std::string Err = S->Jobs[I].validate();
-      if (!Err.empty()) {
-        char Buf[32];
-        std::snprintf(Buf, sizeof(Buf), "sweep point %zu: ", I);
-        return Buf + Err;
-      }
-    }
-    return "";
+    if (S->Engine->traces().empty())
+      return "sweep batch job's suite engine has no benchmarks";
+    return validateSweepGrid(S->Jobs);
   }
   const auto &T = std::get<TenantJob>(Payload);
   if (T.Traces.empty())
@@ -99,12 +93,18 @@ JobOutcome ccsim::service::executeJob(const Job &J, CancelToken *Cancel) {
       Config.Cancel = Cancel;
       Out.Replay.push_back(sim::run(R->TraceData, R->Spec, Config));
     } else if (const auto *S = std::get_if<SweepBatchJob>(&J.Payload)) {
-      Out.Suite.reserve(S->Jobs.size());
-      for (const SweepJob &Point : S->Jobs) {
-        SimConfig Config = Point.Config;
-        Config.Cancel = Cancel;
-        Out.Suite.push_back(S->Engine->runSuite(Point.Spec, Config));
-      }
+      std::vector<SweepJob> Points = S->Jobs;
+      for (SweepJob &Point : Points)
+        Point.Config.Cancel = Cancel;
+      multisweep::MultiSweepOptions Options;
+      Options.Mode = S->Mode;
+      // Fallback/dedup accounting goes to stderr: reports and metrics
+      // files must stay byte-identical across sweep modes, so the
+      // accounting can never ride in either.
+      Options.Log = [](const std::string &Line) {
+        std::fprintf(stderr, "sweep: %s\n", Line.c_str());
+      };
+      Out.Suite = multisweep::runSweepGrid(*S->Engine, Points, Options);
     } else {
       const auto &T = std::get<TenantJob>(J.Payload);
       MultiTenantConfig Config = T.Config;

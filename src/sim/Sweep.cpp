@@ -9,13 +9,8 @@
 
 using namespace ccsim;
 
-namespace {
-
-/// Publishes one suite-level aggregate into the sink, labeled by the sweep
-/// point. Always called in canonical job order, which keeps registries
-/// byte-identical between serial and parallel execution.
-void recordSuiteResult(telemetry::TelemetrySink *Tel,
-                       const SuiteResult &Result) {
+void ccsim::recordSuiteMetrics(telemetry::TelemetrySink *Tel,
+                               const SuiteResult &Result) {
   if (!Tel)
     return;
   char Pressure[32];
@@ -24,7 +19,37 @@ void recordSuiteResult(telemetry::TelemetrySink *Tel,
                                           {"pressure", Pressure}});
 }
 
-} // namespace
+bool SweepJob::sameSimulation(const SweepJob &Other) const {
+  const SimConfig &A = Config;
+  const SimConfig &B = Other.Config;
+  return Spec.Kind == Other.Spec.Kind && Spec.Units == Other.Spec.Units &&
+         A.PressureFactor == B.PressureFactor &&
+         A.ExplicitCapacityBytes == B.ExplicitCapacityBytes &&
+         A.Costs.EvictionPerByte == B.Costs.EvictionPerByte &&
+         A.Costs.EvictionBase == B.Costs.EvictionBase &&
+         A.Costs.MissPerByte == B.Costs.MissPerByte &&
+         A.Costs.MissBase == B.Costs.MissBase &&
+         A.Costs.UnlinkPerLink == B.Costs.UnlinkPerLink &&
+         A.Costs.UnlinkBase == B.Costs.UnlinkBase &&
+         A.EnableChaining == B.EnableChaining &&
+         A.Telemetry == B.Telemetry && A.Audit == B.Audit &&
+         A.Cancel == B.Cancel &&
+         A.CancelCheckInterval == B.CancelCheckInterval;
+}
+
+std::string ccsim::validateSweepGrid(const std::vector<SweepJob> &Jobs) {
+  if (Jobs.empty())
+    return "sweep grid has no points (empty lattice)";
+  for (size_t I = 0; I < Jobs.size(); ++I) {
+    std::string Err = Jobs[I].validate();
+    if (!Err.empty()) {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "sweep point %zu: ", I);
+      return Buf + Err;
+    }
+  }
+  return {};
+}
 
 SweepEngine::SweepEngine(const std::vector<WorkloadModel> &Models,
                          uint64_t SuiteSeed) {
@@ -85,7 +110,7 @@ SuiteResult SweepEngine::runSuite(
   // access count, which is what summing raw counters does.
   for (const SimResult &R : Result.PerBenchmark)
     Result.Combined.merge(R.Stats);
-  recordSuiteResult(Config.Telemetry, Result);
+  recordSuiteMetrics(Config.Telemetry, Result);
   return Result;
 }
 
@@ -106,22 +131,49 @@ SweepEngine::sweepGranularities(const SimConfig &Config) const {
 std::vector<SuiteResult>
 SweepEngine::runParallel(const std::vector<SweepJob> &Jobs) const {
   const size_t NumBenchmarks = Traces.size();
-  const size_t Cells = Jobs.size() * NumBenchmarks;
 
-  // Every (job, benchmark) cell is an independent simulation on its own
-  // CacheManager; flatten the grid so the pool load-balances across both
-  // axes at once (a single heavy benchmark no longer serializes a job).
+  // Identical grid points without a telemetry endpoint are simulated once
+  // and copied; Rep[J] is the index of the point J's cells come from. A
+  // point that records into a sink is its own representative: deduping it
+  // would drop observable tracer events and registry recordings.
+  std::vector<size_t> Rep(Jobs.size());
+  for (size_t J = 0; J < Jobs.size(); ++J) {
+    Rep[J] = J;
+    if (Jobs[J].Config.Telemetry)
+      continue;
+    for (size_t Earlier = 0; Earlier < J; ++Earlier)
+      if (Rep[Earlier] == Earlier && !Jobs[Earlier].Config.Telemetry &&
+          Jobs[J].sameSimulation(Jobs[Earlier])) {
+        Rep[J] = Earlier;
+        break;
+      }
+  }
+
+  // Every unique (job, benchmark) cell is an independent simulation on
+  // its own CacheManager; flatten the grid so the pool load-balances
+  // across both axes at once (a single heavy benchmark no longer
+  // serializes a job).
+  std::vector<size_t> Unique;
+  for (size_t J = 0; J < Jobs.size(); ++J)
+    if (Rep[J] == J)
+      Unique.push_back(J);
+  const size_t Cells = Unique.size() * NumBenchmarks;
   std::vector<SimResult> Flat(Cells);
   ThreadPool Pool(std::max<unsigned>(1, NumThreads));
   Pool.parallelFor(
       Cells,
       [&](size_t Cell) {
-        const size_t Job = Cell / NumBenchmarks;
+        const size_t Job = Unique[Cell / NumBenchmarks];
         const size_t Bench = Cell % NumBenchmarks;
         Flat[Cell] = sim::run(Traces[Bench], makePolicy(Jobs[Job].Spec),
                               Jobs[Job].Config);
       },
       /*ChunkSize=*/1);
+
+  // Index of each representative's first cell in Flat.
+  std::vector<size_t> FlatBase(Jobs.size(), 0);
+  for (size_t U = 0; U < Unique.size(); ++U)
+    FlatBase[Unique[U]] = U * NumBenchmarks;
 
   // Merge in canonical (job, benchmark) order: bit-identical to running
   // runSuite() per job serially.
@@ -130,11 +182,12 @@ SweepEngine::runParallel(const std::vector<SweepJob> &Jobs) const {
     SuiteResult &R = Results[J];
     R.PolicyLabel = Jobs[J].Spec.label();
     R.PressureFactor = Jobs[J].Config.PressureFactor;
-    R.PerBenchmark.assign(Flat.begin() + J * NumBenchmarks,
-                          Flat.begin() + (J + 1) * NumBenchmarks);
+    const size_t Base = FlatBase[Rep[J]];
+    R.PerBenchmark.assign(Flat.begin() + Base,
+                          Flat.begin() + Base + NumBenchmarks);
     for (const SimResult &B : R.PerBenchmark)
       R.Combined.merge(B.Stats);
-    recordSuiteResult(Jobs[J].Config.Telemetry, R);
+    recordSuiteMetrics(Jobs[J].Config.Telemetry, R);
   }
   return Results;
 }

@@ -64,6 +64,13 @@ struct SweepJob {
       return "unit-granularity sweep point needs at least one unit";
     return Config.validate();
   }
+
+  /// Whether \p Other describes the exact same simulation: same spec and
+  /// the same simulation-affecting config fields (pressure, capacity,
+  /// cost model, chaining, audit level, cancellation wiring, telemetry
+  /// endpoint). Two such points produce bit-identical results, which is
+  /// what lets the sweep engines simulate one and copy the other.
+  bool sameSimulation(const SweepJob &Other) const;
 };
 
 /// Cartesian helper: one SweepJob per (spec, pressure), each with \p Base
@@ -71,6 +78,18 @@ struct SweepJob {
 std::vector<SweepJob> makeSweepGrid(const std::vector<GranularitySpec> &Specs,
                                     const std::vector<double> &Pressures,
                                     const SimConfig &Base);
+
+/// Validates a whole sweep lattice: rejects an empty/degenerate grid with
+/// a message and returns the first failing point's error (prefixed with
+/// its index) otherwise. Empty string means runnable.
+std::string validateSweepGrid(const std::vector<SweepJob> &Jobs);
+
+/// Publishes one suite-level aggregate into \p Tel's registry, labeled by
+/// the sweep point. Callers must invoke it in canonical job order, which
+/// is what keeps registries byte-identical across serial, parallel, and
+/// one-pass execution. Null sink is a no-op.
+void recordSuiteMetrics(telemetry::TelemetrySink *Tel,
+                        const SuiteResult &Result);
 
 /// Generates and owns the traces for a benchmark suite and replays them
 /// under arbitrary policies.
@@ -108,6 +127,9 @@ public:
   /// (job, benchmark) order. The output is bit-identical to calling
   /// runSuite() on each job serially: every cell simulates on its own
   /// CacheManager, and aggregation order never depends on scheduling.
+  /// Duplicate grid points (sameSimulation) without a telemetry endpoint
+  /// simulate once and share the result; telemetry-carrying points are
+  /// never deduplicated, since each replay records observable events.
   std::vector<SuiteResult> runParallel(const std::vector<SweepJob> &Jobs) const;
 
   /// Number of worker threads (defaults to hardware concurrency; set to 1
