@@ -1,0 +1,84 @@
+# record_adversarial.cmake - run/validate the adversarial degradation
+# benchmark record.
+#
+# Script mode (cmake -P) helper behind bench/record_bench.sh adversarial
+# and the CI bench step. Two jobs:
+#
+#   1. Optionally run the adversarial_degradation binary first:
+#        cmake -DADVERSARIAL_BIN=<path/to/adversarial_degradation> \
+#              -DADVERSARIAL_JSON=<out.json> \
+#              [-DADVERSARIAL_ARGS=--scale=0.25] \
+#              -P bench/record_adversarial.cmake
+#      (ADVERSARIAL_ARGS is a semicolon-separated list of extra flags.)
+#
+#   2. Validate the BENCH_adversarial.json schema, and gate the
+#      correctness claim: max_degradation must be >= 5.0 — the acceptance
+#      floor of the adversarial suite (at least one granularity degrades
+#      fivefold against a benign workload of equal length). Wall-clock
+#      numbers are never gated.
+#
+# Exits nonzero (FATAL_ERROR) on any schema violation or a degradation
+# floor miss.
+
+cmake_minimum_required(VERSION 3.19)
+
+if(NOT DEFINED ADVERSARIAL_JSON)
+  message(FATAL_ERROR "pass -DADVERSARIAL_JSON=<path to BENCH_adversarial.json>")
+endif()
+
+if(DEFINED ADVERSARIAL_BIN)
+  message(STATUS "running ${ADVERSARIAL_BIN} --out=${ADVERSARIAL_JSON} "
+                 "${ADVERSARIAL_ARGS}")
+  execute_process(
+    COMMAND "${ADVERSARIAL_BIN}" "--out=${ADVERSARIAL_JSON}"
+            ${ADVERSARIAL_ARGS}
+    RESULT_VARIABLE RunResult)
+  if(NOT RunResult EQUAL 0)
+    message(FATAL_ERROR "adversarial_degradation exited ${RunResult}")
+  endif()
+endif()
+
+if(NOT EXISTS "${ADVERSARIAL_JSON}")
+  message(FATAL_ERROR "no record at ${ADVERSARIAL_JSON}")
+endif()
+file(READ "${ADVERSARIAL_JSON}" Record)
+
+# Every key adversarial_degradation writes; a missing or retyped key
+# breaks the consumers (CI trend tracking, bench/record_bench.sh).
+set(RequiredKeys
+  bench baseline scale seed accesses adversaries policies
+  max_degradation max_adversary max_policy elapsed_ms rows)
+foreach(Key IN LISTS RequiredKeys)
+  string(JSON Value ERROR_VARIABLE JsonError GET "${Record}" "${Key}")
+  if(JsonError)
+    message(FATAL_ERROR
+            "BENCH_adversarial.json: missing key '${Key}': ${JsonError}")
+  endif()
+endforeach()
+
+string(JSON BenchName GET "${Record}" bench)
+if(NOT BenchName STREQUAL "adversarial_degradation")
+  message(FATAL_ERROR "BENCH_adversarial.json: bench is '${BenchName}', "
+                      "expected 'adversarial_degradation'")
+endif()
+
+foreach(Key accesses adversaries policies)
+  string(JSON Value GET "${Record}" "${Key}")
+  if(Value LESS_EQUAL 0)
+    message(FATAL_ERROR
+            "BENCH_adversarial.json: ${Key}=${Value} must be positive")
+  endif()
+endforeach()
+
+# The acceptance floor: some granularity must degrade at least fivefold
+# under some adversary, or the suite has stopped being adversarial.
+string(JSON MaxDegradation GET "${Record}" max_degradation)
+if(MaxDegradation LESS 5.0)
+  message(FATAL_ERROR "BENCH_adversarial.json: max_degradation="
+                      "${MaxDegradation} is below the 5.0 acceptance floor")
+endif()
+
+string(JSON MaxAdversary GET "${Record}" max_adversary)
+string(JSON MaxPolicy GET "${Record}" max_policy)
+message(STATUS "BENCH_adversarial.json ok: worst case ${MaxAdversary} under "
+               "${MaxPolicy} at ${MaxDegradation}x")

@@ -1,34 +1,63 @@
 #!/usr/bin/env bash
-# record_bench.sh - build and run the one-pass sweep benchmark, then
-# validate and install the BENCH_sweep.json record at the repo root.
+# record_bench.sh - build and run a recorded benchmark, then validate and
+# install its BENCH_*.json record at the repo root.
 #
 # Usage:
-#   bench/record_bench.sh                 # paper lattice at scale 0.1
-#   bench/record_bench.sh --scale=0.02    # quicker smoke record
-#   bench/record_bench.sh --pressures=2   # hit-dominated slice
+#   bench/record_bench.sh                      # sweep lattice, scale 0.1
+#   bench/record_bench.sh --scale=0.02         # quicker sweep smoke
+#   bench/record_bench.sh --pressures=2        # hit-dominated slice
+#   bench/record_bench.sh adversarial          # degradation, scale 0.25
+#   bench/record_bench.sh adversarial --seed=7 # custom adversarial run
 #
-# All flags are forwarded to bench/sweep_onepass. The build tree defaults
-# to ./build (override with BUILD_DIR). The record is only installed if
-# sweep_onepass exits 0, i.e. the one-pass and per-config results were
-# bit-identical; schema validation happens in record_bench.cmake so CI
-# can reuse it without a shell.
+# The first argument selects the benchmark ("sweep", the default, or
+# "adversarial"); every other flag is forwarded to the binary. The build
+# tree defaults to ./build (override with BUILD_DIR). A record is only
+# installed if its binary exits 0 AND its validator passes: sweep gates
+# bit-identity of the one-pass results, adversarial gates the 5x
+# degradation floor. Schema validation happens in the record_*.cmake
+# scripts so CI can reuse them without a shell.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 BUILD="${BUILD_DIR:-$ROOT/build}"
 
-SCALE_ARGS=("$@")
-if [[ $# -eq 0 ]]; then
-  SCALE_ARGS=(--scale=0.1)
+MODE=sweep
+if [[ $# -gt 0 && $1 != --* ]]; then
+  MODE="$1"
+  shift
 fi
 
-cmake -B "$BUILD" -S "$ROOT" >/dev/null
-cmake --build "$BUILD" --target sweep_onepass -j "$(nproc)"
-
-ARGS_LIST="$(IFS=';'; echo "${SCALE_ARGS[*]}")"
-cmake -DSWEEP_ONEPASS="$BUILD/bench/sweep_onepass" \
-      -DSWEEP_JSON="$ROOT/BENCH_sweep.json" \
-      -DSWEEP_ARGS="$ARGS_LIST" \
-      -P "$ROOT/bench/record_bench.cmake"
-
-echo "recorded $ROOT/BENCH_sweep.json"
+case "$MODE" in
+sweep)
+  SCALE_ARGS=("$@")
+  if [[ $# -eq 0 ]]; then
+    SCALE_ARGS=(--scale=0.1)
+  fi
+  cmake -B "$BUILD" -S "$ROOT" >/dev/null
+  cmake --build "$BUILD" --target sweep_onepass -j "$(nproc)"
+  ARGS_LIST="$(IFS=';'; echo "${SCALE_ARGS[*]}")"
+  cmake -DSWEEP_ONEPASS="$BUILD/bench/sweep_onepass" \
+        -DSWEEP_JSON="$ROOT/BENCH_sweep.json" \
+        -DSWEEP_ARGS="$ARGS_LIST" \
+        -P "$ROOT/bench/record_bench.cmake"
+  echo "recorded $ROOT/BENCH_sweep.json"
+  ;;
+adversarial)
+  SCALE_ARGS=("$@")
+  if [[ $# -eq 0 ]]; then
+    SCALE_ARGS=(--scale=0.25)
+  fi
+  cmake -B "$BUILD" -S "$ROOT" >/dev/null
+  cmake --build "$BUILD" --target adversarial_degradation -j "$(nproc)"
+  ARGS_LIST="$(IFS=';'; echo "${SCALE_ARGS[*]}")"
+  cmake -DADVERSARIAL_BIN="$BUILD/bench/adversarial_degradation" \
+        -DADVERSARIAL_JSON="$ROOT/BENCH_adversarial.json" \
+        -DADVERSARIAL_ARGS="$ARGS_LIST" \
+        -P "$ROOT/bench/record_adversarial.cmake"
+  echo "recorded $ROOT/BENCH_adversarial.json"
+  ;;
+*)
+  echo "unknown benchmark '$MODE' (sweep | adversarial)" >&2
+  exit 1
+  ;;
+esac

@@ -26,6 +26,7 @@
 #include "support/Flags.h"
 #include "trace/TraceGenerator.h"
 #include "trace/WorkloadModel.h"
+#include "workloads/Adversary.h"
 
 #include <cstdlib>
 #include <optional>
@@ -84,13 +85,62 @@ sweepModeFromFlags(const FlagSet &Flags, std::string *Error) {
   return Mode;
 }
 
-/// Declares the synthetic-workload flags: benchmark, scale, seed.
+/// Declares the synthetic-workload flags: benchmark, workload, scale,
+/// seed. --workload selects an adversarial generator by catalog name and
+/// takes precedence over --benchmark when set.
 inline void addWorkloadFlags(FlagSet &Flags,
                              const std::string &DefaultBenchmark = "crafty",
                              int64_t DefaultSeed = 42) {
   Flags.addString("benchmark", DefaultBenchmark, "Table 1 benchmark name.");
+  Flags.addString("workload", "",
+                  "Workload source: '' = the statistical --benchmark | "
+                  "adversarial:<name> (see `ccsim_cli gen --list`).");
   Flags.addDouble("scale", 1.0, "Workload size multiplier.");
   Flags.addInt("seed", DefaultSeed, "Trace generation seed.");
+}
+
+/// Resolves an "adversarial:<name>" workload value to generated traces:
+/// one trace for a catalog name, the whole catalog for
+/// "adversarial:all". Scaling below 1 shrinks the working sets exactly
+/// like scaledWorkload does for Table 1 models. On failure returns
+/// nullopt with the description (including the catalog) in \p Error.
+inline std::optional<std::vector<Trace>>
+adversarialTracesFromSpec(const std::string &Workload, double Scale,
+                          uint64_t Seed, std::string *Error) {
+  const std::string Prefix = "adversarial:";
+  if (Workload.rfind(Prefix, 0) != 0) {
+    if (Error)
+      *Error = "bad workload '" + Workload +
+               "' (expected adversarial:<name> or adversarial:all)";
+    return std::nullopt;
+  }
+  const std::string Name = Workload.substr(Prefix.size());
+  std::vector<const workloads::AdversarySpec *> Chosen;
+  if (Name == "all") {
+    for (const workloads::AdversarySpec &Spec :
+         workloads::adversarialCatalog())
+      Chosen.push_back(&Spec);
+  } else if (const workloads::AdversarySpec *Spec =
+                 workloads::findAdversarial(Name)) {
+    Chosen.push_back(Spec);
+  } else {
+    if (Error) {
+      *Error = "unknown adversarial workload '" + Name +
+               "'; pick one of: all";
+      for (const workloads::AdversarySpec &Spec :
+           workloads::adversarialCatalog())
+        *Error += " " + Spec.Name;
+    }
+    return std::nullopt;
+  }
+  std::vector<Trace> Traces;
+  Traces.reserve(Chosen.size());
+  for (const workloads::AdversarySpec *Spec : Chosen) {
+    const workloads::AdversarySpec Scaled =
+        Scale < 0.999 ? workloads::scaledAdversary(*Spec, Scale) : *Spec;
+    Traces.push_back(workloads::generateAdversarial(Scaled, Seed));
+  }
+  return Traces;
 }
 
 /// Strict "--policy" parser: "flush", "fine"/"fifo", or a positive unit
@@ -153,9 +203,28 @@ workloadFromFlags(const FlagSet &Flags, std::string *Error) {
   return *M;
 }
 
-/// Generates the trace the addWorkloadFlags() flags describe.
+/// Generates the trace the addWorkloadFlags() flags describe: the
+/// statistical --benchmark by default, or the adversarial workload named
+/// by --workload when set (single-trace contexts reject adversarial:all).
 inline std::optional<Trace> workloadTraceFromFlags(const FlagSet &Flags,
                                                    std::string *Error) {
+  const std::string Workload = Flags.getString("workload");
+  if (!Workload.empty()) {
+    auto Traces = adversarialTracesFromSpec(
+        Workload, Flags.getDouble("scale"),
+        static_cast<uint64_t>(Flags.getInt("seed")), Error);
+    if (!Traces)
+      return std::nullopt;
+    if (Traces->size() != 1) {
+      if (Error)
+        *Error = "'" + Workload + "' names " +
+                 std::to_string(Traces->size()) +
+                 " workloads; this subcommand replays exactly one "
+                 "(adversarial:all is for suite)";
+      return std::nullopt;
+    }
+    return std::move(Traces->front());
+  }
   const auto Model = workloadFromFlags(Flags, Error);
   if (!Model)
     return std::nullopt;

@@ -7,6 +7,11 @@
 //   ccsim_cli record --out=run.cct [--functions=N] [--iterations=N]
 //       Run the mini-DBT on a synthetic program and save its superblock
 //       log.
+//   ccsim_cli gen --workload=adversarial:chain --out=chain.cct
+//       Generate a synthetic workload trace and save it: the statistical
+//       Table 1 --benchmark by default, or one of the adversarial
+//       generators (--list prints the catalog). Every trace-consuming
+//       subcommand also accepts --workload=adversarial:<name> directly.
 //   ccsim_cli replay run.cct --policy=fine --pressure=4
 //       Replay a saved log through the cache simulator.
 //   ccsim_cli fit
@@ -244,9 +249,10 @@ replayJobFromReplayFlags(const FlagSet &Flags, std::string *Error) {
 }
 
 /// Suite engines are expensive (trace generation for the whole Table 1
-/// suite), so manifest lines with the same (scale, seed, jobs) share one.
+/// suite), so manifest lines with the same (workload, scale, seed, jobs)
+/// share one.
 using EngineCache =
-    std::map<std::tuple<double, int64_t, int64_t>,
+    std::map<std::tuple<std::string, double, int64_t, int64_t>,
              std::shared_ptr<const SweepEngine>>;
 
 std::optional<service::SweepBatchJob>
@@ -255,19 +261,30 @@ sweepJobFromSuiteFlags(const FlagSet &Flags, EngineCache &Engines,
   const auto Config = simConfigFromFlags(Flags, Error);
   if (!Config)
     return std::nullopt;
+  const std::string Workload = Flags.getString("workload");
   const double Scale = Flags.getDouble("scale");
   const int64_t Seed = Flags.getInt("seed");
   const int64_t Jobs = Flags.getInt("jobs");
-  auto &Slot = Engines[{Scale, Seed, Jobs}];
+  auto &Slot = Engines[{Workload, Scale, Seed, Jobs}];
   if (!Slot) {
-    SweepEngine Engine =
-        Scale >= 0.999
-            ? SweepEngine::forTable1(static_cast<uint64_t>(Seed))
-            : SweepEngine::forScaledTable1(Scale,
-                                           static_cast<uint64_t>(Seed));
-    Engine.setNumThreads(Jobs > 0 ? static_cast<unsigned>(Jobs)
-                                  : ThreadPool::hardwareThreads());
-    Slot = std::make_shared<const SweepEngine>(std::move(Engine));
+    std::optional<SweepEngine> Engine;
+    if (Workload.empty()) {
+      Engine = Scale >= 0.999
+                   ? SweepEngine::forTable1(static_cast<uint64_t>(Seed))
+                   : SweepEngine::forScaledTable1(
+                         Scale, static_cast<uint64_t>(Seed));
+    } else {
+      // Adversarial suite: the catalog entry (or all of them) in place
+      // of the Table 1 benchmarks.
+      auto Traces = adversarialTracesFromSpec(
+          Workload, Scale, static_cast<uint64_t>(Seed), Error);
+      if (!Traces)
+        return std::nullopt;
+      Engine.emplace(std::move(*Traces));
+    }
+    Engine->setNumThreads(Jobs > 0 ? static_cast<unsigned>(Jobs)
+                                   : ThreadPool::hardwareThreads());
+    Slot = std::make_shared<const SweepEngine>(std::move(*Engine));
   }
   const auto Mode = sweepModeFromFlags(Flags, Error);
   if (!Mode)
@@ -284,6 +301,18 @@ std::optional<service::TenantJob>
 tenantJobFromTenantsFlags(const FlagSet &Flags, std::string *Error) {
   std::vector<Trace> Traces;
   for (const std::string &Name : splitList(Flags.getString("tenants"))) {
+    // A tenant entry is a Table 1 benchmark or an adversarial workload
+    // ("adversarial:<name>"; "adversarial:all" adds the whole catalog).
+    if (Name.rfind("adversarial:", 0) == 0) {
+      auto Generated = adversarialTracesFromSpec(
+          Name, Flags.getDouble("scale"),
+          static_cast<uint64_t>(Flags.getInt("seed")), Error);
+      if (!Generated)
+        return std::nullopt;
+      for (Trace &T : *Generated)
+        Traces.push_back(std::move(T));
+      continue;
+    }
     const WorkloadModel *M = findWorkload(Name);
     if (!M) {
       *Error = "unknown benchmark '" + Name + "'";
@@ -384,8 +413,13 @@ FlagSet makeFitFlags() {
 }
 
 FlagSet makeSuiteFlags() {
-  FlagSet Flags("ccsim_cli suite: Table 1 granularity sweep.");
+  FlagSet Flags("ccsim_cli suite: granularity sweep over a benchmark "
+                "suite (Table 1 by default).");
   addSimConfigFlags(Flags, 2.0);
+  Flags.addString("workload", "",
+                  "Suite source: '' = the Table 1 benchmarks | "
+                  "adversarial:<name> | adversarial:all (the whole "
+                  "adversarial catalog; see `ccsim_cli gen --list`).");
   Flags.addDouble("scale", 1.0, "Suite size multiplier.");
   Flags.addInt("seed", static_cast<int64_t>(DefaultSuiteSeed),
                "Suite seed.");
@@ -399,7 +433,8 @@ FlagSet makeSuiteFlags() {
 FlagSet makeTenantsFlags() {
   FlagSet Flags("ccsim_cli tenants: multi-tenant shared-cache simulation.");
   Flags.addString("tenants", "gzip,vpr,crafty",
-                  "Comma-separated Table 1 benchmark names.");
+                  "Comma-separated tenants: Table 1 benchmark names "
+                  "and/or adversarial:<name> workloads.");
   Flags.addString("mode", "shared", "shared | static | quota.");
   Flags.addString("schedule", "rr", "Interleaving: rr | weighted.");
   addPolicyFlag(Flags);
@@ -407,6 +442,20 @@ FlagSet makeTenantsFlags() {
   Flags.addDouble("scale", 1.0, "Workload size multiplier.");
   Flags.addInt("seed", 42, "Trace seed.");
   addTelemetryFlags(Flags);
+  return Flags;
+}
+
+FlagSet makeGenFlags() {
+  FlagSet Flags("ccsim_cli gen: generate a synthetic workload trace and "
+                "save it as a .cct file. The statistical Table 1 "
+                "--benchmark by default; --workload=adversarial:<name> "
+                "selects an adversarial generator instead (--list prints "
+                "the catalog).");
+  addWorkloadFlags(Flags);
+  Flags.addString("out", "workload.cct",
+                  "Output trace path ('' = print the summary only).");
+  Flags.addBool("list", false,
+                "Print the adversarial workload catalog and exit.");
   return Flags;
 }
 
@@ -538,6 +587,66 @@ int runReplay(FlagSet &Flags) {
   const auto Sink = makeSinkIfRequested(Flags);
   Job->Config.Telemetry = Sink.get();
   return runJobAndPrint(service::Job(std::move(*Job)), Flags, Sink);
+}
+
+int runGen(FlagSet &Flags) {
+  if (Flags.getBool("list")) {
+    Table Out({"Name", "Kind", "Blocks", "Accesses", "Tuned cache",
+               "Attack"});
+    for (const workloads::AdversarySpec &Spec :
+         workloads::adversarialCatalog()) {
+      Out.beginRow();
+      Out.cell(Spec.Name);
+      Out.cell(workloads::adversaryKindName(Spec.Kind));
+      Out.cell(Spec.plannedBlocks());
+      Out.cell(Spec.derivedAccesses());
+      Out.cell(formatBytes(Spec.tunedCapacityBytes()));
+      Out.cell(Spec.Summary);
+    }
+    std::fputs(Out.render().c_str(), stdout);
+    return ExitOk;
+  }
+
+  std::string Error;
+  auto T = workloadTraceFromFlags(Flags, &Error);
+  if (!T) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return ExitUsage;
+  }
+  std::printf("generated %s: %zu superblocks / %s accesses, maxCache %s\n",
+              T->Name.c_str(), T->numSuperblocks(),
+              formatWithCommas(T->numAccesses()).c_str(),
+              formatBytes(T->maxCacheBytes()).c_str());
+
+  // For adversarial workloads, tell the user the cache size the pattern
+  // is engineered to defeat, so `replay --capacity=...` hits the worst
+  // case without guessing.
+  const std::string Workload = Flags.getString("workload");
+  const std::string Prefix = "adversarial:";
+  if (Workload.rfind(Prefix, 0) == 0) {
+    if (const workloads::AdversarySpec *Spec =
+            workloads::findAdversarial(Workload.substr(Prefix.size()))) {
+      const workloads::AdversarySpec Tuned =
+          Flags.getDouble("scale") < 0.999
+              ? workloads::scaledAdversary(*Spec, Flags.getDouble("scale"))
+              : *Spec;
+      std::printf("worst case at --capacity=%llu (pressure %.2f)\n",
+                  static_cast<unsigned long long>(
+                      Tuned.tunedCapacityBytes()),
+                  double(T->maxCacheBytes()) /
+                      double(Tuned.tunedCapacityBytes()));
+    }
+  }
+
+  const std::string Out = Flags.getString("out");
+  if (Out.empty())
+    return ExitOk;
+  if (!writeTrace(*T, Out)) {
+    std::fprintf(stderr, "error: cannot write %s\n", Out.c_str());
+    return ExitRuntime;
+  }
+  std::printf("wrote %s\n", Out.c_str());
+  return ExitOk;
 }
 
 int runFit(FlagSet &Flags) {
@@ -1055,6 +1164,9 @@ constexpr SubcommandDef Subcommands[] = {
      runRecord},
     {"replay", "replay a saved log through the simulator", makeReplayFlags,
      runReplay},
+    {"gen",
+     "generate a workload trace (--list: adversarial catalog)",
+     makeGenFlags, runGen},
     {"fit", "re-derive the paper's overhead equations", makeFitFlags,
      runFit},
     {"suite", "granularity sweep over the whole suite (--jobs)",

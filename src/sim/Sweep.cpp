@@ -59,6 +59,11 @@ SweepEngine::SweepEngine(const std::vector<WorkloadModel> &Models,
   NumThreads = ThreadPool::hardwareThreads();
 }
 
+SweepEngine::SweepEngine(std::vector<Trace> TraceList)
+    : Traces(std::move(TraceList)) {
+  NumThreads = ThreadPool::hardwareThreads();
+}
+
 SweepEngine SweepEngine::forTable1(uint64_t SuiteSeed) {
   return SweepEngine(table1Workloads(), SuiteSeed);
 }

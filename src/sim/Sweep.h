@@ -99,6 +99,12 @@ public:
   /// \p SuiteSeed.
   SweepEngine(const std::vector<WorkloadModel> &Models, uint64_t SuiteSeed);
 
+  /// Engine over explicit, pre-generated traces (adversarial suites,
+  /// saved logs). Takes ownership; traces must be validate()-clean and
+  /// nonempty. Every runner below treats these exactly like generated
+  /// benchmarks.
+  explicit SweepEngine(std::vector<Trace> TraceList);
+
   /// Engine over the paper's full Table 1 suite.
   static SweepEngine forTable1(uint64_t SuiteSeed = DefaultSuiteSeed);
 

@@ -1,0 +1,79 @@
+//===- workloads/Degradation.h - Adversary vs. benign overhead ratios -----===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The controlled comparison behind the degradation report, the
+/// adversarial bench record, and the golden degradation pins: every
+/// catalog adversary replayed against the benign statistical workload at
+/// equal trace length and equal relative cache pressure, per eviction
+/// granularity. One definition of "degradation" shared by all three
+/// consumers, so the CLI report, BENCH_adversarial.json, and the
+/// regression pins can never drift apart.
+///
+/// Fairness construction: the benign baseline trace is generated first;
+/// each adversary is then generated with its Accesses pinned to the
+/// baseline's length, and replayed at its tuned capacity while the
+/// baseline replays at the same capacity *fraction* of its own maxCache.
+/// Equal length, equal relative pressure — only the access structure is
+/// adversarial.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_WORKLOADS_DEGRADATION_H
+#define CCSIM_WORKLOADS_DEGRADATION_H
+
+#include "core/CacheStats.h"
+#include "core/CostModel.h"
+#include "core/EvictionPolicy.h"
+#include "workloads/Adversary.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace ccsim::workloads {
+
+/// Inputs of one degradation study.
+struct DegradationConfig {
+  double Scale = 1.0; ///< Working-set scale for adversaries AND baseline.
+  uint64_t Seed = 42;
+  std::string BaselineBenchmark = "crafty"; ///< Table 1 statistical model.
+  std::vector<GranularitySpec> Policies = {
+      GranularitySpec::flush(), GranularitySpec::units(8),
+      GranularitySpec::fine()};
+  CostModel Costs = CostModel::paperDefaults();
+};
+
+/// One (adversary, granularity) comparison cell.
+struct DegradationCell {
+  std::string Adversary;
+  std::string PolicyLabel;
+  uint64_t AdversaryCapacityBytes = 0;
+  uint64_t BaselineCapacityBytes = 0;
+  CacheStats Adversarial; ///< Full counters of the adversarial replay.
+  CacheStats Baseline;    ///< Full counters of the benign replay.
+
+  /// Modeled-overhead ratio adversarial/benign (Eq. 2-4 totals including
+  /// link maintenance). The baseline's cold misses keep its overhead
+  /// strictly positive on any non-empty trace; the max() is a guard for
+  /// degenerate empty streams, not a fudge factor.
+  double degradation() const {
+    return Adversarial.totalOverhead(true) /
+           std::max(Baseline.totalOverhead(true), 1.0);
+  }
+};
+
+/// Runs the full study: |catalog| x |Policies| cells, in catalog-then-
+/// policy order. Deterministic given the config.
+std::vector<DegradationCell>
+computeDegradation(const DegradationConfig &Config);
+
+/// The cell with the largest degradation ratio (nullptr on empty input).
+const DegradationCell *worstCell(const std::vector<DegradationCell> &Cells);
+
+} // namespace ccsim::workloads
+
+#endif // CCSIM_WORKLOADS_DEGRADATION_H

@@ -1,0 +1,131 @@
+//===- tests/support/PropertyHarness.h - Seeded property-test driver ------===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny seeded property-test driver for the differential and fuzz
+/// suites: sample a config from a per-case seed, check a property, and on
+/// failure shrink toward a minimal counterexample before reporting. The
+/// report always carries the base seed, the failing case index, and the
+/// shrunk config's description, so a CI failure reproduces locally with
+/// one --gtest_filter run and no bisecting.
+///
+/// Per-case seeds derive from the base seed through SplitMix64, so adding
+/// or removing cases never perturbs the streams of the others.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_TESTS_SUPPORT_PROPERTYHARNESS_H
+#define CCSIM_TESTS_SUPPORT_PROPERTYHARNESS_H
+
+#include "support/Random.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ccsim::proptest {
+
+/// One property over configs of type \p Config.
+template <typename Config> struct Property {
+  /// Draws a config from a per-case seed. Must be deterministic in Seed.
+  std::function<Config(uint64_t Seed)> Sample;
+
+  /// Checks the property; empty string = holds, else the failure text.
+  std::function<std::string(const Config &)> Check;
+
+  /// Proposes strictly-simpler variants of a failing config, most
+  /// aggressive first (the shrinker takes the first variant that still
+  /// fails and repeats). Optional; empty result or null = no shrinking.
+  std::function<std::vector<Config>(const Config &)> Shrink;
+
+  /// Human-readable description of a config for the failure report.
+  std::function<std::string(const Config &)> Describe;
+};
+
+/// Outcome of a checkProperty() run.
+template <typename Config> struct PropertyResult {
+  bool Passed = true;
+  uint64_t BaseSeed = 0;
+  uint64_t FailingSeed = 0; ///< The per-case seed that failed.
+  size_t FailingIndex = 0;  ///< Which sample failed (0-based).
+  size_t ShrinkSteps = 0;   ///< Accepted shrink transitions.
+  std::string Error;        ///< Check() text of the shrunk config.
+  std::optional<Config> FailingConfig; ///< Shrunk counterexample.
+
+  /// One reproducible failure report (empty when the run passed).
+  std::string render(const Property<Config> &P) const {
+    if (Passed)
+      return {};
+    char Head[160];
+    std::snprintf(Head, sizeof(Head),
+                  "property failed at sample %zu (base seed %llu, case "
+                  "seed %llu, %zu shrink steps)\n",
+                  FailingIndex,
+                  static_cast<unsigned long long>(BaseSeed),
+                  static_cast<unsigned long long>(FailingSeed), ShrinkSteps);
+    std::string Out = Head;
+    if (FailingConfig && P.Describe)
+      Out += "  config: " + P.Describe(*FailingConfig) + "\n";
+    Out += "  error:  " + Error;
+    return Out;
+  }
+};
+
+/// Runs \p Samples cases of \p P with per-case seeds derived from
+/// \p BaseSeed. Stops at the first failure, shrinks it (bounded), and
+/// returns the minimal counterexample found.
+template <typename Config>
+PropertyResult<Config> checkProperty(const Property<Config> &P,
+                                     uint64_t BaseSeed, size_t Samples,
+                                     size_t MaxShrinkSteps = 200) {
+  PropertyResult<Config> Result;
+  Result.BaseSeed = BaseSeed;
+  SplitMix64 Seeder(BaseSeed);
+  for (size_t I = 0; I < Samples; ++I) {
+    const uint64_t CaseSeed = Seeder.next();
+    Config Current = P.Sample(CaseSeed);
+    std::string Error = P.Check(Current);
+    if (Error.empty())
+      continue;
+
+    // Greedy shrink: take the first proposed variant that still fails
+    // and restart from it, until nothing simpler fails or the budget
+    // runs out.
+    size_t Steps = 0;
+    if (P.Shrink) {
+      bool Progress = true;
+      while (Progress && Steps < MaxShrinkSteps) {
+        Progress = false;
+        for (const Config &Variant : P.Shrink(Current)) {
+          const std::string VariantError = P.Check(Variant);
+          if (VariantError.empty())
+            continue;
+          Current = Variant;
+          Error = VariantError;
+          ++Steps;
+          Progress = true;
+          break;
+        }
+      }
+    }
+
+    Result.Passed = false;
+    Result.FailingSeed = CaseSeed;
+    Result.FailingIndex = I;
+    Result.ShrinkSteps = Steps;
+    Result.Error = Error;
+    Result.FailingConfig = Current;
+    return Result;
+  }
+  return Result;
+}
+
+} // namespace ccsim::proptest
+
+#endif // CCSIM_TESTS_SUPPORT_PROPERTYHARNESS_H

@@ -1,0 +1,112 @@
+//===- tests/workloads/PropertyHarnessTest.cpp - Harness self-tests -------===//
+//
+// The property harness is itself test infrastructure, so its contract —
+// deterministic per-case seeds, stop-at-first-failure, greedy shrinking
+// to a minimal counterexample, reproducible reports — gets pinned here
+// before the differential and fuzz suites rely on it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "../support/PropertyHarness.h"
+
+#include "gtest/gtest.h"
+
+#include <string>
+#include <vector>
+
+using namespace ccsim;
+using namespace ccsim::proptest;
+
+namespace {
+
+/// Toy config: a single integer drawn in [0, 1000).
+Property<int> intProperty() {
+  Property<int> P;
+  P.Sample = [](uint64_t Seed) { return static_cast<int>(Seed % 1000); };
+  P.Describe = [](const int &V) { return std::to_string(V); };
+  return P;
+}
+
+} // namespace
+
+TEST(PropertyHarnessTest, PassingPropertyReportsNothing) {
+  Property<int> P = intProperty();
+  P.Check = [](const int &) { return std::string(); };
+  const auto Result = checkProperty(P, 42, 100);
+  EXPECT_TRUE(Result.Passed);
+  EXPECT_TRUE(Result.render(P).empty());
+}
+
+TEST(PropertyHarnessTest, SameSeedSamplesSameCases) {
+  std::vector<int> First, Second;
+  Property<int> P = intProperty();
+  P.Check = [&First](const int &V) {
+    First.push_back(V);
+    return std::string();
+  };
+  checkProperty(P, 7, 50);
+  P.Check = [&Second](const int &V) {
+    Second.push_back(V);
+    return std::string();
+  };
+  checkProperty(P, 7, 50);
+  EXPECT_EQ(First, Second);
+
+  // A different base seed draws a different stream.
+  std::vector<int> Third;
+  P.Check = [&Third](const int &V) {
+    Third.push_back(V);
+    return std::string();
+  };
+  checkProperty(P, 8, 50);
+  EXPECT_NE(First, Third);
+}
+
+TEST(PropertyHarnessTest, ShrinksToMinimalCounterexample) {
+  // Property "V < 100" fails for most draws; the shrinker decrements, so
+  // the minimal failing value is exactly 100 regardless of the first
+  // failing draw.
+  Property<int> P = intProperty();
+  P.Check = [](const int &V) {
+    return V < 100 ? std::string() : "value " + std::to_string(V);
+  };
+  P.Shrink = [](const int &V) { return std::vector<int>{V / 2, V - 1}; };
+  const auto Result = checkProperty(P, 42, 100, /*MaxShrinkSteps=*/2000);
+  ASSERT_FALSE(Result.Passed);
+  ASSERT_TRUE(Result.FailingConfig.has_value());
+  EXPECT_EQ(*Result.FailingConfig, 100);
+  EXPECT_GT(Result.ShrinkSteps, 0u);
+
+  // The report names the seeds, the index, and the shrunk config.
+  const std::string Report = Result.render(P);
+  EXPECT_NE(Report.find("base seed 42"), std::string::npos);
+  EXPECT_NE(Report.find("config: 100"), std::string::npos);
+  EXPECT_NE(Report.find("value 100"), std::string::npos);
+}
+
+TEST(PropertyHarnessTest, ShrinkBudgetBounds) {
+  // Everything fails and every shrink step still fails: the budget must
+  // stop the loop.
+  Property<int> P = intProperty();
+  P.Check = [](const int &) { return std::string("always"); };
+  P.Shrink = [](const int &V) { return std::vector<int>{V + 1}; };
+  const auto Result = checkProperty(P, 1, 10, /*MaxShrinkSteps=*/17);
+  ASSERT_FALSE(Result.Passed);
+  EXPECT_EQ(Result.ShrinkSteps, 17u);
+  EXPECT_EQ(Result.FailingIndex, 0u);
+}
+
+TEST(PropertyHarnessTest, StopsAtFirstFailure) {
+  // Counts how many cases run: the harness must not keep sampling past
+  // the first failing case.
+  size_t Checked = 0;
+  Property<int> P = intProperty();
+  P.Check = [&Checked](const int &) {
+    ++Checked;
+    return Checked == 3 ? std::string("third") : std::string();
+  };
+  const auto Result = checkProperty(P, 9, 100);
+  ASSERT_FALSE(Result.Passed);
+  EXPECT_EQ(Result.FailingIndex, 2u);
+  EXPECT_EQ(Checked, 3u);
+}
