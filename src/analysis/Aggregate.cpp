@@ -1,8 +1,8 @@
 //===- analysis/Aggregate.cpp - Cross-benchmark result aggregation --------===//
 
 #include "analysis/Aggregate.h"
+#include "support/Contracts.h"
 
-#include <cassert>
 
 using namespace ccsim;
 
@@ -10,7 +10,7 @@ std::vector<double>
 ccsim::relativeOverheadWeighted(const std::vector<SuiteResult> &Points,
                                 bool IncludeLinkMaintenance,
                                 size_t BaselineIndex) {
-  assert(BaselineIndex < Points.size() && "baseline index out of range");
+  CCSIM_ASSERT(BaselineIndex < Points.size(), "baseline index out of range");
   const double Base =
       Points[BaselineIndex].Combined.totalOverhead(IncludeLinkMaintenance);
   std::vector<double> Out;
@@ -25,13 +25,13 @@ ccsim::relativeOverheadWeighted(const std::vector<SuiteResult> &Points,
 std::vector<double> ccsim::relativeOverheadPerBenchmarkMean(
     const std::vector<SuiteResult> &Points, bool IncludeLinkMaintenance,
     size_t BaselineIndex) {
-  assert(BaselineIndex < Points.size() && "baseline index out of range");
+  CCSIM_ASSERT(BaselineIndex < Points.size(), "baseline index out of range");
   const SuiteResult &Base = Points[BaselineIndex];
   std::vector<double> Out;
   Out.reserve(Points.size());
   for (const SuiteResult &P : Points) {
-    assert(P.PerBenchmark.size() == Base.PerBenchmark.size() &&
-           "sweep points cover different benchmark sets");
+    CCSIM_ASSERT(P.PerBenchmark.size() == Base.PerBenchmark.size(),
+                 "sweep points cover different benchmark sets");
     double Sum = 0.0;
     size_t Count = 0;
     for (size_t I = 0; I < P.PerBenchmark.size(); ++I) {
@@ -51,7 +51,7 @@ std::vector<double> ccsim::relativeOverheadPerBenchmarkMean(
 std::vector<double>
 ccsim::relativeEvictionsWeighted(const std::vector<SuiteResult> &Points,
                                  size_t BaselineIndex) {
-  assert(BaselineIndex < Points.size() && "baseline index out of range");
+  CCSIM_ASSERT(BaselineIndex < Points.size(), "baseline index out of range");
   const double Base = static_cast<double>(
       Points[BaselineIndex].Combined.EvictionInvocations);
   std::vector<double> Out;
@@ -66,7 +66,7 @@ ccsim::relativeEvictionsWeighted(const std::vector<SuiteResult> &Points,
 
 std::vector<double> ccsim::relativeEvictionsPerBenchmarkMean(
     const std::vector<SuiteResult> &Points, size_t BaselineIndex) {
-  assert(BaselineIndex < Points.size() && "baseline index out of range");
+  CCSIM_ASSERT(BaselineIndex < Points.size(), "baseline index out of range");
   const SuiteResult &Base = Points[BaselineIndex];
   std::vector<double> Out;
   Out.reserve(Points.size());

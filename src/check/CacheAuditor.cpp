@@ -270,9 +270,13 @@ void check::checkLinkGraph(const LinkGraphState &Links,
   for (const LinkGraphState::Node &N : Links.Nodes) {
     if (!Resident.count(N.Id))
       continue;
-    std::unordered_set<SuperblockId> Targets(N.StaticEdges.begin(),
-                                             N.StaticEdges.end());
-    Targets.insert(N.Out.begin(), N.Out.end());
+    // Sorted unique targets: violation order must be deterministic, and
+    // hash order is not (determinism.unordered-iteration).
+    std::vector<SuperblockId> Targets(N.StaticEdges.begin(),
+                                      N.StaticEdges.end());
+    Targets.insert(Targets.end(), N.Out.begin(), N.Out.end());
+    std::sort(Targets.begin(), Targets.end());
+    Targets.erase(std::unique(Targets.begin(), Targets.end()), Targets.end());
     for (SuperblockId To : Targets) {
       const int64_t Edges = CountIn(N.StaticEdges, To);
       const int64_t Materialized = CountIn(N.Out, To);
@@ -448,10 +452,18 @@ void check::checkFreeList(const FreeListState &Arena, AuditReport &Report) {
                  "block %llu appears %zu times in the LRU list",
                  static_cast<ULL>(A.Id), It->second);
   }
+  // Report stray LRU entries in sorted id order, not hash order: audit
+  // reports feed golden tests (determinism.unordered-iteration).
+  std::vector<SuperblockId> StrayLru;
+  // ccsim-lint: allow(determinism.unordered-iteration) -- ids are
+  // collected into StrayLru and sorted before any report is emitted
   for (const auto &[Id, Count] : LruCount)
     if (!ResidentIds.count(Id))
-      Report.add(AuditRule::FreeListLruMismatch, ids({Id}),
-                 "LRU entry %llu is not resident", static_cast<ULL>(Id));
+      StrayLru.push_back(Id);
+  std::sort(StrayLru.begin(), StrayLru.end());
+  for (SuperblockId Id : StrayLru)
+    Report.add(AuditRule::FreeListLruMismatch, ids({Id}),
+               "LRU entry %llu is not resident", static_cast<ULL>(Id));
 }
 
 // --- Generational rules --------------------------------------------------

@@ -28,7 +28,7 @@ ThreadPool::ThreadPool(unsigned NumThreads, bool AlwaysSpawnWorkers)
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> Lock(Mutex);
+    MutexLock Lock(Mu);
     Stopping = true;
   }
   WorkAvailable.notify_all();
@@ -40,21 +40,18 @@ void ThreadPool::workerLoop() {
   for (;;) {
     std::function<void()> Task;
     {
-      std::unique_lock<std::mutex> Lock(Mutex);
-      WorkAvailable.wait(Lock,
-                         [this]() { return Stopping || !Queue.empty(); });
-      if (Queue.empty()) {
-        if (Stopping)
-          return;
-        continue;
-      }
+      MutexLock Lock(Mu);
+      while (!Stopping && Queue.empty())
+        WorkAvailable.wait(Lock.native());
+      if (Queue.empty())
+        return; // Stopping, and no pending work left to drain.
       Task = std::move(Queue.front());
       Queue.pop_front();
       ++ActiveTasks;
     }
     Task();
     {
-      std::unique_lock<std::mutex> Lock(Mutex);
+      MutexLock Lock(Mu);
       --ActiveTasks;
       if (Queue.empty() && ActiveTasks == 0)
         Idle.notify_all();
@@ -70,7 +67,7 @@ void ThreadPool::submit(std::function<void()> Task) {
     return;
   }
   {
-    std::unique_lock<std::mutex> Lock(Mutex);
+    MutexLock Lock(Mu);
     Queue.push_back(std::move(Task));
   }
   WorkAvailable.notify_one();
@@ -79,36 +76,39 @@ void ThreadPool::submit(std::function<void()> Task) {
 void ThreadPool::waitIdle() {
   if (Workers.empty())
     return;
-  std::unique_lock<std::mutex> Lock(Mutex);
-  Idle.wait(Lock, [this]() { return Queue.empty() && ActiveTasks == 0; });
+  MutexLock Lock(Mu);
+  while (!Queue.empty() || ActiveTasks != 0)
+    Idle.wait(Lock.native());
 }
 
 size_t ThreadPool::pendingTasks() const {
-  std::unique_lock<std::mutex> Lock(Mutex);
+  MutexLock Lock(Mu);
   return Queue.size();
 }
 
 size_t ThreadPool::activeTaskCount() const {
-  std::unique_lock<std::mutex> Lock(Mutex);
+  MutexLock Lock(Mu);
   return ActiveTasks;
 }
 
 namespace {
 
-/// Shared state of one parallelFor region.
+/// Shared state of one parallelFor region. The workers and the issuing
+/// thread synchronize on Mu; the chunk cursor and failure flag stay
+/// atomic so the hot claim path takes no lock.
 struct ForRegion {
   std::atomic<size_t> Next{0};
   std::atomic<bool> Failed{false};
 
-  std::mutex Mutex;
+  Mutex Mu;
   std::condition_variable Done;
-  size_t PendingTasks = 0;
-  size_t FailIndex = std::numeric_limits<size_t>::max();
-  std::exception_ptr Error;
+  size_t PendingTasks CCSIM_GUARDED_BY(Mu) = 0;
+  size_t FailIndex CCSIM_GUARDED_BY(Mu) = std::numeric_limits<size_t>::max();
+  std::exception_ptr Error CCSIM_GUARDED_BY(Mu);
 
-  void recordFailure(size_t Index, std::exception_ptr E) {
+  void recordFailure(size_t Index, std::exception_ptr E) CCSIM_EXCLUDES(Mu) {
     Failed.store(true, std::memory_order_relaxed);
-    std::unique_lock<std::mutex> Lock(Mutex);
+    MutexLock Lock(Mu);
     if (Index < FailIndex) {
       FailIndex = Index;
       Error = std::move(E);
@@ -135,7 +135,10 @@ void ThreadPool::parallelFor(size_t N,
   const size_t NumTasks = std::min<size_t>(NumThreads, NumChunks);
 
   ForRegion Region;
-  Region.PendingTasks = NumTasks;
+  {
+    MutexLock Lock(Region.Mu);
+    Region.PendingTasks = NumTasks;
+  }
 
   auto Work = [&Region, &Body, N, ChunkSize]() {
     for (;;) {
@@ -154,19 +157,22 @@ void ThreadPool::parallelFor(size_t N,
         }
       }
     }
-    std::unique_lock<std::mutex> Lock(Region.Mutex);
+    MutexLock Lock(Region.Mu);
     if (--Region.PendingTasks == 0)
       Region.Done.notify_all();
   };
 
   for (size_t T = 0; T < NumTasks; ++T)
     submit(Work);
+  std::exception_ptr Error;
   {
-    std::unique_lock<std::mutex> Lock(Region.Mutex);
-    Region.Done.wait(Lock, [&Region]() { return Region.PendingTasks == 0; });
+    MutexLock Lock(Region.Mu);
+    while (Region.PendingTasks != 0)
+      Region.Done.wait(Lock.native());
+    Error = Region.Error;
   }
-  if (Region.Error)
-    std::rethrow_exception(Region.Error);
+  if (Error)
+    std::rethrow_exception(Error);
 }
 
 void ccsim::parallelFor(unsigned NumThreads, size_t N,

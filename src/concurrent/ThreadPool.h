@@ -29,11 +29,12 @@
 #ifndef CCSIM_CONCURRENT_THREADPOOL_H
 #define CCSIM_CONCURRENT_THREADPOOL_H
 
+#include "support/ThreadSafety.h"
+
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -58,39 +59,39 @@ public:
   unsigned threadCount() const { return NumThreads; }
 
   /// Enqueues \p Task for execution on some worker.
-  void submit(std::function<void()> Task);
+  void submit(std::function<void()> Task) CCSIM_EXCLUDES(Mu);
 
   /// Blocks until the queue is empty and every worker is idle.
-  void waitIdle();
+  void waitIdle() CCSIM_EXCLUDES(Mu);
 
   /// Tasks submitted but not yet picked up by a worker.
-  size_t pendingTasks() const;
+  size_t pendingTasks() const CCSIM_EXCLUDES(Mu);
 
   /// Tasks currently executing on a worker.
-  size_t activeTaskCount() const;
+  size_t activeTaskCount() const CCSIM_EXCLUDES(Mu);
 
   /// Runs Body(0) .. Body(N-1) across the pool in contiguous chunks and
   /// blocks until all have finished. \p ChunkSize 0 picks a chunk that
   /// yields ~4 chunks per worker (good load balance for uneven cells).
   /// Rethrows the exception of the lowest failing index, if any.
   void parallelFor(size_t N, const std::function<void(size_t)> &Body,
-                   size_t ChunkSize = 0);
+                   size_t ChunkSize = 0) CCSIM_EXCLUDES(Mu);
 
   /// Hardware concurrency with a sane fallback.
   static unsigned hardwareThreads();
 
 private:
-  unsigned NumThreads;
-  std::vector<std::thread> Workers;
+  unsigned NumThreads;           ///< Immutable after construction.
+  std::vector<std::thread> Workers; ///< Immutable after construction.
 
-  mutable std::mutex Mutex;
+  mutable Mutex Mu;
   std::condition_variable WorkAvailable;
   std::condition_variable Idle;
-  std::deque<std::function<void()>> Queue;
-  size_t ActiveTasks = 0;
-  bool Stopping = false;
+  std::deque<std::function<void()>> Queue CCSIM_GUARDED_BY(Mu);
+  size_t ActiveTasks CCSIM_GUARDED_BY(Mu) = 0;
+  bool Stopping CCSIM_GUARDED_BY(Mu) = false;
 
-  void workerLoop();
+  void workerLoop() CCSIM_EXCLUDES(Mu);
 };
 
 /// One-shot convenience: runs \p Body over [0, N) on a transient pool of

@@ -1,8 +1,8 @@
 //===- isa/Program.cpp - Guest programs and the assembler -------------------===//
 
 #include "isa/Program.h"
+#include "support/Contracts.h"
 
-#include <cassert>
 
 using namespace ccsim;
 
@@ -29,8 +29,8 @@ ProgramBuilder::Label ProgramBuilder::createLabel() {
 }
 
 void ProgramBuilder::bind(Label L) {
-  assert(L < LabelPositions.size() && "unknown label");
-  assert(LabelPositions[L] < 0 && "label bound twice");
+  CCSIM_ASSERT(L < LabelPositions.size(), "unknown label");
+  CCSIM_ASSERT(LabelPositions[L] < 0, "label bound twice");
   LabelPositions[L] = currentPC();
 }
 
@@ -42,7 +42,7 @@ void ProgramBuilder::emit(const Instruction &Inst) {
 
 void ProgramBuilder::emitWithTargetFixup(const Instruction &Inst, Label L,
                                          uint8_t TargetFieldOffset) {
-  assert(L < LabelPositions.size() && "unknown label");
+  CCSIM_ASSERT(L < LabelPositions.size(), "unknown label");
   Fixups.push_back(Fixup{currentPC() + TargetFieldOffset, L});
   emit(Inst);
 }
@@ -53,8 +53,8 @@ void ProgramBuilder::emitHalt() { emit(Instruction{Opcode::Halt}); }
 
 void ProgramBuilder::emitAlu(Opcode Op, uint8_t Rd, uint8_t Rs1,
                              uint8_t Rs2) {
-  assert(static_cast<uint8_t>(Op) >= 0x10 &&
-         static_cast<uint8_t>(Op) <= 0x17 && "not an ALU opcode");
+  CCSIM_ASSERT(static_cast<uint8_t>(Op) >= 0x10 &&
+         static_cast<uint8_t>(Op) <= 0x17, "not an ALU opcode");
   Instruction I;
   I.Op = Op;
   I.Rd = Rd;
@@ -144,7 +144,7 @@ void ProgramBuilder::emitRet() { emit(Instruction{Opcode::Ret}); }
 Program ProgramBuilder::finish() {
   for (const Fixup &F : Fixups) {
     const int64_t Pos = LabelPositions[F.L];
-    assert(Pos >= 0 && "unbound label at finish()");
+    CCSIM_ASSERT(Pos >= 0, "unbound label at finish()");
     const uint32_t Target = static_cast<uint32_t>(Pos);
     Bytes[F.Offset + 0] = static_cast<uint8_t>(Target);
     Bytes[F.Offset + 1] = static_cast<uint8_t>(Target >> 8);

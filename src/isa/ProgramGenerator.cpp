@@ -1,11 +1,11 @@
 //===- isa/ProgramGenerator.cpp - Synthetic guest program synthesis --------===//
 
 #include "isa/ProgramGenerator.h"
+#include "support/Contracts.h"
 
 #include "support/Random.h"
 
 #include <algorithm>
-#include <cassert>
 #include <vector>
 
 using namespace ccsim;
@@ -61,7 +61,7 @@ void GeneratorState::emitRareExit() {
 }
 
 uint32_t GeneratorState::pickCallee(uint32_t MinIndex) {
-  assert(MinIndex < Spec.NumFunctions && "no callee available");
+  CCSIM_ASSERT(MinIndex < Spec.NumFunctions, "no callee available");
   uint32_t Lo = MinIndex;
   if (Spec.SharedCalleeCount > 0 &&
       Spec.NumFunctions > Spec.SharedCalleeCount) {
@@ -235,15 +235,16 @@ void GeneratorState::emitMain() {
 }
 
 Program GeneratorState::generate() {
-  assert(Spec.NumFunctions > 0 && "need at least one function");
-  assert(Spec.OuterIterations > 0 && Spec.InnerIterations > 0 &&
-         "loop counts must be positive");
-  assert(Spec.OuterIterations <= 32000 && Spec.InnerIterations <= 32000 &&
-         "loop counts must fit the movi immediate");
-  assert(Spec.MeanCallsPerFunction < 0.95 &&
-         "call branching factor must stay below 1");
-  assert(Spec.RareMaskBits >= 1 && Spec.RareMaskBits <= 14 &&
-         "rare mask must fit the movi immediate");
+  CCSIM_ASSERT(Spec.NumFunctions > 0, "need at least one function");
+  CCSIM_ASSERT(Spec.OuterIterations > 0 && Spec.InnerIterations > 0,
+               "loop counts must be positive");
+  CCSIM_ASSERT(Spec.OuterIterations <= 32000 &&
+                   Spec.InnerIterations <= 32000,
+               "loop counts must fit the movi immediate");
+  CCSIM_ASSERT(Spec.MeanCallsPerFunction < 0.95,
+               "call branching factor must stay below 1");
+  CCSIM_ASSERT(Spec.RareMaskBits >= 1 && Spec.RareMaskBits <= 14,
+               "rare mask must fit the movi immediate");
 
   FunctionLabels.reserve(Spec.NumFunctions);
   for (uint32_t I = 0; I < Spec.NumFunctions; ++I)

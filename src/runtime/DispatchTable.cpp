@@ -1,8 +1,8 @@
 //===- runtime/DispatchTable.cpp - PC-to-fragment hash table ---------------===//
 
 #include "runtime/DispatchTable.h"
+#include "support/Contracts.h"
 
-#include <cassert>
 
 using namespace ccsim;
 
@@ -31,7 +31,7 @@ int32_t DispatchTable::lookup(uint32_t PC, unsigned &ProbesOut) const {
 }
 
 unsigned DispatchTable::insert(uint32_t PC, int32_t FragmentIndex) {
-  assert(FragmentIndex >= 0 && "fragment index must be non-negative");
+  CCSIM_ASSERT(FragmentIndex >= 0, "fragment index must be non-negative");
   if ((Used + 1) * 10 >= Slots.size() * 7)
     grow();
   const size_t Mask = Slots.size() - 1;
@@ -49,7 +49,7 @@ unsigned DispatchTable::insert(uint32_t PC, int32_t FragmentIndex) {
       ++Live;
       return Probes;
     }
-    assert(S.PC != PC && "PC already present in dispatch table");
+    CCSIM_ASSERT(S.PC != PC, "PC already present in dispatch table");
     Index = (Index + 1) & Mask;
   }
 }
@@ -61,8 +61,8 @@ unsigned DispatchTable::remove(uint32_t PC) {
   for (;;) {
     ++Probes;
     Slot &S = Slots[Index];
-    assert(S.State != SlotState::Empty &&
-           "removing a PC that is not present");
+    CCSIM_ASSERT(S.State != SlotState::Empty,
+                 "removing a PC that is not present");
     if (S.State == SlotState::Live && S.PC == PC) {
       S.State = SlotState::Tombstone;
       --Live;

@@ -18,8 +18,8 @@
 #define CCSIM_RUNTIME_GUESTSTATE_H
 
 #include "isa/Isa.h"
+#include "support/Contracts.h"
 
-#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -31,17 +31,17 @@ public:
   /// \p MemoryBytes must be a power of two (>= 8).
   explicit GuestState(size_t MemoryBytes = 1 << 16)
       : Memory(MemoryBytes, 0) {
-    assert(MemoryBytes >= 8 && (MemoryBytes & (MemoryBytes - 1)) == 0 &&
-           "guest memory must be a power-of-two size");
+    CCSIM_ASSERT(MemoryBytes >= 8 && (MemoryBytes & (MemoryBytes - 1)) == 0,
+                 "guest memory must be a power-of-two size");
   }
 
   uint64_t reg(unsigned Index) const {
-    assert(Index < NumRegisters && "register index out of range");
+    CCSIM_ASSERT(Index < NumRegisters, "register index out of range");
     return Index == 0 ? 0 : Regs[Index];
   }
 
   void setReg(unsigned Index, uint64_t Value) {
-    assert(Index < NumRegisters && "register index out of range");
+    CCSIM_ASSERT(Index < NumRegisters, "register index out of range");
     if (Index != 0)
       Regs[Index] = Value;
   }

@@ -1,11 +1,11 @@
 //===- runtime/Translator.cpp - Mini dynamic binary translator ------------===//
 
 #include "runtime/Translator.h"
+#include "support/Contracts.h"
 
 #include "runtime/Interpreter.h"
 
 #include <algorithm>
-#include <cassert>
 
 using namespace ccsim;
 
@@ -29,7 +29,7 @@ Translator::Translator(const Program &P, const TranslatorConfig &Config)
 }
 
 SuperblockId Translator::idForPC(uint32_t PC) {
-  assert(PC < IdLookup.size() && "entry PC outside the program image");
+  CCSIM_ASSERT(PC < IdLookup.size(), "entry PC outside the program image");
   if (IdLookup[PC] >= 0)
     return static_cast<SuperblockId>(IdLookup[PC]);
   const SuperblockId Id = static_cast<SuperblockId>(PCById.size());
@@ -65,7 +65,7 @@ uint64_t Translator::dropVictims(std::span<const CodeCache::Resident> Victims,
     Bytes += V.Size;
     ProbeOps += InTable.remove(PCById[V.Id]) * Config.Weights.PerProbe;
     const int32_t Slot = SlotMap[V.Id];
-    assert(Slot >= 0 && "evicted fragment has no slot");
+    CCSIM_ASSERT(Slot >= 0, "evicted fragment has no slot");
     Fragments[static_cast<size_t>(Slot)] = Fragment();
     FreeSlots.push_back(Slot);
     SlotMap[V.Id] = DispatchTable::NotFound;
@@ -241,7 +241,7 @@ void Translator::buildAndInstallBasicBlock() {
 
   // Make room (firing onBasicBlockEvict per batch) and commit; no links.
   const bool Installed = BBEngine.install({F.Id, F.CodeBytes});
-  assert(Installed && "size was checked against the BB capacity");
+  CCSIM_ASSERT(Installed, "size was checked against the BB capacity");
   (void)Installed;
 
   const int32_t Slot = allocateSlot();
@@ -258,7 +258,7 @@ void Translator::buildAndInstallBasicBlock() {
 
 void Translator::onBasicBlockEvict(
     std::span<const CodeCache::Resident> Victims) {
-  assert(!Victims.empty() && "no BB victims to process");
+  CCSIM_ASSERT(!Victims.empty(), "no BB victims to process");
   double ProbeOps = 0;
   const uint64_t Bytes = dropVictims(Victims, BBTable, BBSlotById, ProbeOps);
   Stats.Ops.BBEvictOps +=
@@ -272,7 +272,7 @@ void Translator::installFragment(Fragment &&Frag) {
   // hooks per batch), commits, and links the recorded static edges.
   const bool Installed =
       Engine.install({Frag.Id, Frag.CodeBytes, Frag.StaticEdges});
-  assert(Installed && "size was checked against the capacity");
+  CCSIM_ASSERT(Installed, "size was checked against the capacity");
   (void)Installed;
 
   if (Config.RecordTrace) {
@@ -313,7 +313,7 @@ void Translator::installFragment(Fragment &&Frag) {
 
 void Translator::onSuperblockEvict(
     std::span<const CodeCache::Resident> Victims) {
-  assert(!Victims.empty() && "no victims to process");
+  CCSIM_ASSERT(!Victims.empty(), "no victims to process");
   double ProbeOps = 0;
   const uint64_t Bytes = dropVictims(Victims, Table, SlotById, ProbeOps);
 
@@ -348,7 +348,7 @@ int32_t Translator::executeFragment(int32_t Slot) {
     // The BB prologue bumps the trace-head counter (DynamoRIO's profile
     // counter). Crossing the threshold bails to the dispatcher, which
     // promotes the block into a superblock.
-    assert(F.EntryPC < HotCounter.size() && "BB entry outside image");
+    CCSIM_ASSERT(F.EntryPC < HotCounter.size(), "BB entry outside image");
     Stats.Ops.CacheExecOps += 2.0; // Counter increment in the prologue.
     if (++HotCounter[F.EntryPC] >= Config.HotThreshold &&
         State.PC == F.EntryPC)
@@ -381,8 +381,8 @@ int32_t Translator::executeFragment(int32_t Slot) {
     if (!Terminal) {
       if (Next == F.PCs[I + 1])
         continue; // Still on the recorded path.
-      assert(Inst.isConditionalBranch() &&
-             "only conditional branches may leave the recorded path");
+      CCSIM_ASSERT(Inst.isConditionalBranch(),
+                   "only conditional branches may leave the recorded path");
       // Side exit: a direct (linkable) transfer off the hot path.
       return resolveDirectExit(Next);
     }
@@ -461,7 +461,7 @@ const TranslatorStats &Translator::run(uint64_t MaxGuestInstructions) {
 
     if (Slot < 0) {
       const uint32_t PC = State.PC;
-      assert(PC < HotCounter.size() && "PC outside the program image");
+      CCSIM_ASSERT(PC < HotCounter.size(), "PC outside the program image");
       if (++HotCounter[PC] >= Config.HotThreshold) {
         buildAndInstallFragment();
         continue; // The recording already executed the path.
@@ -506,7 +506,7 @@ void Translator::syncEngineStats() {
 }
 
 Trace Translator::exportTrace() const {
-  assert(Config.RecordTrace && "run was not recorded");
+  CCSIM_ASSERT(Config.RecordTrace, "run was not recorded");
   Trace T;
   T.Name = "mini-dbt";
 
@@ -530,11 +530,11 @@ Trace Translator::exportTrace() const {
   }
   T.Accesses.reserve(RecordedAccesses.size());
   for (SuperblockId Id : RecordedAccesses) {
-    assert(Id < Remap.size() && Remap[Id] >= 0 &&
-           "recorded access to a never-built fragment");
+    CCSIM_ASSERT(Id < Remap.size() && Remap[Id] >= 0,
+                 "recorded access to a never-built fragment");
     T.Accesses.push_back(static_cast<SuperblockId>(Remap[Id]));
   }
-  assert(T.validate() && "exported trace must be structurally valid");
+  CCSIM_ASSERT(T.validate(), "exported trace must be structurally valid");
   return T;
 }
 

@@ -174,11 +174,11 @@ struct JobState {
   uint32_t LabelId = 0;
   std::chrono::steady_clock::time_point SubmitTime;
 
-  mutable std::mutex Mu;
+  mutable Mutex Mu;
   std::condition_variable Terminal;
-  JobStatus Status = JobStatus::Queued;
-  uint64_t StartSeq = 0;
-  JobOutcome Outcome;
+  JobStatus Status CCSIM_GUARDED_BY(Mu) = JobStatus::Queued;
+  uint64_t StartSeq CCSIM_GUARDED_BY(Mu) = 0;
+  JobOutcome Outcome CCSIM_GUARDED_BY(Mu);
 };
 
 } // namespace ccsim::service::detail
@@ -192,25 +192,30 @@ using ccsim::service::detail::JobState;
 uint64_t JobHandle::id() const { return State ? State->Id : 0; }
 
 JobStatus JobHandle::status() const {
-  std::lock_guard<std::mutex> Lock(State->Mu);
+  MutexLock Lock(State->Mu);
   return State->Status;
 }
 
 uint64_t JobHandle::startSequence() const {
-  std::lock_guard<std::mutex> Lock(State->Mu);
+  MutexLock Lock(State->Mu);
   return State->StartSeq;
 }
 
 const JobOutcome &JobHandle::wait() const {
-  std::unique_lock<std::mutex> Lock(State->Mu);
-  State->Terminal.wait(Lock, [&] { return isTerminal(State->Status); });
+  MutexLock Lock(State->Mu);
+  while (!isTerminal(State->Status))
+    State->Terminal.wait(Lock.native());
   return State->Outcome;
 }
 
 bool JobHandle::waitFor(std::chrono::milliseconds Timeout) const {
-  std::unique_lock<std::mutex> Lock(State->Mu);
-  return State->Terminal.wait_for(Lock, Timeout,
-                                  [&] { return isTerminal(State->Status); });
+  const auto Limit = std::chrono::steady_clock::now() + Timeout;
+  MutexLock Lock(State->Mu);
+  while (!isTerminal(State->Status))
+    if (State->Terminal.wait_until(Lock.native(), Limit) ==
+        std::cv_status::timeout)
+      return isTerminal(State->Status);
+  return true;
 }
 
 void JobHandle::cancel() {
@@ -271,7 +276,7 @@ void SimService::finish(const std::shared_ptr<JobState> &S, JobStatus Terminal,
   if (!Error.empty())
     Outcome.Error = std::move(Error);
   {
-    std::lock_guard<std::mutex> Lock(S->Mu);
+    MutexLock Lock(S->Mu);
     S->Outcome = std::move(Outcome);
     S->Status = Terminal;
   }
@@ -291,7 +296,7 @@ JobHandle SimService::submit(Job J) {
   std::string RejectError;
   std::shared_ptr<JobState> Victim;
   {
-    std::unique_lock<std::mutex> Lock(Mu);
+    MutexLock Lock(Mu);
     S->Id = NextJobId++;
     if (S->TheJob.Options.Label.empty())
       S->TheJob.Options.Label = "job-" + std::to_string(S->Id);
@@ -311,9 +316,8 @@ JobHandle SimService::submit(Job J) {
       if (Queue.size() >= Config.QueueCapacity) {
         switch (Config.Pressure) {
         case BackpressurePolicy::Block:
-          SpaceAvailable.wait(Lock, [&] {
-            return Queue.size() < Config.QueueCapacity || Draining;
-          });
+          while (Queue.size() >= Config.QueueCapacity && !Draining)
+            SpaceAvailable.wait(Lock.native());
           if (Draining)
             RejectError = "service is draining";
           break;
@@ -379,8 +383,9 @@ std::shared_ptr<JobState> SimService::popBest() {
 void SimService::runOne() {
   std::shared_ptr<JobState> S;
   {
-    std::unique_lock<std::mutex> Lock(Mu);
-    Unpaused.wait(Lock, [&] { return !Paused; });
+    MutexLock Lock(Mu);
+    while (Paused)
+      Unpaused.wait(Lock.native());
     S = popBest();
     if (!S)
       return;
@@ -414,11 +419,11 @@ void SimService::runOne() {
   } else {
     uint64_t Seq;
     {
-      std::lock_guard<std::mutex> Lock(Mu);
+      MutexLock Lock(Mu);
       Seq = NextStartSeq++;
     }
     {
-      std::lock_guard<std::mutex> Lock(S->Mu);
+      MutexLock Lock(S->Mu);
       S->Status = JobStatus::Running;
       S->StartSeq = Seq;
     }
@@ -439,14 +444,14 @@ void SimService::runOne() {
   }
 
   {
-    std::lock_guard<std::mutex> Lock(Mu);
+    MutexLock Lock(Mu);
     --Running;
   }
 }
 
 void SimService::start() {
   {
-    std::lock_guard<std::mutex> Lock(Mu);
+    MutexLock Lock(Mu);
     Paused = false;
   }
   Unpaused.notify_all();
@@ -454,7 +459,7 @@ void SimService::start() {
 
 void SimService::drain() {
   {
-    std::lock_guard<std::mutex> Lock(Mu);
+    MutexLock Lock(Mu);
     Draining = true;
     Paused = false;
   }
@@ -463,21 +468,21 @@ void SimService::drain() {
   // Every admitted job holds one pump task, so an idle pool means every
   // admitted job is terminal.
   Pool.waitIdle();
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   updateQueueGauges(Queue.size());
 }
 
 bool SimService::draining() const {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   return Draining;
 }
 
 size_t SimService::queueDepth() const {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   return Queue.size();
 }
 
 size_t SimService::runningCount() const {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   return Running;
 }

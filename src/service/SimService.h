@@ -34,6 +34,7 @@
 
 #include "concurrent/ThreadPool.h"
 #include "service/Job.h"
+#include "support/ThreadSafety.h"
 #include "telemetry/Telemetry.h"
 
 #include <chrono>
@@ -41,7 +42,6 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 
@@ -145,48 +145,48 @@ public:
   /// and shed jobs all surface as terminal handles with a descriptive
   /// Error — submit() never aborts the process and only blocks under the
   /// Block policy.
-  JobHandle submit(Job J);
+  JobHandle submit(Job J) CCSIM_EXCLUDES(Mu);
 
   /// Releases a paused service's queue (no-op otherwise).
-  void start();
+  void start() CCSIM_EXCLUDES(Mu);
 
   /// Stops admitting, completes every already-admitted job, flushes the
   /// telemetry sink's final gauges, and joins nothing (workers stay for
   /// the destructor). Safe to call more than once.
-  void drain();
+  void drain() CCSIM_EXCLUDES(Mu);
 
-  bool draining() const;
+  bool draining() const CCSIM_EXCLUDES(Mu);
 
   /// Jobs admitted but not yet running.
-  size_t queueDepth() const;
+  size_t queueDepth() const CCSIM_EXCLUDES(Mu);
 
   /// Jobs currently executing.
-  size_t runningCount() const;
+  size_t runningCount() const CCSIM_EXCLUDES(Mu);
 
   unsigned threadCount() const { return Pool.threadCount(); }
 
 private:
   SimServiceConfig Config;
 
-  mutable std::mutex Mu;
+  mutable Mutex Mu;
   std::condition_variable SpaceAvailable; ///< Blocked submitters.
   std::condition_variable Unpaused;       ///< Workers of a paused service.
-  std::deque<std::shared_ptr<detail::JobState>> Queue;
-  bool Paused = false;
-  bool Draining = false;
-  size_t Running = 0;
-  uint64_t NextJobId = 1;
-  uint64_t NextStartSeq = 1;
-  uint64_t QueueDepthPeak = 0;
+  std::deque<std::shared_ptr<detail::JobState>> Queue CCSIM_GUARDED_BY(Mu);
+  bool Paused CCSIM_GUARDED_BY(Mu) = false;
+  bool Draining CCSIM_GUARDED_BY(Mu) = false;
+  size_t Running CCSIM_GUARDED_BY(Mu) = 0;
+  uint64_t NextJobId CCSIM_GUARDED_BY(Mu) = 1;
+  uint64_t NextStartSeq CCSIM_GUARDED_BY(Mu) = 1;
+  uint64_t QueueDepthPeak CCSIM_GUARDED_BY(Mu) = 0;
 
   ThreadPool Pool; ///< Last member: workers must die before the state.
 
-  void runOne();
+  void runOne() CCSIM_EXCLUDES(Mu);
   void finish(const std::shared_ptr<detail::JobState> &S, JobStatus Terminal,
-              std::string Error, JobOutcome Outcome);
+              std::string Error, JobOutcome Outcome) CCSIM_EXCLUDES(Mu);
   void recordTransition(const detail::JobState &S, JobStatus To);
-  void updateQueueGauges(size_t Depth);
-  std::shared_ptr<detail::JobState> popBest();
+  void updateQueueGauges(size_t Depth) CCSIM_REQUIRES(Mu);
+  std::shared_ptr<detail::JobState> popBest() CCSIM_REQUIRES(Mu);
 };
 
 } // namespace ccsim::service

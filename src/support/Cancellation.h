@@ -12,6 +12,13 @@
 /// cancellation or installs a deadline from any thread. Loops honor a
 /// stop request by throwing ReplayCancelled, discarding the partial run.
 ///
+/// Thread-safety: CancelToken is deliberately lock-free — both fields
+/// are atomics with release/acquire pairing — so it carries no
+/// CCSIM_GUARDED_BY capabilities (support/ThreadSafety.h); there is no
+/// mutex for the Clang analysis to track, and none is needed. Keep it
+/// that way: the token is polled on every trace chunk of every replay
+/// backend, where a lock would serialize the sweep workers.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CCSIM_SUPPORT_CANCELLATION_H

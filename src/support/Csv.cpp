@@ -1,17 +1,17 @@
 //===- support/Csv.cpp - CSV serialization for figure series --------------===//
 
 #include "support/Csv.h"
+#include "support/Contracts.h"
 
 #include "support/StringUtils.h"
 
-#include <cassert>
 #include <cstdio>
 
 using namespace ccsim;
 
 CsvWriter::CsvWriter(std::vector<std::string> Header)
     : Header(std::move(Header)) {
-  assert(!this->Header.empty() && "CSV needs at least one column");
+  CCSIM_ASSERT(!this->Header.empty(), "CSV needs at least one column");
 }
 
 std::string CsvWriter::escape(const std::string &Field) {
@@ -30,7 +30,7 @@ std::string CsvWriter::escape(const std::string &Field) {
 }
 
 void CsvWriter::addRow(std::vector<std::string> Row) {
-  assert(Row.size() == Header.size() && "row width must match header");
+  CCSIM_ASSERT(Row.size() == Header.size(), "row width must match header");
   Rows.push_back(std::move(Row));
 }
 
@@ -48,7 +48,7 @@ void CsvWriter::flushPending() {
 }
 
 void CsvWriter::cell(const std::string &Text) {
-  assert(RowOpen && "cell() outside beginRow()");
+  CCSIM_ASSERT(RowOpen, "cell() outside beginRow()");
   Pending.push_back(Text);
 }
 

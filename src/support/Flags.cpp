@@ -1,8 +1,8 @@
 //===- support/Flags.cpp - Tiny command-line flag parser -----------------===//
 
 #include "support/Flags.h"
+#include "support/Contracts.h"
 
-#include <cassert>
 #include <cstdio>
 #include <cstdlib>
 
@@ -13,7 +13,7 @@ FlagSet::FlagSet(std::string ProgramDescription)
 
 void FlagSet::addInt(const std::string &Name, int64_t Default,
                      const std::string &Help) {
-  assert(!find(Name) && "duplicate flag");
+  CCSIM_ASSERT(!find(Name), "duplicate flag");
   Flag F;
   F.Name = Name;
   F.Kind = KindType::Int;
@@ -25,7 +25,7 @@ void FlagSet::addInt(const std::string &Name, int64_t Default,
 
 void FlagSet::addDouble(const std::string &Name, double Default,
                         const std::string &Help) {
-  assert(!find(Name) && "duplicate flag");
+  CCSIM_ASSERT(!find(Name), "duplicate flag");
   Flag F;
   F.Name = Name;
   F.Kind = KindType::Double;
@@ -39,7 +39,7 @@ void FlagSet::addDouble(const std::string &Name, double Default,
 
 void FlagSet::addString(const std::string &Name, const std::string &Default,
                         const std::string &Help) {
-  assert(!find(Name) && "duplicate flag");
+  CCSIM_ASSERT(!find(Name), "duplicate flag");
   Flag F;
   F.Name = Name;
   F.Kind = KindType::String;
@@ -51,7 +51,7 @@ void FlagSet::addString(const std::string &Name, const std::string &Default,
 
 void FlagSet::addBool(const std::string &Name, bool Default,
                       const std::string &Help) {
-  assert(!find(Name) && "duplicate flag");
+  CCSIM_ASSERT(!find(Name), "duplicate flag");
   Flag F;
   F.Name = Name;
   F.Kind = KindType::Bool;
@@ -152,25 +152,25 @@ bool FlagSet::parse(int Argc, const char *const *Argv) {
 
 int64_t FlagSet::getInt(const std::string &Name) const {
   const Flag *F = find(Name);
-  assert(F && F->Kind == KindType::Int && "unknown or mistyped flag");
+  CCSIM_ASSERT(F && F->Kind == KindType::Int, "unknown or mistyped flag");
   return F->IntValue;
 }
 
 double FlagSet::getDouble(const std::string &Name) const {
   const Flag *F = find(Name);
-  assert(F && F->Kind == KindType::Double && "unknown or mistyped flag");
+  CCSIM_ASSERT(F && F->Kind == KindType::Double, "unknown or mistyped flag");
   return F->DoubleValue;
 }
 
 std::string FlagSet::getString(const std::string &Name) const {
   const Flag *F = find(Name);
-  assert(F && F->Kind == KindType::String && "unknown or mistyped flag");
+  CCSIM_ASSERT(F && F->Kind == KindType::String, "unknown or mistyped flag");
   return F->StringValue;
 }
 
 bool FlagSet::getBool(const std::string &Name) const {
   const Flag *F = find(Name);
-  assert(F && F->Kind == KindType::Bool && "unknown or mistyped flag");
+  CCSIM_ASSERT(F && F->Kind == KindType::Bool, "unknown or mistyped flag");
   return F->BoolValue;
 }
 

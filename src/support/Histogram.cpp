@@ -1,18 +1,18 @@
 //===- support/Histogram.cpp - Fixed-width bucket histograms -------------===//
 
 #include "support/Histogram.h"
+#include "support/Contracts.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 using namespace ccsim;
 
 Histogram::Histogram(double BucketWidth, size_t NumBuckets)
     : BucketWidth(BucketWidth) {
-  assert(BucketWidth > 0.0 && "bucket width must be positive");
-  assert(NumBuckets > 0 && "need at least one bucket");
+  CCSIM_ASSERT(BucketWidth > 0.0, "bucket width must be positive");
+  CCSIM_ASSERT(NumBuckets > 0, "need at least one bucket");
   Counts.assign(NumBuckets + 1, 0);
 }
 
@@ -34,7 +34,7 @@ void Histogram::add(double Sample, uint64_t Count) {
 }
 
 double Histogram::bucketFraction(size_t I) const {
-  assert(I < Counts.size() && "bucket index out of range");
+  CCSIM_ASSERT(I < Counts.size(), "bucket index out of range");
   if (Total == 0)
     return 0.0;
   return static_cast<double>(Counts[I]) / static_cast<double>(Total);

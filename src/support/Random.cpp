@@ -1,6 +1,7 @@
 //===- support/Random.cpp - Deterministic random number generation -------===//
 
 #include "support/Random.h"
+#include "support/Contracts.h"
 
 #include <cmath>
 
@@ -29,7 +30,7 @@ uint64_t Rng::next64() {
 }
 
 uint64_t Rng::nextBelow(uint64_t Bound) {
-  assert(Bound != 0 && "nextBelow bound must be nonzero");
+  CCSIM_ASSERT(Bound != 0, "nextBelow bound must be nonzero");
   // Rejection sampling: discard the biased tail of the 64-bit range.
   const uint64_t Threshold = -Bound % Bound;
   for (;;) {
@@ -40,7 +41,7 @@ uint64_t Rng::nextBelow(uint64_t Bound) {
 }
 
 int64_t Rng::nextRange(int64_t Lo, int64_t Hi) {
-  assert(Lo <= Hi && "nextRange requires Lo <= Hi");
+  CCSIM_ASSERT(Lo <= Hi, "nextRange requires Lo <= Hi");
   const uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
   return Lo + static_cast<int64_t>(nextBelow(Span));
 }
@@ -85,7 +86,7 @@ double Rng::nextLognormal(double Mu, double Sigma) {
 }
 
 uint64_t Rng::nextGeometric(double P) {
-  assert(P > 0.0 && P <= 1.0 && "geometric probability out of range");
+  CCSIM_ASSERT(P > 0.0 && P <= 1.0, "geometric probability out of range");
   if (P >= 1.0)
     return 0;
   // Inverse transform on the continuous exponential, then floor.
@@ -97,7 +98,7 @@ uint64_t Rng::nextGeometric(double P) {
 }
 
 double Rng::nextExponential(double Lambda) {
-  assert(Lambda > 0.0 && "exponential rate must be positive");
+  CCSIM_ASSERT(Lambda > 0.0, "exponential rate must be positive");
   double U;
   do {
     U = nextDouble();
@@ -106,7 +107,7 @@ double Rng::nextExponential(double Lambda) {
 }
 
 uint64_t Rng::nextPoisson(double Lambda) {
-  assert(Lambda >= 0.0 && "Poisson mean must be non-negative");
+  CCSIM_ASSERT(Lambda >= 0.0, "Poisson mean must be non-negative");
   if (Lambda <= 0.0)
     return 0;
   const double L = std::exp(-Lambda);
@@ -127,7 +128,7 @@ Rng Rng::fork() {
 }
 
 ZipfSampler::ZipfSampler(size_t N, double S) {
-  assert(N > 0 && "Zipf sampler needs at least one element");
+  CCSIM_ASSERT(N > 0, "Zipf sampler needs at least one element");
   Cdf.resize(N);
   double Sum = 0.0;
   for (size_t I = 0; I < N; ++I) {
@@ -153,15 +154,15 @@ size_t ZipfSampler::sample(Rng &R) const {
 }
 
 WeightedSampler::WeightedSampler(const std::vector<double> &Weights) {
-  assert(!Weights.empty() && "weighted sampler needs at least one weight");
+  CCSIM_ASSERT(!Weights.empty(), "weighted sampler needs at least one weight");
   Cdf.resize(Weights.size());
   double Sum = 0.0;
   for (size_t I = 0; I < Weights.size(); ++I) {
-    assert(Weights[I] >= 0.0 && "weights must be non-negative");
+    CCSIM_ASSERT(Weights[I] >= 0.0, "weights must be non-negative");
     Sum += Weights[I];
     Cdf[I] = Sum;
   }
-  assert(Sum > 0.0 && "total weight must be positive");
+  CCSIM_ASSERT(Sum > 0.0, "total weight must be positive");
   for (auto &Value : Cdf)
     Value /= Sum;
 }

@@ -1,8 +1,8 @@
 //===- support/Regression.cpp - Least-squares linear regression ----------===//
 
 #include "support/Regression.h"
+#include "support/Contracts.h"
 
-#include <cassert>
 #include <cmath>
 
 using namespace ccsim;
@@ -47,7 +47,7 @@ LinearFit RegressionAccumulator::fit() const {
 
 LinearFit ccsim::linearFit(const std::vector<double> &Xs,
                            const std::vector<double> &Ys) {
-  assert(Xs.size() == Ys.size() && "mismatched regression sample vectors");
+  CCSIM_ASSERT(Xs.size() == Ys.size(), "mismatched regression sample vectors");
   RegressionAccumulator Acc;
   for (size_t I = 0; I < Xs.size(); ++I)
     Acc.add(Xs[I], Ys[I]);

@@ -1,9 +1,9 @@
 //===- support/Statistics.cpp - Summary statistics utilities -------------===//
 
 #include "support/Statistics.h"
+#include "support/Contracts.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 using namespace ccsim;
@@ -30,7 +30,7 @@ double ccsim::stddev(const std::vector<double> &Values) {
 double ccsim::quantile(std::vector<double> Values, double Q) {
   if (Values.empty())
     return 0.0;
-  assert(Q >= 0.0 && Q <= 1.0 && "quantile must be in [0, 1]");
+  CCSIM_ASSERT(Q >= 0.0 && Q <= 1.0, "quantile must be in [0, 1]");
   std::sort(Values.begin(), Values.end());
   if (Values.size() == 1)
     return Values.front();
@@ -59,11 +59,11 @@ double ccsim::maxOf(const std::vector<double> &Values) {
 
 double ccsim::weightedMean(const std::vector<double> &Values,
                            const std::vector<double> &Weights) {
-  assert(Values.size() == Weights.size() &&
-         "values and weights must have equal length");
+  CCSIM_ASSERT(Values.size() == Weights.size(),
+               "values and weights must have equal length");
   double Num = 0.0, Den = 0.0;
   for (size_t I = 0; I < Values.size(); ++I) {
-    assert(Weights[I] >= 0.0 && "weights must be non-negative");
+    CCSIM_ASSERT(Weights[I] >= 0.0, "weights must be non-negative");
     Num += Values[I] * Weights[I];
     Den += Weights[I];
   }

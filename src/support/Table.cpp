@@ -1,19 +1,19 @@
 //===- support/Table.cpp - ASCII table rendering --------------------------===//
 
 #include "support/Table.h"
+#include "support/Contracts.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
-#include <cassert>
 
 using namespace ccsim;
 
 Table::Table(std::vector<std::string> Header) : Header(std::move(Header)) {
-  assert(!this->Header.empty() && "table needs at least one column");
+  CCSIM_ASSERT(!this->Header.empty(), "table needs at least one column");
 }
 
 void Table::addRow(std::vector<std::string> Row) {
-  assert(Row.size() == Header.size() && "row width must match header");
+  CCSIM_ASSERT(Row.size() == Header.size(), "row width must match header");
   Rows.push_back(std::move(Row));
 }
 
@@ -31,7 +31,7 @@ void Table::flushPending() {
 }
 
 void Table::cell(const std::string &Text) {
-  assert(RowOpen && "cell() outside beginRow()");
+  CCSIM_ASSERT(RowOpen, "cell() outside beginRow()");
   Pending.push_back(Text);
 }
 

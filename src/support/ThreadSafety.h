@@ -1,0 +1,118 @@
+//===- support/ThreadSafety.h - Clang thread-safety annotations ----------===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compile-time locking-discipline enforcement. The determinism contract
+/// of this project (serial == parallel == one-pass == service, byte for
+/// byte) is proven at runtime by the differential harness and the
+/// structural auditor; this header is the compile-time half: every
+/// lock-protected field names its mutex with CCSIM_GUARDED_BY, every
+/// lock-requiring helper names it with CCSIM_REQUIRES, and Clang's
+/// -Wthread-safety analysis (enabled as -Werror=thread-safety for Clang
+/// builds by the top-level CMakeLists) rejects any access that does not
+/// provably hold the right lock. Non-Clang compilers see no-ops.
+///
+/// The standard library's mutex types carry no capability attributes on
+/// libstdc++, so annotated code uses the two wrappers below instead:
+///
+///   ccsim::Mutex      an annotated std::mutex (a "mutex" capability);
+///   ccsim::MutexLock  an annotated RAII guard (std::unique_lock under
+///                     the hood; native() hands the unique_lock to
+///                     std::condition_variable::wait).
+///
+/// Condition-variable wait predicates are written as explicit while
+/// loops, never as wait(lock, lambda): the analysis treats a lambda body
+/// as a separate unannotated function, so guarded reads inside one are
+/// invisible to the checker (and would need a blanket suppression).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_SUPPORT_THREADSAFETY_H
+#define CCSIM_SUPPORT_THREADSAFETY_H
+
+#include <mutex>
+
+#if defined(__clang__)
+#define CCSIM_TSA(x) __attribute__((x))
+#else
+#define CCSIM_TSA(x) // no-op: GCC and MSVC have no thread-safety analysis
+#endif
+
+/// Declares a type to be a lockable capability ("mutex", "role", ...).
+#define CCSIM_CAPABILITY(x) CCSIM_TSA(capability(x))
+
+/// Declares an RAII type whose lifetime equals a capability hold.
+#define CCSIM_SCOPED_CAPABILITY CCSIM_TSA(scoped_lockable)
+
+/// Field is only read/written while holding the named mutex.
+#define CCSIM_GUARDED_BY(x) CCSIM_TSA(guarded_by(x))
+
+/// Pointer field whose pointee is protected by the named mutex.
+#define CCSIM_PT_GUARDED_BY(x) CCSIM_TSA(pt_guarded_by(x))
+
+/// Function may only be called while holding the named mutexes.
+#define CCSIM_REQUIRES(...) CCSIM_TSA(requires_capability(__VA_ARGS__))
+
+/// Function may only be called while NOT holding the named mutexes
+/// (it acquires them itself; catches self-deadlock at compile time).
+#define CCSIM_EXCLUDES(...) CCSIM_TSA(locks_excluded(__VA_ARGS__))
+
+/// Function acquires the named mutexes and does not release them.
+#define CCSIM_ACQUIRE(...) CCSIM_TSA(acquire_capability(__VA_ARGS__))
+
+/// Function releases the named mutexes.
+#define CCSIM_RELEASE(...) CCSIM_TSA(release_capability(__VA_ARGS__))
+
+/// Lock-ordering edge: this mutex must be acquired after the named one.
+#define CCSIM_ACQUIRED_AFTER(...) CCSIM_TSA(acquired_after(__VA_ARGS__))
+
+/// Escape hatch for code the analysis cannot follow; every use must
+/// carry a comment explaining why it is sound.
+#define CCSIM_NO_THREAD_SAFETY_ANALYSIS CCSIM_TSA(no_thread_safety_analysis)
+
+/// Function returns a reference to a value protected by the named mutex.
+#define CCSIM_RETURN_CAPABILITY(x) CCSIM_TSA(lock_returned(x))
+
+namespace ccsim {
+
+/// std::mutex as a Clang capability. Same semantics, same cost; the
+/// attributes are metadata only.
+class CCSIM_CAPABILITY("mutex") Mutex {
+public:
+  void lock() CCSIM_ACQUIRE() { M.lock(); }
+  void unlock() CCSIM_RELEASE() { M.unlock(); }
+
+  /// The wrapped mutex, for APIs (condition variables) that need the
+  /// standard type. Bypasses the analysis; prefer MutexLock.
+  std::mutex &native() { return M; }
+
+private:
+  std::mutex M;
+};
+
+/// RAII guard over a ccsim::Mutex, visible to the analysis: the guarded
+/// capability is held from construction to destruction. native() exposes
+/// the underlying std::unique_lock so std::condition_variable::wait can
+/// release/reacquire it; the analysis models the capability as held
+/// across the wait, which is exactly the state at every observable
+/// point (wait() returns with the lock reacquired).
+class CCSIM_SCOPED_CAPABILITY MutexLock {
+public:
+  explicit MutexLock(Mutex &M) CCSIM_ACQUIRE(M) : Inner(M.native()) {}
+  ~MutexLock() CCSIM_RELEASE() = default;
+
+  MutexLock(const MutexLock &) = delete;
+  MutexLock &operator=(const MutexLock &) = delete;
+
+  std::unique_lock<std::mutex> &native() { return Inner; }
+
+private:
+  std::unique_lock<std::mutex> Inner;
+};
+
+} // namespace ccsim
+
+#endif // CCSIM_SUPPORT_THREADSAFETY_H

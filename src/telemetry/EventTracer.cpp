@@ -2,7 +2,7 @@
 
 #include "telemetry/EventTracer.h"
 
-#include <cassert>
+#include "support/Contracts.h"
 
 using namespace ccsim;
 using namespace ccsim::telemetry;
@@ -34,13 +34,14 @@ const char *ccsim::telemetry::eventKindName(EventKind K) {
 }
 
 EventTracer::EventTracer(size_t Capacity) {
-  assert(Capacity > 0 && "tracer needs a positive capacity");
+  CCSIM_REQUIRE(Capacity > 0, "tracer needs a positive capacity");
+  MutexLock Lock(Mu); // No sharing yet; satisfies the capability checker.
   Ring.resize(Capacity);
 }
 
 void EventTracer::record(EventKind Kind, uint32_t Tenant, uint32_t Block,
                          uint64_t A, uint64_t B, uint64_t Tick) {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   TraceEvent &E = Ring[Next];
   E.Seq = NextSeq++;
   E.Tick = Tick;
@@ -55,7 +56,7 @@ void EventTracer::record(EventKind Kind, uint32_t Tenant, uint32_t Block,
 }
 
 uint32_t EventTracer::internLabel(const std::string &Text) {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   auto It = LabelIds.find(Text);
   if (It != LabelIds.end())
     return It->second;
@@ -66,12 +67,12 @@ uint32_t EventTracer::internLabel(const std::string &Text) {
 }
 
 const std::string &EventTracer::labelText(uint32_t Id) const {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   return Id < Labels.size() ? Labels[Id] : EmptyLabel;
 }
 
 std::vector<TraceEvent> EventTracer::snapshot() const {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   std::vector<TraceEvent> Out;
   const size_t Kept = Recorded < Ring.size() ? Recorded : Ring.size();
   Out.reserve(Kept);
@@ -84,22 +85,30 @@ std::vector<TraceEvent> EventTracer::snapshot() const {
 }
 
 uint64_t EventTracer::totalRecorded() const {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   return Recorded;
 }
 
 uint64_t EventTracer::droppedCount() const {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   return Recorded < Ring.size() ? 0 : Recorded - Ring.size();
 }
 
+size_t EventTracer::capacity() const {
+  // Annotation-driven fix: this read used to bypass the lock. The ring
+  // never resizes after construction, but the checker (rightly) has no
+  // way to know that.
+  MutexLock Lock(Mu);
+  return Ring.size();
+}
+
 uint64_t EventTracer::kindCount(EventKind K) const {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   return KindCounts[static_cast<size_t>(K)];
 }
 
 void EventTracer::clear() {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   Next = 0;
   Recorded = 0;
   NextSeq = 0;

@@ -20,9 +20,9 @@
 #ifndef CCSIM_TELEMETRY_EVENTTRACER_H
 #define CCSIM_TELEMETRY_EVENTTRACER_H
 
+#include "support/ThreadSafety.h"
 #include "telemetry/TraceEvent.h"
 
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -38,42 +38,44 @@ public:
   /// Appends one record. Constant time, no allocation; overwrites the
   /// oldest record when full.
   void record(EventKind Kind, uint32_t Tenant, uint32_t Block, uint64_t A,
-              uint64_t B, uint64_t Tick);
+              uint64_t B, uint64_t Tick) CCSIM_EXCLUDES(Mu);
 
   /// Interns \p Text and returns its stable id (same text, same id).
   /// Not a hot-path operation: used for tenant names and phase marks.
-  uint32_t internLabel(const std::string &Text);
+  uint32_t internLabel(const std::string &Text) CCSIM_EXCLUDES(Mu);
 
-  /// Text of label \p Id; empty string for unknown ids.
-  const std::string &labelText(uint32_t Id) const;
+  /// Text of label \p Id; empty string for unknown ids. The reference is
+  /// only stable until the next clear(); callers copy before publishing.
+  const std::string &labelText(uint32_t Id) const CCSIM_EXCLUDES(Mu);
 
   /// Copies the retained records oldest-first.
-  std::vector<TraceEvent> snapshot() const;
+  std::vector<TraceEvent> snapshot() const CCSIM_EXCLUDES(Mu);
 
   /// Records ever passed to record(), including overwritten ones.
-  uint64_t totalRecorded() const;
+  uint64_t totalRecorded() const CCSIM_EXCLUDES(Mu);
 
   /// Records lost to ring overwrites.
-  uint64_t droppedCount() const;
+  uint64_t droppedCount() const CCSIM_EXCLUDES(Mu);
 
   /// Per-kind tally over all records ever seen (survives overwrites).
-  uint64_t kindCount(EventKind K) const;
+  uint64_t kindCount(EventKind K) const CCSIM_EXCLUDES(Mu);
 
-  size_t capacity() const { return Ring.size(); }
+  size_t capacity() const CCSIM_EXCLUDES(Mu);
 
   /// Forgets all records and labels (capacity is kept).
-  void clear();
+  void clear() CCSIM_EXCLUDES(Mu);
 
 private:
-  mutable std::mutex Mu;
-  std::vector<TraceEvent> Ring; // Fixed size; Next is the write cursor.
-  size_t Next = 0;
-  uint64_t Recorded = 0;
-  uint64_t NextSeq = 0;
-  uint64_t KindCounts[NumEventKinds] = {};
-  std::vector<std::string> Labels;
-  std::unordered_map<std::string, uint32_t> LabelIds;
-  std::string EmptyLabel;
+  mutable Mutex Mu;
+  /// Fixed size; Next is the write cursor.
+  std::vector<TraceEvent> Ring CCSIM_GUARDED_BY(Mu);
+  size_t Next CCSIM_GUARDED_BY(Mu) = 0;
+  uint64_t Recorded CCSIM_GUARDED_BY(Mu) = 0;
+  uint64_t NextSeq CCSIM_GUARDED_BY(Mu) = 0;
+  uint64_t KindCounts[NumEventKinds] CCSIM_GUARDED_BY(Mu) = {};
+  std::vector<std::string> Labels CCSIM_GUARDED_BY(Mu);
+  std::unordered_map<std::string, uint32_t> LabelIds CCSIM_GUARDED_BY(Mu);
+  std::string EmptyLabel; ///< Immutable after construction.
 };
 
 } // namespace telemetry

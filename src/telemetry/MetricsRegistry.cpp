@@ -2,8 +2,9 @@
 
 #include "telemetry/MetricsRegistry.h"
 
+#include "support/Contracts.h"
+
 #include <algorithm>
-#include <cassert>
 
 using namespace ccsim;
 using namespace ccsim::telemetry;
@@ -43,11 +44,12 @@ MetricsRegistry::fetch(MetricSample::Type Kind, const std::string &Name,
                        size_t NumBuckets) {
   MetricLabels Sorted = sortedLabels(std::move(Labels));
   const std::string Key = canonicalKey(Name, Sorted);
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   auto It = Metrics.find(Key);
   if (It != Metrics.end()) {
-    assert(It->second->Kind == Kind && "metric re-registered as a "
-                                       "different type");
+    CCSIM_REQUIRE(It->second->Kind == Kind,
+                  "metric '%s' re-registered as a different type",
+                  Key.c_str());
     return *It->second;
   }
   auto M = std::make_unique<Metric>();
@@ -83,7 +85,7 @@ const MetricsRegistry::Metric *
 MetricsRegistry::find(const std::string &Name,
                       const MetricLabels &Labels) const {
   const std::string Key = canonicalKey(Name, Labels);
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   auto It = Metrics.find(Key);
   return It == Metrics.end() ? nullptr : It->second.get();
 }
@@ -106,12 +108,12 @@ bool MetricsRegistry::has(const std::string &Name,
 }
 
 size_t MetricsRegistry::size() const {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   return Metrics.size();
 }
 
 std::vector<MetricSample> MetricsRegistry::snapshot() const {
-  std::lock_guard<std::mutex> Lock(Mu);
+  MutexLock Lock(Mu);
   std::vector<MetricSample> Out;
   Out.reserve(Metrics.size());
   // std::map iterates in key order: the canonical, thread-independent

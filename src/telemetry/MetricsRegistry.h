@@ -23,12 +23,12 @@
 #define CCSIM_TELEMETRY_METRICSREGISTRY_H
 
 #include "support/Histogram.h"
+#include "support/ThreadSafety.h"
 
 #include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -68,20 +68,20 @@ public:
   HistogramMetric(double BucketWidth, size_t NumBuckets)
       : H(BucketWidth, NumBuckets) {}
 
-  void observe(double Sample) {
-    std::lock_guard<std::mutex> Lock(Mu);
+  void observe(double Sample) CCSIM_EXCLUDES(Mu) {
+    MutexLock Lock(Mu);
     H.add(Sample);
   }
 
   /// Copies the underlying histogram (snapshot for exporters/tests).
-  Histogram snapshot() const {
-    std::lock_guard<std::mutex> Lock(Mu);
+  Histogram snapshot() const CCSIM_EXCLUDES(Mu) {
+    MutexLock Lock(Mu);
     return H;
   }
 
 private:
-  mutable std::mutex Mu;
-  Histogram H;
+  mutable Mutex Mu;
+  Histogram H CCSIM_GUARDED_BY(Mu);
 };
 
 /// Read-only view of one instrument, in canonical key order.
@@ -102,26 +102,31 @@ class MetricsRegistry {
 public:
   /// Fetches (creating on first use) the instrument for (Name, Labels).
   /// References stay valid for the registry's lifetime.
-  Counter &counter(const std::string &Name, MetricLabels Labels = {});
-  Gauge &gauge(const std::string &Name, MetricLabels Labels = {});
+  Counter &counter(const std::string &Name, MetricLabels Labels = {})
+      CCSIM_EXCLUDES(Mu);
+  Gauge &gauge(const std::string &Name, MetricLabels Labels = {})
+      CCSIM_EXCLUDES(Mu);
   HistogramMetric &histogram(const std::string &Name, double BucketWidth,
-                             size_t NumBuckets, MetricLabels Labels = {});
+                             size_t NumBuckets, MetricLabels Labels = {})
+      CCSIM_EXCLUDES(Mu);
 
   /// Current value of a counter; 0 when it was never created.
   uint64_t counterValue(const std::string &Name,
-                        const MetricLabels &Labels = {}) const;
+                        const MetricLabels &Labels = {}) const
+      CCSIM_EXCLUDES(Mu);
 
   /// Current value of a gauge; 0.0 when it was never created.
   double gaugeValue(const std::string &Name,
-                    const MetricLabels &Labels = {}) const;
+                    const MetricLabels &Labels = {}) const CCSIM_EXCLUDES(Mu);
 
   /// Whether any instrument exists under (Name, Labels).
-  bool has(const std::string &Name, const MetricLabels &Labels = {}) const;
+  bool has(const std::string &Name, const MetricLabels &Labels = {}) const
+      CCSIM_EXCLUDES(Mu);
 
   /// Copies every instrument in canonical key order.
-  std::vector<MetricSample> snapshot() const;
+  std::vector<MetricSample> snapshot() const CCSIM_EXCLUDES(Mu);
 
-  size_t size() const;
+  size_t size() const CCSIM_EXCLUDES(Mu);
 
   /// Canonical key: name{k1=v1,k2=v2} with labels sorted by key.
   static std::string canonicalKey(const std::string &Name,
@@ -137,13 +142,17 @@ private:
     std::unique_ptr<HistogramMetric> H;
   };
 
-  mutable std::mutex Mu;
-  std::map<std::string, std::unique_ptr<Metric>> Metrics;
+  mutable Mutex Mu;
+  /// Instrument objects are never destroyed while the registry lives, so
+  /// handing out Counter/Gauge references is safe; the map itself (and
+  /// the Kind/Name/Labels identity of each entry) is guarded.
+  std::map<std::string, std::unique_ptr<Metric>> Metrics CCSIM_GUARDED_BY(Mu);
 
   Metric &fetch(MetricSample::Type Kind, const std::string &Name,
-                MetricLabels Labels, double BucketWidth, size_t NumBuckets);
+                MetricLabels Labels, double BucketWidth, size_t NumBuckets)
+      CCSIM_EXCLUDES(Mu);
   const Metric *find(const std::string &Name,
-                     const MetricLabels &Labels) const;
+                     const MetricLabels &Labels) const CCSIM_EXCLUDES(Mu);
 };
 
 } // namespace telemetry

@@ -1,8 +1,8 @@
 //===- trace/Trace.cpp - Superblock dispatch traces ------------------------===//
 
 #include "trace/Trace.h"
+#include "support/Contracts.h"
 
-#include <cassert>
 
 using namespace ccsim;
 
@@ -14,7 +14,7 @@ uint64_t Trace::maxCacheBytes() const {
 }
 
 SuperblockRecord Trace::recordFor(SuperblockId Id) const {
-  assert(Id < Blocks.size() && "superblock id out of range");
+  CCSIM_ASSERT(Id < Blocks.size(), "superblock id out of range");
   SuperblockRecord Rec;
   Rec.Id = Id;
   Rec.SizeBytes = Blocks[Id].SizeBytes;

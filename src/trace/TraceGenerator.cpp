@@ -1,18 +1,18 @@
 //===- trace/TraceGenerator.cpp - Synthetic trace synthesis -----------------===//
 
 #include "trace/TraceGenerator.h"
+#include "support/Contracts.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numeric>
 
 using namespace ccsim;
 
 void TraceGenerator::generateBlocks(const WorkloadModel &Model, Trace &T) {
-  assert(Model.NumSuperblocks > 0 && "workload needs superblocks");
-  assert(Model.MeanBlockBytes >= Model.MedianBlockBytes &&
-         "lognormal mean must be at least the median");
+  CCSIM_ASSERT(Model.NumSuperblocks > 0, "workload needs superblocks");
+  CCSIM_ASSERT(Model.MeanBlockBytes >= Model.MedianBlockBytes,
+               "lognormal mean must be at least the median");
 
   // Lognormal(Mu, Sigma): median = exp(Mu), mean = exp(Mu + Sigma^2/2).
   const double Mu = std::log(Model.MedianBlockBytes);
@@ -166,7 +166,7 @@ Trace TraceGenerator::generate(const WorkloadModel &Model) {
   generateBlocks(Model, T);
   generateLinks(Model, T);
   generateAccesses(Model, T);
-  assert(T.validate() && "generated trace must be structurally valid");
+  CCSIM_ASSERT(T.validate(), "generated trace must be structurally valid");
   return T;
 }
 

@@ -1,9 +1,9 @@
 //===- trace/WorkloadModel.cpp - Table 1 benchmark models -------------------===//
 
 #include "trace/WorkloadModel.h"
+#include "support/Contracts.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
 using namespace ccsim;
@@ -125,7 +125,7 @@ const WorkloadModel *ccsim::findWorkload(const std::string &Name) {
 
 WorkloadModel ccsim::scaledWorkload(const WorkloadModel &Model,
                                     double Factor) {
-  assert(Factor > 0.0 && "scale factor must be positive");
+  CCSIM_ASSERT(Factor > 0.0, "scale factor must be positive");
   WorkloadModel Scaled = Model;
   Scaled.NumSuperblocks = std::max<uint32_t>(
       32, static_cast<uint32_t>(std::llround(Model.NumSuperblocks * Factor)));

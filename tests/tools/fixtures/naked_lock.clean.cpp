@@ -1,0 +1,10 @@
+// Fixture: RAII guards must NOT trip locking.naked-lock.
+// Never compiled; read as text by CcsimLintTest.
+#include "support/ThreadSafety.h"
+
+int Counter;
+
+int bumpSafely(ccsim::Mutex &Mu) {
+  ccsim::MutexLock Lock(Mu);
+  return ++Counter;
+}

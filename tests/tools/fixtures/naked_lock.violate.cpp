@@ -1,0 +1,12 @@
+// Fixture: locking.naked-lock must fire on manual lock()/unlock() pairs.
+// Never compiled; read as text by CcsimLintTest.
+#include "support/ThreadSafety.h"
+
+int Counter;
+
+int bumpUnsafely(ccsim::Mutex &Mu) {
+  Mu.lock();
+  const int Out = ++Counter; // An exception here deadlocks everyone.
+  Mu.unlock();
+  return Out;
+}

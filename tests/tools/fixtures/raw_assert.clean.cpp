@@ -1,0 +1,13 @@
+// Fixture: the sanctioned spellings must NOT trip contracts.raw-assert.
+// Never compiled; read as text by CcsimLintTest.
+#include "support/Contracts.h"
+
+static_assert(sizeof(int) >= 4, "static_assert is not a runtime assert");
+
+int checkedAdd(int A, int B) {
+  CCSIM_ASSERT(A >= 0, "fixture: %d must be non-negative", A);
+  CCSIM_REQUIRE(B >= 0, "fixture: %d must be non-negative", B);
+  // A mention of assert( inside a string or comment is not a call:
+  const char *Doc = "call assert(x) here";
+  return A + B + (Doc != nullptr);
+}

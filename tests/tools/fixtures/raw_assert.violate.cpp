@@ -1,0 +1,8 @@
+// Fixture: contracts.raw-assert must fire on a plain assert() call.
+// Never compiled; read as text by CcsimLintTest.
+#include <cassert>
+
+int checkedAdd(int A, int B) {
+  assert(A >= 0 && "fixture violation");
+  return A + B;
+}

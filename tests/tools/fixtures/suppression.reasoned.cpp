@@ -1,0 +1,12 @@
+// Fixture: a reasoned allow() must silence its rule on the governed line
+// (standalone form covers the next code line; trailing form its own).
+// Never compiled; read as text by CcsimLintTest.
+#include <cassert>
+
+int withSuppressions(int A) {
+  // ccsim-lint: allow(contracts.raw-assert) -- exercising the standalone
+  // suppression form for the lint's own test suite
+  assert(A >= 0);
+  assert(A < 100); // ccsim-lint: allow(contracts.raw-assert) -- trailing form
+  return A;
+}

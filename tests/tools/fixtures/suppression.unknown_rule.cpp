@@ -1,0 +1,10 @@
+// Fixture: allow() naming a rule that does not exist is flagged
+// (lint.unknown-rule) and suppresses nothing.
+// Never compiled; read as text by CcsimLintTest.
+#include <cassert>
+
+int withUnknownRule(int A) {
+  // ccsim-lint: allow(contracts.rawassert) -- typo in the rule id
+  assert(A >= 0);
+  return A;
+}

@@ -1,0 +1,10 @@
+// Fixture: an allow() without reason text is itself a violation
+// (lint.suppression-without-reason), though it still suppresses.
+// Never compiled; read as text by CcsimLintTest.
+#include <cassert>
+
+int withBadSuppression(int A) {
+  // ccsim-lint: allow(contracts.raw-assert)
+  assert(A >= 0);
+  return A;
+}

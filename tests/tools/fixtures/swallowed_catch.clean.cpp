@@ -1,0 +1,18 @@
+// Fixture: capturing or rethrowing catch blocks must NOT trip
+// exceptions.swallowed-catch-all, nor must narrow catches.
+// Never compiled; read as text by CcsimLintTest.
+#include <exception>
+#include <stdexcept>
+
+std::exception_ptr Captured;
+
+int handleCarefully(int (*Risky)()) {
+  try {
+    return Risky();
+  } catch (const std::runtime_error &) {
+    return -1; // Narrow catch: a deliberate, typed decision.
+  } catch (...) {
+    Captured = std::current_exception(); // Preserved for the controller.
+    throw;
+  }
+}

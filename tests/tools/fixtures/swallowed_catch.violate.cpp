@@ -1,0 +1,10 @@
+// Fixture: exceptions.swallowed-catch-all must fire on a silent catch.
+// Never compiled; read as text by CcsimLintTest.
+
+int swallowEverything(int (*Risky)()) {
+  try {
+    return Risky();
+  } catch (...) {
+    return -1; // The failure vanishes; the caller sees a plausible value.
+  }
+}

@@ -1,0 +1,16 @@
+// Fixture: ordered containers and non-iterating unordered lookups must
+// NOT trip determinism.unordered-iteration.
+// Never compiled; read as text by CcsimLintTest.
+#include <map>
+#include <unordered_map>
+
+int sumValues(const std::map<int, int> &Ordered,
+              const std::unordered_map<int, int> &Index) {
+  int Sum = 0;
+  for (const auto &Entry : Ordered)
+    Sum += Entry.second;
+  const auto It = Index.find(3); // Point lookups are order-free.
+  if (It != Index.end())
+    Sum += It->second;
+  return Sum;
+}

@@ -1,0 +1,13 @@
+// Fixture: determinism.unordered-iteration must fire on hash-order walks.
+// Never compiled; read as text by CcsimLintTest.
+#include <unordered_map>
+
+int sumValues(const std::unordered_map<int, int> &In) {
+  std::unordered_map<int, int> Counts = In;
+  int Sum = 0;
+  for (const auto &Entry : Counts)
+    Sum += Entry.second;
+  for (auto It = Counts.begin(); It != Counts.end(); ++It)
+    Sum += It->first;
+  return Sum;
+}

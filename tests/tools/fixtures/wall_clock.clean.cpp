@@ -1,0 +1,14 @@
+// Fixture: seeded project randomness must NOT trip determinism.wall-clock.
+// Never compiled; read as text by CcsimLintTest.
+#include "support/Random.h"
+
+double replaySafeNoise(uint64_t Seed) {
+  ccsim::Random R(Seed); // Seed flows from the config, never the clock.
+  double Sum = 0.0;
+  for (int I = 0; I < 8; ++I)
+    Sum += R.nextDouble();
+  // Identifiers merely containing banned substrings are fine:
+  const int Runtime = 1;
+  const int Grand = 2;
+  return Sum + Runtime + Grand;
+}

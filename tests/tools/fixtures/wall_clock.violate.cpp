@@ -1,0 +1,14 @@
+// Fixture: determinism.wall-clock must fire on clock and PRNG reads.
+// Never compiled; read as text by CcsimLintTest.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+long threeClockSins() {
+  long Sum = static_cast<long>(time(nullptr));
+  Sum += rand();
+  std::random_device Entropy;
+  Sum += static_cast<long>(Entropy());
+  return Sum;
+}

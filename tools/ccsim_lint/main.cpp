@@ -1,0 +1,115 @@
+//===- tools/ccsim_lint/main.cpp - Lint CLI driver ------------------------===//
+//
+// ccsim_lint — project-rule linter for the ccsim source tree.
+//
+// Usage:
+//   ccsim_lint --compile-commands=build/compile_commands.json
+//   ccsim_lint --dir=src --dir=tools
+//   ccsim_lint [--only=rule.id] file.cpp ...
+//   ccsim_lint --list-rules
+//
+// Exit codes follow the repo CLI convention: 0 = clean, 1 = violations
+// found, 2 = usage or IO error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "Linter.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace ccsim::lint;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--only=RULE] (--compile-commands=FILE | --dir=DIR... "
+      "| FILE...)\n"
+      "       %s --list-rules\n"
+      "\n"
+      "Lints ccsim sources against the project determinism/correctness\n"
+      "rules. Violations go to stdout as 'file:line: [rule.id] message'.\n"
+      "Suppress a finding with:\n"
+      "  // ccsim-lint: allow(rule.id) -- reason the code is sound\n",
+      Argv0, Argv0);
+  return 2;
+}
+
+bool consumeFlag(const std::string &Arg, const char *Name,
+                 std::string &Value) {
+  const std::string Prefix = std::string(Name) + "=";
+  if (Arg.rfind(Prefix, 0) != 0)
+    return false;
+  Value = Arg.substr(Prefix.size());
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  LintOptions Options;
+  std::vector<std::string> Files;
+  bool ListRules = false;
+
+  for (int I = 1; I < Argc; ++I) {
+    const std::string Arg = Argv[I];
+    std::string Value;
+    if (Arg == "--list-rules") {
+      ListRules = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage(Argv[0]);
+      return 0;
+    } else if (consumeFlag(Arg, "--only", Value)) {
+      if (!isKnownRule(Value)) {
+        std::fprintf(stderr, "ccsim_lint: unknown rule '%s'\n",
+                     Value.c_str());
+        return 2;
+      }
+      Options.OnlyRule = Value;
+    } else if (consumeFlag(Arg, "--compile-commands", Value)) {
+      std::string Error;
+      std::vector<std::string> FromDb =
+          collectFromCompileCommands(Value, Error);
+      if (!Error.empty()) {
+        std::fprintf(stderr, "ccsim_lint: %s\n", Error.c_str());
+        return 2;
+      }
+      Files.insert(Files.end(), FromDb.begin(), FromDb.end());
+    } else if (consumeFlag(Arg, "--dir", Value)) {
+      std::vector<std::string> FromDir = collectFromDirectory(Value);
+      if (FromDir.empty()) {
+        std::fprintf(stderr, "ccsim_lint: no sources under '%s'\n",
+                     Value.c_str());
+        return 2;
+      }
+      Files.insert(Files.end(), FromDir.begin(), FromDir.end());
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::fprintf(stderr, "ccsim_lint: unknown flag '%s'\n", Arg.c_str());
+      return usage(Argv[0]);
+    } else {
+      Files.push_back(Arg);
+    }
+  }
+
+  if (ListRules) {
+    for (const Rule &R : ruleCatalog())
+      std::printf("%-34s %s\n", R.Id.c_str(), R.Summary.c_str());
+    return 0;
+  }
+
+  if (Files.empty())
+    return usage(Argv[0]);
+
+  const std::vector<Violation> Violations = lintFiles(Files, Options);
+  for (const Violation &V : Violations)
+    std::printf("%s\n", renderViolation(V).c_str());
+  if (!Violations.empty()) {
+    std::fprintf(stderr, "ccsim_lint: %zu violation%s\n", Violations.size(),
+                 Violations.size() == 1 ? "" : "s");
+    return 1;
+  }
+  return 0;
+}

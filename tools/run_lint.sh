@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# run_lint.sh - build ccsim_lint and run it over every translation unit in
+# the build's compile_commands.json. This is the CI static-analysis entry
+# point and the pre-commit check for humans.
+#
+# Usage:
+#   tools/run_lint.sh                          # lint the whole build
+#   tools/run_lint.sh --only=contracts.raw-assert
+#   tools/run_lint.sh --list-rules
+#
+# Extra flags are forwarded to the ccsim_lint binary. The build tree
+# defaults to ./build (override with BUILD_DIR); the tree is configured
+# with CMAKE_EXPORT_COMPILE_COMMANDS=ON if the database is missing, so the
+# lint always sees exactly the files the build compiles. Exit codes follow
+# the repo convention: 0 clean, 1 violations, 2 usage/IO error.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD="${BUILD_DIR:-$ROOT/build}"
+
+cmake -B "$BUILD" -S "$ROOT" -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+cmake --build "$BUILD" --target ccsim_lint -j "$(nproc)" >/dev/null
+
+LINT="$BUILD/tools/ccsim_lint/ccsim_lint"
+if [[ $# -gt 0 && $1 == --list-rules ]]; then
+  exec "$LINT" --list-rules
+fi
+
+exec "$LINT" --compile-commands="$BUILD/compile_commands.json" "$@"
