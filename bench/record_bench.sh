@@ -8,14 +8,17 @@
 #   bench/record_bench.sh --pressures=2        # hit-dominated slice
 #   bench/record_bench.sh adversarial          # degradation, scale 0.25
 #   bench/record_bench.sh adversarial --seed=7 # custom adversarial run
+#   bench/record_bench.sh service              # 20M-op shared-engine run
+#   bench/record_bench.sh service --ops=500000 # quicker service smoke
 #
-# The first argument selects the benchmark ("sweep", the default, or
-# "adversarial"); every other flag is forwarded to the binary. The build
-# tree defaults to ./build (override with BUILD_DIR). A record is only
-# installed if its binary exits 0 AND its validator passes: sweep gates
-# bit-identity of the one-pass results, adversarial gates the 5x
-# degradation floor. Schema validation happens in the record_*.cmake
-# scripts so CI can reuse them without a shell.
+# The first argument selects the benchmark ("sweep", the default,
+# "adversarial", or "service"); every other flag is forwarded to the
+# binary. The build tree defaults to ./build (override with BUILD_DIR).
+# A record is only installed if its binary exits 0 AND its validator
+# passes: sweep gates bit-identity of the one-pass results, adversarial
+# gates the 5x degradation floor, service gates the shared-engine
+# conservation/audit/accounting invariants. Schema validation happens in
+# the record_*.cmake scripts so CI can reuse them without a shell.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -56,8 +59,19 @@ adversarial)
         -P "$ROOT/bench/record_adversarial.cmake"
   echo "recorded $ROOT/BENCH_adversarial.json"
   ;;
+service)
+  SCALE_ARGS=("$@")
+  cmake -B "$BUILD" -S "$ROOT" >/dev/null
+  cmake --build "$BUILD" --target service_stress -j "$(nproc)"
+  ARGS_LIST="$(IFS=';'; echo "${SCALE_ARGS[*]}")"
+  cmake -DSERVICE_BIN="$BUILD/bench/service_stress" \
+        -DSERVICE_JSON="$ROOT/BENCH_service.json" \
+        -DSERVICE_ARGS="$ARGS_LIST" \
+        -P "$ROOT/bench/record_service.cmake"
+  echo "recorded $ROOT/BENCH_service.json"
+  ;;
 *)
-  echo "unknown benchmark '$MODE' (sweep | adversarial)" >&2
+  echo "unknown benchmark '$MODE' (sweep | adversarial | service)" >&2
   exit 1
   ;;
 esac

@@ -14,6 +14,11 @@
 //       subcommand also accepts --workload=adversarial:<name> directly.
 //   ccsim_cli replay run.cct --policy=fine --pressure=4
 //       Replay a saved log through the cache simulator.
+//   ccsim_cli replay run.cct --guest-threads=4 [--mmap]
+//       Replay through the thread-shared engine with K guest threads.
+//       K=1 is byte-identical to the serial simulator; K>1 interleaves
+//       guests over one sharded engine. --mmap streams the trace out of
+//       a read-only mapping instead of loading it.
 //   ccsim_cli fit
 //       Re-derive the paper's overhead equations from a mini-DBT run.
 //   ccsim_cli suite --pressure=2 [--scale=0.2] [--jobs=N]
@@ -32,6 +37,10 @@
 //       Same auditor over the execution-driven path: the mini-DBT runs
 //       two-tier with every install re-validated (including the
 //       dispatch-table-vs-residency rules).
+//   ccsim_cli audit run.cct --guest-threads=4 [--quiesce-interval=N]
+//       Audit the thread-shared engine under K concurrent guests: the
+//       full shared-engine rule set (placement, chaining, stats,
+//       residency index) runs at every quiesce point and at the end.
 //   ccsim_cli batch jobs.mf [--jobs=N] [--queue=N] [--backpressure=...]
 //       Run a manifest of simulate/replay/suite/tenants jobs through the
 //       asynchronous SimService. Output is byte-identical to running the
@@ -51,6 +60,7 @@
 #include "check/CacheAuditor.h"
 #include "check/Paranoia.h"
 #include "concurrent/MultiTenantSimulator.h"
+#include "concurrent/SharedEngineRunner.h"
 #include "concurrent/ThreadPool.h"
 #include "isa/ProgramGenerator.h"
 #include "runtime/SystemProfiles.h"
@@ -61,6 +71,7 @@
 #include "support/StringUtils.h"
 #include "support/Table.h"
 #include "telemetry/Exporters.h"
+#include "trace/MappedTrace.h"
 #include "trace/TraceGenerator.h"
 #include "trace/TraceIO.h"
 
@@ -221,16 +232,49 @@ replayJobFromSimulateFlags(const FlagSet &Flags, std::string *Error) {
   return Job;
 }
 
-std::optional<service::ReplayJob>
+/// Restates a validated SimConfig as a shared-engine run config: the
+/// knobs the two layers share carry over with identical semantics, so
+/// `replay --guest-threads=K` means exactly what `replay` means plus the
+/// guest count.
+concurrent::SharedRunConfig sharedConfigFrom(const SimConfig &Config,
+                                             unsigned GuestThreads) {
+  concurrent::SharedRunConfig SC;
+  SC.GuestThreads = GuestThreads;
+  SC.PressureFactor = Config.PressureFactor;
+  SC.ExplicitCapacityBytes = Config.ExplicitCapacityBytes;
+  SC.Costs = Config.Costs;
+  SC.EnableChaining = Config.EnableChaining;
+  SC.Audit = Config.Audit;
+  SC.CancelCheckInterval = Config.CancelCheckInterval;
+  return SC;
+}
+
+/// Builds the job a `replay` line means: a plain ReplayJob by default, a
+/// SharedReplayJob when --guest-threads asks for more than one guest
+/// (the K=1 shared path is byte-identical, so the plain job keeps the
+/// default path unchanged). --mmap maps the trace instead of streaming
+/// it through the buffered reader; jobs own their trace either way.
+std::optional<service::Job>
 replayJobFromReplayFlags(const FlagSet &Flags, std::string *Error) {
   if (Flags.positional().empty()) {
     *Error = "replay needs a trace file: replay <file.cct> [flags]";
     return std::nullopt;
   }
-  const auto T = readTrace(Flags.positional().front());
-  if (!T) {
-    *Error = "cannot read " + Flags.positional().front();
-    return std::nullopt;
+  Trace T;
+  if (Flags.getBool("mmap")) {
+    auto Mapped = trace::MappedTrace::open(Flags.positional().front());
+    if (!Mapped) {
+      *Error = "cannot read " + Flags.positional().front();
+      return std::nullopt;
+    }
+    T = Mapped->toTrace();
+  } else {
+    const auto Loaded = readTrace(Flags.positional().front());
+    if (!Loaded) {
+      *Error = "cannot read " + Flags.positional().front();
+      return std::nullopt;
+    }
+    T = *Loaded;
   }
   const auto Spec = parsePolicySpec(Flags.getString("policy"));
   if (!Spec) {
@@ -241,11 +285,25 @@ replayJobFromReplayFlags(const FlagSet &Flags, std::string *Error) {
   const auto Config = simConfigFromFlags(Flags, Error);
   if (!Config)
     return std::nullopt;
-  service::ReplayJob Job;
-  Job.TraceData = *T;
+  const int64_t GuestThreads = Flags.getInt("guest-threads");
+  if (GuestThreads < 1) {
+    *Error = "bad guest-threads " + std::to_string(GuestThreads) +
+             " (need >= 1)";
+    return std::nullopt;
+  }
+  if (GuestThreads == 1) {
+    service::ReplayJob Job;
+    Job.TraceData = std::move(T);
+    Job.Spec = *Spec;
+    Job.Config = *Config;
+    return service::Job(std::move(Job));
+  }
+  service::SharedReplayJob Job;
+  Job.TraceData = std::move(T);
   Job.Spec = *Spec;
-  Job.Config = *Config;
-  return Job;
+  Job.Config =
+      sharedConfigFrom(*Config, static_cast<unsigned>(GuestThreads));
+  return service::Job(std::move(Job));
 }
 
 /// Suite engines are expensive (trace generation for the whole Table 1
@@ -401,6 +459,14 @@ FlagSet makeReplayFlags() {
   FlagSet Flags("ccsim_cli replay: replay a saved log (replay <file.cct>).");
   addPolicyFlag(Flags);
   addSimConfigFlags(Flags, 4.0);
+  Flags.addInt("guest-threads", 1,
+               "Guest threads sharing one engine (1 = exact serial "
+               "replay; >1 = concurrent shared-engine replay, validated "
+               "by the structural auditor).");
+  Flags.addBool("mmap", false,
+                "Stream the trace out of a read-only mapping instead of "
+                "loading it (falls back to a buffered read when mmap is "
+                "unavailable).");
   addTelemetryFlags(Flags);
   return Flags;
 }
@@ -474,6 +540,16 @@ FlagSet makeAuditFlags() {
   Flags.addInt("functions", 32, "Guest call-graph size (--dbt).");
   Flags.addInt("iterations", 600, "Main loop trip count (--dbt).");
   Flags.addInt("cache-kb", 2, "Code cache size in KB (--dbt).");
+  Flags.addInt("guest-threads", 1,
+               "Audit the thread-shared engine under this many "
+               "concurrent guests instead of the serial manager (trace "
+               "mode only).");
+  Flags.addInt("quiesce-interval", 65536,
+               "Accesses between quiesce-point audits with "
+               "--guest-threads > 1 (0 = only the final audit).");
+  Flags.addBool("mmap", false,
+                "Stream a file trace out of a read-only mapping instead "
+                "of loading it.");
   return Flags;
 }
 
@@ -485,7 +561,8 @@ FlagSet makeBatchFlags() {
       "with optional per-job --priority=N, --deadline-ms=N, and "
       "--label=NAME. Blank lines and '#' comments are skipped. Results "
       "print in manifest order and are byte-identical to --serial "
-      "execution.");
+      "execution (except replay --guest-threads > 1 lines, whose "
+      "interleaving is schedule-dependent by design).");
   Flags.addInt("jobs", 0, "Service worker threads (0 = hardware).");
   Flags.addInt("queue", 64, "Admission queue capacity.");
   Flags.addString("backpressure", "block",
@@ -527,6 +604,8 @@ void setJobTelemetry(service::Job &Job, telemetry::TelemetrySink *Sink) {
   } else if (auto *S = std::get_if<service::SweepBatchJob>(&Job.Payload)) {
     for (SweepJob &Point : S->Jobs)
       Point.Config.Telemetry = Sink;
+  } else if (auto *SR = std::get_if<service::SharedReplayJob>(&Job.Payload)) {
+    SR->Config.Telemetry = Sink;
   } else {
     std::get<service::TenantJob>(Job.Payload).Config.Telemetry = Sink;
   }
@@ -576,7 +655,54 @@ int runRecord(FlagSet &Flags) {
   return exportTelemetry(Flags, Sink.get()) == 0 ? ExitOk : ExitRuntime;
 }
 
+/// The --mmap arm of runReplay: replays straight out of the mapping
+/// through the shared-engine runner (its K=1 path is byte-identical to
+/// the serial simulator), so the access stream is never materialized.
+int replayMapped(FlagSet &Flags) {
+  auto Mapped = trace::MappedTrace::open(Flags.positional().front());
+  if (!Mapped) {
+    std::fprintf(stderr, "error: cannot read %s\n",
+                 Flags.positional().front().c_str());
+    return ExitRuntime;
+  }
+  const auto Spec = parsePolicySpec(Flags.getString("policy"));
+  if (!Spec) {
+    std::fprintf(stderr, "error: bad policy '%s' (flush | fine | <unit "
+                         "count>)\n",
+                 Flags.getString("policy").c_str());
+    return ExitUsage;
+  }
+  std::string Error;
+  const auto Config = simConfigFromFlags(Flags, &Error);
+  if (!Config) {
+    std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return ExitUsage;
+  }
+  const int64_t GuestThreads = Flags.getInt("guest-threads");
+  if (GuestThreads < 1) {
+    std::fprintf(stderr, "error: bad guest-threads %lld (need >= 1)\n",
+                 static_cast<long long>(GuestThreads));
+    return ExitUsage;
+  }
+  const auto Sink = makeSinkIfRequested(Flags);
+  concurrent::SharedRunConfig SC =
+      sharedConfigFrom(*Config, static_cast<unsigned>(GuestThreads));
+  SC.Telemetry = Sink.get();
+  const concurrent::SharedRunResult R =
+      concurrent::runShared(*Mapped, *Spec, SC);
+  SimResult Sim;
+  Sim.BenchmarkName = R.BenchmarkName;
+  Sim.PolicyName = R.PolicyName;
+  Sim.CapacityBytes = R.CapacityBytes;
+  Sim.MaxCacheBytes = R.MaxCacheBytes;
+  Sim.Stats = R.Stats;
+  std::fputs(renderSimResult(Sim).c_str(), stdout);
+  return exportTelemetry(Flags, Sink.get()) == 0 ? ExitOk : ExitRuntime;
+}
+
 int runReplay(FlagSet &Flags) {
+  if (Flags.getBool("mmap") && !Flags.positional().empty())
+    return replayMapped(Flags);
   std::string Error;
   auto Job = replayJobFromReplayFlags(Flags, &Error);
   if (!Job) {
@@ -585,8 +711,8 @@ int runReplay(FlagSet &Flags) {
     return Usage ? ExitUsage : ExitRuntime;
   }
   const auto Sink = makeSinkIfRequested(Flags);
-  Job->Config.Telemetry = Sink.get();
-  return runJobAndPrint(service::Job(std::move(*Job)), Flags, Sink);
+  setJobTelemetry(*Job, Sink.get());
+  return runJobAndPrint(std::move(*Job), Flags, Sink);
 }
 
 int runGen(FlagSet &Flags) {
@@ -751,19 +877,73 @@ int auditTranslatorRun(const FlagSet &Flags) {
   return ExitOk;
 }
 
+/// The --guest-threads > 1 arm of runAudit: replays each policy through
+/// the shared engine with the full auditSharedEngine rule set firing at
+/// every quiesce point and once over the drained final state.
+int auditSharedRun(const FlagSet &Flags, const Trace &T,
+                   const SimConfig &Capacity) {
+  const unsigned GuestThreads =
+      static_cast<unsigned>(Flags.getInt("guest-threads"));
+  for (const std::string &Spec : splitList(Flags.getString("policies"))) {
+    const auto Policy = parsePolicySpec(Spec);
+    if (!Policy) {
+      std::fprintf(stderr, "error: bad policy '%s'\n", Spec.c_str());
+      return ExitUsage;
+    }
+    size_t Violations = 0;
+    concurrent::SharedRunConfig SC =
+        sharedConfigFrom(Capacity, GuestThreads);
+    SC.Audit = AuditLevel::Full;
+    const int64_t Quiesce = Flags.getInt("quiesce-interval");
+    SC.QuiesceInterval = Quiesce > 0 ? static_cast<uint64_t>(Quiesce) : 0;
+    SC.OnViolation = [&Violations, &Spec](const check::AuditReport &Report,
+                                          const char *Where) {
+      Violations += Report.size();
+      std::fprintf(stderr, "audit FAILED (policy %s, after %s):\n%s",
+                   Spec.c_str(), Where, Report.render().c_str());
+    };
+    const concurrent::SharedRunResult R =
+        concurrent::runShared(T, *Policy, SC);
+    if (Violations > 0)
+      return ExitRuntime;
+    std::printf("policy %-8s %s accesses, %s evictions, %u guests, "
+                "%llu quiesce audits -- audit clean\n",
+                R.PolicyName.c_str(),
+                formatWithCommas(R.Stats.Accesses).c_str(),
+                formatWithCommas(R.Stats.EvictedBlocks).c_str(),
+                R.GuestThreads,
+                static_cast<unsigned long long>(R.QuiesceAudits));
+  }
+  std::printf("trace %s: every quiesce point audited, all invariants "
+              "held\n",
+              T.Name.c_str());
+  return ExitOk;
+}
+
 int runAudit(FlagSet &Flags) {
   if (Flags.getBool("dbt"))
     return auditTranslatorRun(Flags);
 
   Trace T;
   if (!Flags.positional().empty()) {
-    const auto Loaded = readTrace(Flags.positional().front());
-    if (!Loaded) {
-      std::fprintf(stderr, "error: cannot read %s\n",
-                   Flags.positional().front().c_str());
-      return ExitRuntime;
+    if (Flags.getBool("mmap")) {
+      const auto Mapped =
+          trace::MappedTrace::open(Flags.positional().front());
+      if (!Mapped) {
+        std::fprintf(stderr, "error: cannot read %s\n",
+                     Flags.positional().front().c_str());
+        return ExitRuntime;
+      }
+      T = Mapped->toTrace();
+    } else {
+      const auto Loaded = readTrace(Flags.positional().front());
+      if (!Loaded) {
+        std::fprintf(stderr, "error: cannot read %s\n",
+                     Flags.positional().front().c_str());
+        return ExitRuntime;
+      }
+      T = *Loaded;
     }
-    T = *Loaded;
   } else {
     std::string Error;
     auto Generated = workloadTraceFromFlags(Flags, &Error);
@@ -778,6 +958,13 @@ int runAudit(FlagSet &Flags) {
   const auto Capacity = simConfigFromFlags(Flags, &Error);
   if (!Capacity) {
     std::fprintf(stderr, "error: %s\n", Error.c_str());
+    return ExitUsage;
+  }
+  if (Flags.getInt("guest-threads") > 1)
+    return auditSharedRun(Flags, T, *Capacity);
+  if (Flags.getInt("guest-threads") < 1) {
+    std::fprintf(stderr, "error: bad guest-threads %lld (need >= 1)\n",
+                 static_cast<long long>(Flags.getInt("guest-threads")));
     return ExitUsage;
   }
 
@@ -912,7 +1099,7 @@ parseManifest(const std::string &Path, EngineCache &Engines,
         *Error = Prefix + BuildError;
         return std::nullopt;
       }
-      R.Proto = service::Job(std::move(*J));
+      R.Proto = std::move(*J);
     } else if (Verb == "suite") {
       auto J = sweepJobFromSuiteFlags(Flags, Engines, &BuildError);
       if (!J) {

@@ -78,6 +78,12 @@ const char *check::ruleId(AuditRule Rule) {
     return "dispatch.resident-unreachable";
   case AuditRule::DispatchSizeMismatch:
     return "dispatch.size-mismatch";
+  case AuditRule::SharedIndexStaleEntry:
+    return "shared.index-stale-entry";
+  case AuditRule::SharedIndexMissingEntry:
+    return "shared.index-missing-entry";
+  case AuditRule::SharedIndexRegionMismatch:
+    return "shared.index-region-mismatch";
   }
   CCSIM_REQUIRE(false, "unknown audit rule %d", static_cast<int>(Rule));
 }
@@ -143,6 +149,12 @@ const char *check::ruleFixHint(AuditRule Rule) {
     return "Translator::installFragment and the eviction payloads must "
            "insert/remove DispatchTable entries in lockstep with the "
            "engine's commitInsert/evictions";
+  case AuditRule::SharedIndexStaleEntry:
+  case AuditRule::SharedIndexMissingEntry:
+  case AuditRule::SharedIndexRegionMismatch:
+    return "SharedCacheEngine::reconcileIndexEntry and the eviction-batch "
+           "hook must mutate the sharded index under the shard lock in "
+           "lockstep with CodeCache residency";
   }
   CCSIM_REQUIRE(false, "unknown audit rule %d", static_cast<int>(Rule));
 }

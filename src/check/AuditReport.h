@@ -88,6 +88,14 @@ enum class AuditRule : uint8_t {
   DispatchResidentUnreachable,///< Resident fragment with no table entry at
                               ///< its entry PC.
   DispatchSizeMismatch,       ///< Live-entry count != resident count.
+
+  // Thread-shared engine: the sharded residency index against the code
+  // cache, checked at eviction-fence quiesce points. A stale entry would
+  // let a concurrent fast-path hit land on evicted code.
+  SharedIndexStaleEntry,      ///< Index entry for a non-resident block.
+  SharedIndexMissingEntry,    ///< Resident block absent from the index.
+  SharedIndexRegionMismatch,  ///< Entry's eviction-fence region disagrees
+                              ///< with the block's actual placement.
 };
 
 /// How bad a violation is. Everything the auditor currently checks is a

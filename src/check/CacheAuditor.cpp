@@ -599,6 +599,43 @@ void check::checkDispatchTable(const DispatchTableState &Table,
                Table.Entries.size(), Cache.Lookup.size());
 }
 
+void check::checkSharedIndex(const SharedIndexState &Index,
+                             const CodeCacheState &Cache,
+                             AuditReport &Report) {
+  std::unordered_map<SuperblockId, uint64_t> StartById;
+  for (const CodeCache::Resident &R : Cache.Lookup)
+    StartById[R.Id] = R.Start;
+  std::unordered_set<SuperblockId> Indexed;
+  const uint64_t Width = std::max<uint64_t>(1, Index.FenceBytes);
+  for (const SharedIndexEntry &E : Index.Entries) {
+    Indexed.insert(E.Id);
+    const auto It = StartById.find(E.Id);
+    if (It == StartById.end()) {
+      Report.add(AuditRule::SharedIndexStaleEntry, ids({E.Id, E.Region}),
+                 "index entry for block %llu (region %llu), which is not "
+                 "resident",
+                 static_cast<ULL>(E.Id), static_cast<ULL>(E.Region));
+      continue;
+    }
+    uint64_t Expected = It->second / Width;
+    if (Index.Fences > 0 && Expected >= Index.Fences)
+      Expected = Index.Fences - 1;
+    if (E.Region != Expected)
+      Report.add(AuditRule::SharedIndexRegionMismatch,
+                 ids({E.Id, E.Region}),
+                 "block %llu indexed in fence region %llu but placed at "
+                 "offset %llu (region %llu)",
+                 static_cast<ULL>(E.Id), static_cast<ULL>(E.Region),
+                 static_cast<ULL>(It->second), static_cast<ULL>(Expected));
+  }
+  for (const CodeCache::Resident &R : Cache.Lookup)
+    if (!Indexed.count(R.Id))
+      Report.add(AuditRule::SharedIndexMissingEntry, ids({R.Id}),
+                 "resident block %llu has no sharded-index entry (a "
+                 "concurrent hit would miss spuriously)",
+                 static_cast<ULL>(R.Id));
+}
+
 // --- Facade --------------------------------------------------------------
 
 AuditReport CacheAuditor::auditCache(const CodeCache &Cache) const {
@@ -635,6 +672,27 @@ AuditReport CacheAuditor::auditManager(const CacheManager &Manager) const {
   if (Manager.config().EnableChaining)
     checkLinkGraph(captureLinkGraph(Manager.links()), Cache, Report);
   checkStats(captureStats(Manager), Report);
+  return Report;
+}
+
+AuditReport check::auditSharedEngine(const SharedCacheEngine &Engine) {
+  AuditReport Report;
+  const CacheEngine &Inner = Engine.engineForAudit();
+  const CodeCacheState Cache = captureCodeCache(Inner.cache());
+  checkCodeCache(Cache, Report);
+  if (Inner.config().EnableChaining)
+    checkLinkGraph(captureLinkGraph(Inner.links()), Cache, Report);
+  StatsState Stats = captureStats(Inner);
+  if (Engine.mode() == ShareMode::Concurrent && Stats.Stats.Accesses == 0) {
+    // Mid-run deferred accounting: Accesses/Hits live outside the engine
+    // until settle(). Patch the snapshot to the provisional totals so
+    // the access-split identity (Hits + Misses == Accesses) is checked
+    // against what actually happened so far.
+    Stats.Stats.Hits += Engine.provisionalHits();
+    Stats.Stats.Accesses = Stats.Stats.Misses + Stats.Stats.Hits;
+  }
+  checkStats(Stats, Report);
+  checkSharedIndex(Engine.indexSnapshot(), Cache, Report);
   return Report;
 }
 

@@ -34,6 +34,7 @@
 #include "core/FreeListCache.h"
 #include "core/GenerationalCache.h"
 #include "core/LinkGraph.h"
+#include "core/SharedCacheEngine.h"
 
 #include <cstdint>
 #include <vector>
@@ -130,6 +131,17 @@ void checkGenerational(const CodeCacheState &Nursery,
 void checkStats(const StatsState &State, AuditReport &Report);
 void checkDispatchTable(const DispatchTableState &Table,
                         const CodeCacheState &Cache, AuditReport &Report);
+void checkSharedIndex(const SharedIndexState &Index,
+                      const CodeCacheState &Cache, AuditReport &Report);
+
+/// Full cross-structure audit of a quiescent SharedCacheEngine: the
+/// auditManager rule set over the inner engine -- with the deferred
+/// Accesses/Hits counters patched to their provisional totals so the
+/// conservation identities hold mid-run -- plus the shared.* family
+/// tying the sharded residency index to CodeCache placement. Only sound
+/// inside SharedCacheEngine::quiesce() (every lock held, no access in
+/// flight); the runners call it exactly there.
+AuditReport auditSharedEngine(const SharedCacheEngine &Engine);
 
 /// Facade running capture + check over live structures. Stateless; the
 /// free functions above are its building blocks and the testing surface.

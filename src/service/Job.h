@@ -19,6 +19,7 @@
 #define CCSIM_SERVICE_JOB_H
 
 #include "concurrent/MultiTenantSimulator.h"
+#include "concurrent/SharedEngineRunner.h"
 #include "multisweep/MultiConfigEngine.h"
 #include "sim/Simulator.h"
 #include "sim/Sweep.h"
@@ -85,6 +86,17 @@ struct TenantJob {
   MultiTenantConfig Config;
 };
 
+/// Replay one trace through a thread-shared engine with K guest threads
+/// (the `replay --guest-threads` path and the sustained-load driver).
+/// With Config.GuestThreads == 1 the outcome is byte-identical to the
+/// equivalent ReplayJob; with K > 1 results are audit-validated. The
+/// job owns its trace.
+struct SharedReplayJob {
+  Trace TraceData;
+  GranularitySpec Spec = GranularitySpec::units(8);
+  concurrent::SharedRunConfig Config;
+};
+
 /// Scheduling metadata attached to a job at submission.
 struct JobOptions {
   /// Higher-priority jobs leave the queue first; ties run in submission
@@ -120,7 +132,7 @@ struct JobOptions {
 
 /// One unit of service work: a typed payload plus scheduling options.
 struct Job {
-  std::variant<ReplayJob, SweepBatchJob, TenantJob> Payload;
+  std::variant<ReplayJob, SweepBatchJob, TenantJob, SharedReplayJob> Payload;
   JobOptions Options;
 
   Job() = default;
@@ -130,8 +142,11 @@ struct Job {
       : Payload(std::move(S)), Options(std::move(O)) {}
   Job(TenantJob T, JobOptions O = {})
       : Payload(std::move(T)), Options(std::move(O)) {}
+  Job(SharedReplayJob R, JobOptions O = {})
+      : Payload(std::move(R)), Options(std::move(O)) {}
 
-  /// Stable kind label for metrics ("replay" | "sweep" | "tenants").
+  /// Stable kind label for metrics
+  /// ("replay" | "sweep" | "tenants" | "shared-replay").
   const char *kindName() const;
 
   /// Empty when the payload is runnable; else the descriptive error of

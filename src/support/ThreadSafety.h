@@ -18,10 +18,15 @@
 /// The standard library's mutex types carry no capability attributes on
 /// libstdc++, so annotated code uses the two wrappers below instead:
 ///
-///   ccsim::Mutex      an annotated std::mutex (a "mutex" capability);
-///   ccsim::MutexLock  an annotated RAII guard (std::unique_lock under
-///                     the hood; native() hands the unique_lock to
-///                     std::condition_variable::wait).
+///   ccsim::Mutex       an annotated std::mutex (a "mutex" capability);
+///   ccsim::MutexLock   an annotated RAII guard (std::unique_lock under
+///                      the hood; native() hands the unique_lock to
+///                      std::condition_variable::wait);
+///   ccsim::SharedMutex an annotated std::shared_mutex for the
+///                      reader/writer locks of the thread-shared engine
+///                      (shard tables and eviction fences);
+///   ccsim::ReaderLock / ccsim::WriterLock  RAII guards over a
+///                      SharedMutex in shared / exclusive mode.
 ///
 /// Condition-variable wait predicates are written as explicit while
 /// loops, never as wait(lock, lambda): the analysis treats a lambda body
@@ -34,6 +39,7 @@
 #define CCSIM_SUPPORT_THREADSAFETY_H
 
 #include <mutex>
+#include <shared_mutex>
 
 #if defined(__clang__)
 #define CCSIM_TSA(x) __attribute__((x))
@@ -66,6 +72,22 @@
 /// Function releases the named mutexes.
 #define CCSIM_RELEASE(...) CCSIM_TSA(release_capability(__VA_ARGS__))
 
+/// Function acquires the named capabilities in shared (reader) mode.
+#define CCSIM_ACQUIRE_SHARED(...)                                              \
+  CCSIM_TSA(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases capabilities held in shared (reader) mode.
+#define CCSIM_RELEASE_SHARED(...)                                              \
+  CCSIM_TSA(release_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability in exclusive mode iff it returns the
+/// given value (try_lock).
+#define CCSIM_TRY_ACQUIRE(...) CCSIM_TSA(try_acquire_capability(__VA_ARGS__))
+
+/// Shared-mode variant of CCSIM_TRY_ACQUIRE.
+#define CCSIM_TRY_ACQUIRE_SHARED(...)                                          \
+  CCSIM_TSA(try_acquire_shared_capability(__VA_ARGS__))
+
 /// Lock-ordering edge: this mutex must be acquired after the named one.
 #define CCSIM_ACQUIRED_AFTER(...) CCSIM_TSA(acquired_after(__VA_ARGS__))
 
@@ -84,6 +106,7 @@ class CCSIM_CAPABILITY("mutex") Mutex {
 public:
   void lock() CCSIM_ACQUIRE() { M.lock(); }
   void unlock() CCSIM_RELEASE() { M.unlock(); }
+  bool try_lock() CCSIM_TRY_ACQUIRE(true) { return M.try_lock(); }
 
   /// The wrapped mutex, for APIs (condition variables) that need the
   /// standard type. Bypasses the analysis; prefer MutexLock.
@@ -111,6 +134,54 @@ public:
 
 private:
   std::unique_lock<std::mutex> Inner;
+};
+
+/// std::shared_mutex as a Clang capability. The thread-shared engine
+/// uses these for its shard tables (many concurrent readers on the hit
+/// path) and its eviction fences (readers are in-flight hits, the writer
+/// is an eviction batch tearing down victims in that region).
+class CCSIM_CAPABILITY("mutex") SharedMutex {
+public:
+  void lock() CCSIM_ACQUIRE() { M.lock(); }
+  void unlock() CCSIM_RELEASE() { M.unlock(); }
+  bool try_lock() CCSIM_TRY_ACQUIRE(true) { return M.try_lock(); }
+
+  void lock_shared() CCSIM_ACQUIRE_SHARED() { M.lock_shared(); }
+  void unlock_shared() CCSIM_RELEASE_SHARED() { M.unlock_shared(); }
+  bool try_lock_shared() CCSIM_TRY_ACQUIRE_SHARED(true) {
+    return M.try_lock_shared();
+  }
+
+private:
+  std::shared_mutex M;
+};
+
+/// RAII shared (reader) hold on a SharedMutex.
+class CCSIM_SCOPED_CAPABILITY ReaderLock {
+public:
+  explicit ReaderLock(SharedMutex &M) CCSIM_ACQUIRE_SHARED(M) : M(M) {
+    M.lock_shared();
+  }
+  ~ReaderLock() CCSIM_RELEASE() { M.unlock_shared(); }
+
+  ReaderLock(const ReaderLock &) = delete;
+  ReaderLock &operator=(const ReaderLock &) = delete;
+
+private:
+  SharedMutex &M;
+};
+
+/// RAII exclusive (writer) hold on a SharedMutex.
+class CCSIM_SCOPED_CAPABILITY WriterLock {
+public:
+  explicit WriterLock(SharedMutex &M) CCSIM_ACQUIRE(M) : M(M) { M.lock(); }
+  ~WriterLock() CCSIM_RELEASE() { M.unlock(); }
+
+  WriterLock(const WriterLock &) = delete;
+  WriterLock &operator=(const WriterLock &) = delete;
+
+private:
+  SharedMutex &M;
 };
 
 } // namespace ccsim

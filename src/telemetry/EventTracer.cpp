@@ -29,6 +29,8 @@ const char *ccsim::telemetry::eventKindName(EventKind K) {
     return "mark";
   case EventKind::JobState:
     return "job-state";
+  case EventKind::Contention:
+    return "contention";
   }
   return "unknown";
 }

@@ -61,7 +61,7 @@ namespace {
 /// Whether records of kind \p K carry an interned label id in A.
 bool hasLabel(EventKind K) {
   return K == EventKind::TenantTag || K == EventKind::Mark ||
-         K == EventKind::JobState;
+         K == EventKind::JobState || K == EventKind::Contention;
 }
 
 std::string formatDouble(double Value) {

@@ -44,11 +44,14 @@ enum class EventKind : uint8_t {
                  ///< begin, 0 for end.
   JobState,      ///< SimService job transition. Tenant = job id,
                  ///< A = interned job label id, B = numeric JobStatus.
+  Contention,    ///< Shared-engine contention summary after a K-guest
+                 ///< run. Tenant = guest threads, A = interned run label
+                 ///< id, B = engine-lock stalls.
 };
 
 /// Number of distinct EventKind values (for per-kind tallies).
 inline constexpr size_t NumEventKinds =
-    static_cast<size_t>(EventKind::JobState) + 1;
+    static_cast<size_t>(EventKind::Contention) + 1;
 
 /// Stable lower-case name of \p K ("miss", "eviction-batch", ...). Used
 /// as the category string of every exporter.

@@ -1,0 +1,110 @@
+//===- trace/MappedTrace.h - Zero-copy mapped trace streaming -------------===//
+//
+// Part of the ccsim project (CGO 2004 code cache eviction reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Zero-copy access to on-disk trace files. readTrace() copies the whole
+/// access stream -- typically the bulk of the file by orders of magnitude
+/// -- into a std::vector before the first event is replayed. MappedTrace
+/// instead maps the file read-only and decodes accesses straight out of
+/// the mapping: the block table (small) is decoded eagerly into the same
+/// SuperblockDef records the rest of the system uses, while the access
+/// stream stays on disk and is paged in by the kernel as the replay
+/// walks it.
+///
+/// On platforms without mmap (or when ForceFallback is set, which the
+/// tests use to cover the path), open() degrades to reading the file
+/// into an owned buffer -- same interface, one copy, still no second
+/// materialization of the access vector.
+///
+/// Validation at open() is exactly as strict as readTrace(): magic,
+/// version, bounds, Trace::validate() semantics (every access and edge
+/// names a defined block, positive sizes, every block accessed), and a
+/// trailing-byte check. A MappedTrace that opened successfully can be
+/// streamed without per-access checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CCSIM_TRACE_MAPPEDTRACE_H
+#define CCSIM_TRACE_MAPPEDTRACE_H
+
+#include "trace/Trace.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ccsim::trace {
+
+/// A read-only trace backed by a file mapping (or an owned fallback
+/// buffer). Movable, not copyable; the mapping lives as long as the
+/// object, and records returned by recordFor() alias the decoded block
+/// table exactly like Trace::recordFor().
+class MappedTrace {
+public:
+  MappedTrace(MappedTrace &&Other) noexcept;
+  MappedTrace &operator=(MappedTrace &&Other) noexcept;
+  MappedTrace(const MappedTrace &) = delete;
+  MappedTrace &operator=(const MappedTrace &) = delete;
+  ~MappedTrace();
+
+  /// Maps and validates \p Path. Returns nullopt for unreadable,
+  /// corrupt, or truncated files. \p ForceFallback skips mmap and reads
+  /// the file into memory (tests exercise the non-mmap path with it).
+  static std::optional<MappedTrace> open(const std::string &Path,
+                                         bool ForceFallback = false);
+
+  const std::string &name() const { return Name; }
+  size_t numSuperblocks() const { return Blocks.size(); }
+  size_t numAccesses() const { return NumAccesses; }
+
+  /// The paper's maxCache term: total translated bytes (Section 4.2).
+  uint64_t maxCacheBytes() const { return MaxCacheBytes; }
+
+  /// Decodes access \p I from the mapped stream. \p I < numAccesses().
+  SuperblockId idAt(size_t I) const {
+    const uint8_t *P = AccessBase + I * 4;
+    return static_cast<SuperblockId>(P[0]) |
+           (static_cast<SuperblockId>(P[1]) << 8) |
+           (static_cast<SuperblockId>(P[2]) << 16) |
+           (static_cast<SuperblockId>(P[3]) << 24);
+  }
+
+  /// Per-access record for \p Id; the edge span aliases this object.
+  SuperblockRecord recordFor(SuperblockId Id) const;
+
+  const std::vector<SuperblockDef> &blocks() const { return Blocks; }
+
+  /// True when the access stream is served by an actual file mapping
+  /// (false on the owned-buffer fallback).
+  bool isMapped() const { return MapBase != nullptr; }
+
+  /// Materializes a plain Trace (copies the access stream). For callers
+  /// that need the owning form, e.g. to forward into job payloads.
+  Trace toTrace() const;
+
+private:
+  MappedTrace() = default;
+
+  std::string Name;
+  std::vector<SuperblockDef> Blocks;
+  uint64_t MaxCacheBytes = 0;
+  size_t NumAccesses = 0;
+
+  /// Start of the little-endian u32 access stream, into MapBase or
+  /// Fallback.
+  const uint8_t *AccessBase = nullptr;
+
+  void *MapBase = nullptr; ///< mmap base (null on fallback).
+  size_t MapLength = 0;
+  std::vector<uint8_t> Fallback; ///< Owned bytes when not mapped.
+
+  void reset() noexcept;
+};
+
+} // namespace ccsim::trace
+
+#endif // CCSIM_TRACE_MAPPEDTRACE_H

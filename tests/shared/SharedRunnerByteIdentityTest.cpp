@@ -1,0 +1,167 @@
+//===- tests/shared/SharedRunnerByteIdentityTest.cpp - K=1 == serial ------===//
+//
+// The determinism contract at the heart of the shared-engine refactor:
+// with one guest thread, runShared() is byte-identical to the serial
+// simulator -- every SimResult field, every CacheStats counter including
+// the double-precision overhead accumulators, and the rendered telemetry
+// exports compare equal byte for byte. Covered across the figure-style
+// lattice (benchmarks x granularities x pressures) and for both trace
+// sources (in-memory Trace and the zero-copy MappedTrace stream, mmap
+// and fallback alike).
+//
+//===----------------------------------------------------------------------===//
+
+#include "concurrent/SharedEngineRunner.h"
+
+#include "sim/Simulator.h"
+#include "support/Contracts.h"
+#include "telemetry/Exporters.h"
+#include "telemetry/Telemetry.h"
+#include "trace/MappedTrace.h"
+#include "trace/TraceGenerator.h"
+#include "trace/TraceIO.h"
+
+#include "gtest/gtest.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace ccsim;
+
+namespace {
+
+Trace benchTrace(const char *Name, double Scale, uint64_t Seed) {
+  const WorkloadModel *Model = findWorkload(Name);
+  CCSIM_REQUIRE(Model, "unknown workload %s", Name);
+  return TraceGenerator::generateBenchmark(scaledWorkload(*Model, Scale),
+                                           Seed);
+}
+
+/// Every CacheStats field. Exact double equality is intentional: the K=1
+/// path must replay the identical sequence of floating-point additions.
+void expectStatsIdentical(const CacheStats &A, const CacheStats &B) {
+  EXPECT_EQ(A.Accesses, B.Accesses);
+  EXPECT_EQ(A.Hits, B.Hits);
+  EXPECT_EQ(A.Misses, B.Misses);
+  EXPECT_EQ(A.ColdMisses, B.ColdMisses);
+  EXPECT_EQ(A.CapacityMisses, B.CapacityMisses);
+  EXPECT_EQ(A.TooBigMisses, B.TooBigMisses);
+  EXPECT_EQ(A.Inserts, B.Inserts);
+  EXPECT_EQ(A.InsertedBytes, B.InsertedBytes);
+  EXPECT_EQ(A.EvictionInvocations, B.EvictionInvocations);
+  EXPECT_EQ(A.EvictedBlocks, B.EvictedBlocks);
+  EXPECT_EQ(A.EvictedBytes, B.EvictedBytes);
+  EXPECT_EQ(A.UnitsFlushed, B.UnitsFlushed);
+  EXPECT_EQ(A.PreemptiveFlushes, B.PreemptiveFlushes);
+  EXPECT_EQ(A.WastedBytes, B.WastedBytes);
+  EXPECT_EQ(A.LinksCreated, B.LinksCreated);
+  EXPECT_EQ(A.InterUnitLinksCreated, B.InterUnitLinksCreated);
+  EXPECT_EQ(A.SelfLinksCreated, B.SelfLinksCreated);
+  EXPECT_EQ(A.UnlinkedLinks, B.UnlinkedLinks);
+  EXPECT_EQ(A.UnlinkOperations, B.UnlinkOperations);
+  EXPECT_EQ(A.LinksDestroyed, B.LinksDestroyed);
+  EXPECT_EQ(A.MissOverhead, B.MissOverhead);
+  EXPECT_EQ(A.EvictionOverhead, B.EvictionOverhead);
+  EXPECT_EQ(A.UnlinkOverhead, B.UnlinkOverhead);
+  EXPECT_EQ(A.BackPointerBytesPeak, B.BackPointerBytesPeak);
+  EXPECT_EQ(A.BackPointerBytesSum, B.BackPointerBytesSum);
+}
+
+void expectResultIdentical(const SimResult &Serial,
+                           const concurrent::SharedRunResult &Shared) {
+  EXPECT_EQ(Shared.BenchmarkName, Serial.BenchmarkName);
+  EXPECT_EQ(Shared.PolicyName, Serial.PolicyName);
+  EXPECT_EQ(Shared.CapacityBytes, Serial.CapacityBytes);
+  EXPECT_EQ(Shared.MaxCacheBytes, Serial.MaxCacheBytes);
+  expectStatsIdentical(Shared.Stats, Serial.Stats);
+}
+
+} // namespace
+
+TEST(SharedRunnerByteIdentityTest, OneGuestMatchesSerialAcrossLattice) {
+  // The fig6/7/8 lattice shape at smoke scale: two benchmarks, the three
+  // granularity archetypes, a hit-dominated and a thrashing pressure.
+  const std::vector<GranularitySpec> Specs = {GranularitySpec::flush(),
+                                              GranularitySpec::units(8),
+                                              GranularitySpec::fine()};
+  const std::vector<double> Pressures = {2.0, 8.0};
+
+  for (const char *Bench : {"gzip", "vpr"}) {
+    const Trace T = benchTrace(Bench, 0.02, 0x5eed);
+    for (const GranularitySpec &Spec : Specs)
+      for (double Pressure : Pressures) {
+        SCOPED_TRACE(std::string(Bench) + " policy " + Spec.label() +
+                     " pressure " + std::to_string(Pressure));
+        SimConfig Serial;
+        Serial.PressureFactor = Pressure;
+        const SimResult Want = sim::run(T, Spec, Serial);
+
+        concurrent::SharedRunConfig RC;
+        RC.GuestThreads = 1;
+        RC.PressureFactor = Pressure;
+        const concurrent::SharedRunResult Got =
+            concurrent::runShared(T, Spec, RC);
+
+        EXPECT_EQ(Got.Mode, ShareMode::Exact);
+        EXPECT_EQ(Got.GuestThreads, 1u);
+        expectResultIdentical(Want, Got);
+        // The serial path must leave no contention fingerprints: it never
+        // loses a lock and never publishes shared.* metrics.
+        EXPECT_EQ(Got.Contention.InstallRaces, 0u);
+        EXPECT_EQ(Got.Contention.FenceExclusiveStalls, 0u);
+        EXPECT_EQ(Got.Contention.EngineLockStalls, 0u);
+      }
+  }
+}
+
+TEST(SharedRunnerByteIdentityTest, OneGuestTelemetryExportsAreByteIdentical) {
+  const Trace T = benchTrace("gzip", 0.02, 0x7ace);
+  const GranularitySpec Spec = GranularitySpec::units(8);
+
+  telemetry::TelemetrySink SerialSink;
+  SimConfig Serial;
+  Serial.PressureFactor = 8.0;
+  Serial.Telemetry = &SerialSink;
+  const SimResult Want = sim::run(T, Spec, Serial);
+
+  telemetry::TelemetrySink SharedSink;
+  concurrent::SharedRunConfig RC;
+  RC.GuestThreads = 1;
+  RC.PressureFactor = 8.0;
+  RC.Telemetry = &SharedSink;
+  const concurrent::SharedRunResult Got = concurrent::runShared(T, Spec, RC);
+
+  expectResultIdentical(Want, Got);
+  EXPECT_EQ(telemetry::renderMetricsCsv(SharedSink.Metrics),
+            telemetry::renderMetricsCsv(SerialSink.Metrics));
+  EXPECT_EQ(telemetry::renderTraceCsv(SharedSink.Tracer),
+            telemetry::renderTraceCsv(SerialSink.Tracer));
+}
+
+TEST(SharedRunnerByteIdentityTest, MappedTraceStreamMatchesSerial) {
+  // The zero-copy overload must not change a single counter: decoding
+  // accesses straight from the mapped file is the same replay.
+  const Trace T = benchTrace("mcf", 0.02, 0xfade);
+  const std::string Path = testing::TempDir() + "shared_identity_trace.cct";
+  ASSERT_TRUE(writeTrace(T, Path));
+
+  SimConfig Serial;
+  Serial.PressureFactor = 4.0;
+  const SimResult Want = sim::run(T, GranularitySpec::units(8), Serial);
+
+  for (bool ForceFallback : {false, true}) {
+    SCOPED_TRACE(ForceFallback ? "fallback buffer" : "mmap");
+    auto Mapped = trace::MappedTrace::open(Path, ForceFallback);
+    ASSERT_TRUE(Mapped.has_value());
+    EXPECT_EQ(Mapped->isMapped(), !ForceFallback);
+
+    concurrent::SharedRunConfig RC;
+    RC.GuestThreads = 1;
+    RC.PressureFactor = 4.0;
+    const concurrent::SharedRunResult Got =
+        concurrent::runShared(*Mapped, GranularitySpec::units(8), RC);
+    expectResultIdentical(Want, Got);
+  }
+  std::remove(Path.c_str());
+}

@@ -154,6 +154,36 @@ TEST(LintFixtures, NakedLockWrapperFileIsExempt) {
                   .empty());
 }
 
+TEST(LintFixtures, EngineRawMutexViolates) {
+  const auto Vs =
+      lintFixture("engine_raw_mutex.violate.cpp", "src/core/f.cpp");
+  ASSERT_EQ(Vs.size(), 3u); // mutex, shared_mutex, recursive_mutex.
+  for (const Violation &V : Vs)
+    EXPECT_EQ(V.RuleId, "locking.engine-raw-mutex");
+}
+
+TEST(LintFixtures, EngineRawMutexClean) {
+  EXPECT_TRUE(
+      lintFixture("engine_raw_mutex.clean.cpp", "src/core/f.cpp")
+          .empty());
+}
+
+TEST(LintFixtures, EngineRawMutexScopedToEngineTrees) {
+  // src/concurrent is in scope; the rest of src/ (and tests/) is not --
+  // subsystems outside the thread-shared engine keep their own locking
+  // discipline under locking.naked-lock alone.
+  EXPECT_EQ(lintFixture("engine_raw_mutex.violate.cpp",
+                        "src/concurrent/f.cpp")
+                .size(),
+            3u);
+  EXPECT_TRUE(
+      lintFixture("engine_raw_mutex.violate.cpp", "src/sim/f.cpp")
+          .empty());
+  EXPECT_TRUE(
+      lintFixture("engine_raw_mutex.violate.cpp", "tests/core/f.cpp")
+          .empty());
+}
+
 TEST(LintFixtures, SwallowedCatchViolates) {
   const auto Vs = lintFixture("swallowed_catch.violate.cpp", "src/f.cpp");
   ASSERT_EQ(Vs.size(), 1u);

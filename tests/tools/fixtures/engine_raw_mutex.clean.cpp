@@ -1,0 +1,16 @@
+// Fixture: the annotated ccsim wrappers must NOT trip
+// locking.engine-raw-mutex, and neither must a <mutex> include.
+// Never compiled; read as text by CcsimLintTest.
+#include "support/ThreadSafety.h"
+
+#include <mutex>
+
+struct ShardedThing {
+  ccsim::Mutex EngineMu;
+  ccsim::SharedMutex IndexMu;
+};
+
+int readSafely(ShardedThing &T, int Value) {
+  ccsim::ReaderLock Lock(T.IndexMu);
+  return Value;
+}

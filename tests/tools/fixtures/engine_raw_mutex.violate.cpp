@@ -1,0 +1,12 @@
+// Fixture: locking.engine-raw-mutex must fire on every raw std:: mutex
+// type declared in the engine trees -- these locks are invisible to the
+// Clang thread-safety analysis.
+// Never compiled; read as text by CcsimLintTest.
+#include <mutex>
+#include <shared_mutex>
+
+struct TornThing {
+  std::mutex EngineMu;
+  std::shared_mutex IndexMu;
+  std::recursive_mutex ReentryMu;
+};

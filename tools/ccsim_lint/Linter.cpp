@@ -43,6 +43,12 @@ const std::vector<Rule> &ccsim::lint::ruleCatalog() {
       {"lint.unknown-rule",
        "ccsim-lint allow() comment naming a rule id that does not exist",
        "use an id from ccsim_lint --list-rules"},
+      {"locking.engine-raw-mutex",
+       "raw std:: mutex type in src/core or src/concurrent; locks in the "
+       "thread-shared engine must be the annotated ccsim wrappers so the "
+       "Clang thread-safety analysis sees every acquisition",
+       "declare ccsim::Mutex / ccsim::SharedMutex from "
+       "support/ThreadSafety.h instead of the std:: type"},
       {"locking.naked-lock",
        "manual mutex lock()/unlock() call; an early return or exception "
        "between the pair deadlocks the next acquirer",
@@ -586,6 +592,31 @@ void checkUnorderedIteration(const std::string &Path,
     }
 }
 
+/// locking.engine-raw-mutex — raw std:: mutex types inside the
+/// thread-shared engine trees (src/core, src/concurrent), where every
+/// lock must be one of the annotated ccsim wrappers. Only the std::
+/// spelling is banned; the wrappers themselves (and <mutex> includes)
+/// never match.
+void checkEngineRawMutex(const std::string &Path,
+                         const std::string &NormPath,
+                         const std::string &Code, const LineIndex &Lines,
+                         std::vector<Violation> &Out) {
+  const bool InScope = NormPath.find("src/core/") != std::string::npos ||
+                       NormPath.find("src/concurrent/") != std::string::npos;
+  if (!InScope)
+    return;
+  static const char *Types[] = {"mutex", "shared_mutex", "recursive_mutex",
+                                "timed_mutex", "shared_timed_mutex"};
+  for (const char *Ty : Types)
+    for (size_t Pos : tokenOffsets(Code, Ty)) {
+      if (Pos < 5 || Code.compare(Pos - 5, 5, "std::") != 0)
+        continue;
+      addViolation(Out, Path, Lines.lineOf(Pos), "locking.engine-raw-mutex",
+                   std::string("std::") + Ty +
+                       " in the shared-engine tree");
+    }
+}
+
 /// locking.naked-lock — manual .lock()/.unlock() outside an RAII guard
 /// declaration.
 void checkNakedLock(const std::string &Path, const std::string &NormPath,
@@ -674,6 +705,7 @@ std::vector<Violation> ccsim::lint::lintSource(const std::string &Path,
   checkRawAssert(Path, View.Code, Lines, Raw);
   checkWallClock(Path, NormPath, View.Code, Lines, Options, Raw);
   checkUnorderedIteration(Path, NormPath, View.Code, Lines, Raw);
+  checkEngineRawMutex(Path, NormPath, View.Code, Lines, Raw);
   checkNakedLock(Path, NormPath, View.Code, Lines, Raw);
   checkSwallowedCatchAll(Path, NormPath, View.Code, Lines, Raw);
 

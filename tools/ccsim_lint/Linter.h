@@ -22,6 +22,9 @@
 ///                                    deadline machinery allowlist
 ///   contracts.raw-assert             no raw assert(); use CCSIM_ASSERT /
 ///                                    CCSIM_REQUIRE (support/Contracts.h)
+///   locking.engine-raw-mutex         no raw std:: mutex types in
+///                                    src/core or src/concurrent; use the
+///                                    annotated ccsim::Mutex wrappers
 ///   locking.naked-lock               no manual mutex .lock()/.unlock();
 ///                                    use ccsim::MutexLock RAII
 ///   exceptions.swallowed-catch-all   no catch (...) that swallows the
