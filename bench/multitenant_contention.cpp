@@ -154,27 +154,24 @@ int main(int Argc, char **Argv) {
   for (const std::string &GranText :
        splitList(Flags.getString("granularities"))) {
     for (const std::string &ModeText : splitList(Flags.getString("modes"))) {
-      MultiTenantConfig Config;
-      Config.Granularity = parseGranularity(GranText);
-      if (ModeText == "shared")
-        Config.Mode = PartitionMode::Shared;
-      else if (ModeText == "static")
-        Config.Mode = PartitionMode::StaticPartition;
-      else if (ModeText == "quota")
-        Config.Mode = PartitionMode::UnitQuota;
-      else {
+      const std::optional<PartitionMode> Mode = parsePartitionMode(ModeText);
+      if (!Mode) {
         std::fprintf(stderr, "warning: unknown mode '%s', skipping\n",
                      ModeText.c_str());
         continue;
       }
-      Config.Schedule = Flags.getString("schedule") == "weighted"
-                            ? InterleaveKind::Weighted
-                            : InterleaveKind::RoundRobin;
-      Config.ScheduleSeed =
-          static_cast<uint64_t>(Flags.getInt("schedule-seed"));
-      Config.PressureFactor = Flags.getDouble("pressure");
+      TenancyPolicy Policy =
+          TenancyPolicy()
+              .withGranularity(parseGranularity(GranText))
+              .withMode(*Mode)
+              .withSchedule(Flags.getString("schedule") == "weighted"
+                                ? InterleaveKind::Weighted
+                                : InterleaveKind::RoundRobin)
+              .withScheduleSeed(
+                  static_cast<uint64_t>(Flags.getInt("schedule-seed")))
+              .withPressure(Flags.getDouble("pressure"));
 
-      MultiTenantSimulator Sim(Traces, Config);
+      MultiTenantSimulator Sim(Traces, Policy);
       printRun(Sim.run());
     }
   }

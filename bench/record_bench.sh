@@ -10,15 +10,19 @@
 #   bench/record_bench.sh adversarial --seed=7 # custom adversarial run
 #   bench/record_bench.sh service              # 20M-op shared-engine run
 #   bench/record_bench.sh service --ops=500000 # quicker service smoke
+#   bench/record_bench.sh sharing              # cross-tenant sharing study
+#   bench/record_bench.sh sharing --scale=0.5  # quicker sharing smoke
 #
 # The first argument selects the benchmark ("sweep", the default,
-# "adversarial", or "service"); every other flag is forwarded to the
-# binary. The build tree defaults to ./build (override with BUILD_DIR).
-# A record is only installed if its binary exits 0 AND its validator
-# passes: sweep gates bit-identity of the one-pass results, adversarial
-# gates the 5x degradation floor, service gates the shared-engine
-# conservation/audit/accounting invariants. Schema validation happens in
-# the record_*.cmake scripts so CI can reuse them without a shell.
+# "adversarial", "service", or "sharing"); every other flag is forwarded
+# to the binary. The build tree defaults to ./build (override with
+# BUILD_DIR). A record is only installed if its binary exits 0 AND its
+# validator passes: sweep gates bit-identity of the one-pass results,
+# adversarial gates the 5x degradation floor, service gates the
+# shared-engine conservation/audit/accounting invariants, sharing gates
+# the refcount-conservation and footprint-dedup claims. Schema
+# validation happens in the record_*.cmake scripts so CI can reuse them
+# without a shell.
 set -euo pipefail
 
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
@@ -70,8 +74,19 @@ service)
         -P "$ROOT/bench/record_service.cmake"
   echo "recorded $ROOT/BENCH_service.json"
   ;;
+sharing)
+  SCALE_ARGS=("$@")
+  cmake -B "$BUILD" -S "$ROOT" >/dev/null
+  cmake --build "$BUILD" --target tenant_sharing -j "$(nproc)"
+  ARGS_LIST="$(IFS=';'; echo "${SCALE_ARGS[*]}")"
+  cmake -DSHARING_BIN="$BUILD/bench/tenant_sharing" \
+        -DSHARING_JSON="$ROOT/BENCH_sharing.json" \
+        -DSHARING_ARGS="$ARGS_LIST" \
+        -P "$ROOT/bench/record_sharing.cmake"
+  echo "recorded $ROOT/BENCH_sharing.json"
+  ;;
 *)
-  echo "unknown benchmark '$MODE' (sweep | adversarial | service)" >&2
+  echo "unknown benchmark '$MODE' (sweep | adversarial | service | sharing)" >&2
   exit 1
   ;;
 esac

@@ -1,0 +1,106 @@
+# record_sharing.cmake - run/validate the cross-tenant sharing record.
+#
+# Script mode (cmake -P) helper behind bench/record_bench.sh sharing and
+# the CI bench step. Two jobs:
+#
+#   1. Optionally run the tenant_sharing binary first:
+#        cmake -DSHARING_BIN=<path/to/tenant_sharing> \
+#              -DSHARING_JSON=<out.json> \
+#              [-DSHARING_ARGS=--scale=0.25] \
+#              -P bench/record_sharing.cmake
+#      (SHARING_ARGS is a semicolon-separated list of extra flags.)
+#
+#   2. Validate the BENCH_sharing.json schema and gate the correctness
+#      claims: conservation_ok, disabled_silent_ok, zero_overlap_inert_ok,
+#      and full_overlap_saves_ok must all be true -- every sharing run
+#      ended with SharedInstalls == UnshareUnlinks + live links, the
+#      disabled path stayed byte-inert, disjoint tenants never linked,
+#      and identical tenants deduplicated to a strictly smaller installed
+#      footprint. Footprint percentages are recorded but never gated
+#      beyond positivity: how much sharing saves depends on the lattice,
+#      that it conserves does not.
+#
+# Exits nonzero (FATAL_ERROR) on any schema violation or gate miss.
+
+cmake_minimum_required(VERSION 3.19)
+
+if(NOT DEFINED SHARING_JSON)
+  message(FATAL_ERROR "pass -DSHARING_JSON=<path to BENCH_sharing.json>")
+endif()
+
+if(DEFINED SHARING_BIN)
+  message(STATUS "running ${SHARING_BIN} --out=${SHARING_JSON} "
+                 "${SHARING_ARGS}")
+  execute_process(
+    COMMAND "${SHARING_BIN}" "--out=${SHARING_JSON}" ${SHARING_ARGS}
+    RESULT_VARIABLE RunResult)
+  if(NOT RunResult EQUAL 0)
+    message(FATAL_ERROR "tenant_sharing exited ${RunResult}")
+  endif()
+endif()
+
+if(NOT EXISTS "${SHARING_JSON}")
+  message(FATAL_ERROR "no record at ${SHARING_JSON}")
+endif()
+file(READ "${SHARING_JSON}" Record)
+
+# Every key tenant_sharing writes; a missing or retyped key breaks the
+# consumers (CI trend tracking, bench/record_bench.sh).
+set(RequiredKeys
+  bench tenants pressure scale seed
+  conservation_ok disabled_silent_ok zero_overlap_inert_ok
+  full_overlap_saves_ok max_saved_pct rows)
+foreach(Key IN LISTS RequiredKeys)
+  string(JSON Value ERROR_VARIABLE JsonError GET "${Record}" "${Key}")
+  if(JsonError)
+    message(FATAL_ERROR
+            "BENCH_sharing.json: missing key '${Key}': ${JsonError}")
+  endif()
+endforeach()
+
+string(JSON BenchName GET "${Record}" bench)
+if(NOT BenchName STREQUAL "tenant_sharing")
+  message(FATAL_ERROR "BENCH_sharing.json: bench is '${BenchName}', "
+                      "expected 'tenant_sharing'")
+endif()
+
+string(JSON TenantCount GET "${Record}" tenants)
+if(TenantCount LESS 2)
+  message(FATAL_ERROR "BENCH_sharing.json: tenants=${TenantCount}, need "
+                      "at least 2 for sharing to mean anything")
+endif()
+
+# The correctness gates: this record claims the sharing machinery held
+# its refcount-conservation and inertness contracts over the lattice.
+foreach(Gate conservation_ok disabled_silent_ok zero_overlap_inert_ok
+             full_overlap_saves_ok)
+  string(JSON Value GET "${Record}" "${Gate}")
+  if(NOT Value STREQUAL "ON" AND NOT Value STREQUAL "true")
+    message(FATAL_ERROR
+            "BENCH_sharing.json: gate ${Gate}=${Value}, expected true")
+  endif()
+endforeach()
+
+string(JSON RowCount LENGTH "${Record}" rows)
+if(RowCount LESS 1)
+  message(FATAL_ERROR "BENCH_sharing.json: rows is empty")
+endif()
+
+# Per-row sanity: every row carries both sides of the comparison.
+math(EXPR LastRow "${RowCount} - 1")
+foreach(Key overlap policy mode inserted_off inserted_on shared_installs)
+  string(JSON Value ERROR_VARIABLE JsonError GET "${Record}" rows 0 "${Key}")
+  if(JsonError)
+    message(FATAL_ERROR
+            "BENCH_sharing.json: rows[0] missing '${Key}': ${JsonError}")
+  endif()
+endforeach()
+
+string(JSON MaxSaved GET "${Record}" max_saved_pct)
+if(MaxSaved LESS_EQUAL 0)
+  message(FATAL_ERROR "BENCH_sharing.json: max_saved_pct=${MaxSaved}, "
+                      "sharing saved nothing anywhere on the lattice")
+endif()
+
+message(STATUS "BENCH_sharing.json ok: ${RowCount} rows, ${TenantCount} "
+               "tenants, best footprint cut ${MaxSaved}%, all gates clean")

@@ -21,6 +21,7 @@
 #ifndef CCSIM_EXAMPLES_SIMFLAGS_H
 #define CCSIM_EXAMPLES_SIMFLAGS_H
 
+#include "concurrent/TenancyPolicy.h"
 #include "multisweep/MultiConfigEngine.h"
 #include "sim/Simulator.h"
 #include "support/Flags.h"
@@ -182,6 +183,67 @@ inline std::optional<SimConfig> simConfigFromFlags(const FlagSet &Flags,
     return std::nullopt;
   }
   return Config;
+}
+
+/// Declares the tenancy-shaped flags: partition mode, interleave
+/// schedule, and cross-tenant code sharing. Pairs with
+/// tenancyPolicyFromFlags the way addSimConfigFlags pairs with
+/// simConfigFromFlags.
+inline void addTenancyFlags(FlagSet &Flags) {
+  Flags.addString("mode", "shared", "shared | static | quota.");
+  Flags.addString("schedule", "rr", "Interleaving: rr | weighted.");
+  Flags.addBool("share-code", false,
+                "ShareJIT-style cross-tenant content sharing: misses on "
+                "content another tenant already has resident link the "
+                "shared copy instead of installing a duplicate.");
+}
+
+/// Assembles a TenancyPolicy from the addPolicyFlag + addSimConfigFlags +
+/// addTenancyFlags flags and validates it — the one construction path
+/// `ccsim_cli tenants`, batch manifests, and the benches share. On
+/// failure returns nullopt with the description in \p Error.
+inline std::optional<TenancyPolicy>
+tenancyPolicyFromFlags(const FlagSet &Flags, std::string *Error) {
+  const auto Spec = parsePolicySpec(Flags.getString("policy"));
+  if (!Spec) {
+    if (Error)
+      *Error = "bad policy '" + Flags.getString("policy") +
+               "' (flush | fine | <unit count>)";
+    return std::nullopt;
+  }
+  const auto SC = simConfigFromFlags(Flags, Error);
+  if (!SC)
+    return std::nullopt;
+  const auto Mode = parsePartitionMode(Flags.getString("mode"));
+  if (!Mode) {
+    if (Error)
+      *Error = "unknown mode '" + Flags.getString("mode") +
+               "' (shared|static|quota)";
+    return std::nullopt;
+  }
+  const auto Schedule = parseInterleaveKind(Flags.getString("schedule"));
+  if (!Schedule) {
+    if (Error)
+      *Error = "unknown schedule '" + Flags.getString("schedule") +
+               "' (rr|weighted)";
+    return std::nullopt;
+  }
+  TenancyPolicy Policy;
+  Policy.withMode(*Mode)
+      .withSchedule(*Schedule)
+      .withGranularity(*Spec)
+      .withPressure(SC->PressureFactor)
+      .withCapacityBytes(SC->ExplicitCapacityBytes)
+      .withCosts(SC->Costs)
+      .withChaining(SC->EnableChaining)
+      .withShareCode(Flags.getBool("share-code"));
+  std::string Err = Policy.validate();
+  if (!Err.empty()) {
+    if (Error)
+      *Error = Err;
+    return std::nullopt;
+  }
+  return Policy;
 }
 
 /// Resolves the addWorkloadFlags() flags to a (possibly scaled) workload

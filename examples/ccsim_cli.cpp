@@ -190,7 +190,17 @@ std::string renderTenantResult(const MultiTenantResult &R) {
     Lost += R.Tenants[T].BlocksLostToOthers;
   Out.cell(Lost);
   Out.cell(R.Global.totalOverhead(true), 0);
-  return Head + Out.render();
+  std::string Tail;
+  if (R.Global.SharingActive)
+    appendf(Tail,
+            "sharing: %llu shared installs (%s duplicate bytes avoided), "
+            "%llu unshare unlinks; %llu entries / %llu links live at end\n",
+            static_cast<unsigned long long>(R.Global.SharedInstalls),
+            formatBytes(R.Global.SharedBytesSaved).c_str(),
+            static_cast<unsigned long long>(R.Global.UnshareUnlinks),
+            static_cast<unsigned long long>(R.FinalSharedEntries),
+            static_cast<unsigned long long>(R.FinalShareLinks));
+  return Head + Out.render() + Tail;
 }
 
 /// Renders whatever payload a terminal outcome carries.
@@ -355,12 +365,61 @@ sweepJobFromSuiteFlags(const FlagSet &Flags, EngineCache &Engines,
   return Job;
 }
 
+/// Parses "overlap:<K>@<F>" into K tagged per-tenant traces sharing
+/// fraction F of their working set (the --share-code sweep workload).
+std::optional<std::vector<Trace>>
+overlapSuiteFromEntry(const std::string &Name, double Scale, uint64_t Seed,
+                      std::string *Error) {
+  const std::string Body = Name.substr(std::string("overlap:").size());
+  const size_t At = Body.find('@');
+  char *End = nullptr;
+  const long K = std::strtol(Body.c_str(), &End, 10);
+  const bool KOk =
+      End && End != Body.c_str() &&
+      (At == std::string::npos ? *End == '\0'
+                               : End == Body.c_str() + At);
+  double F = -1.0;
+  if (At != std::string::npos) {
+    F = std::strtod(Body.c_str() + At + 1, &End);
+    if (!End || *End != '\0')
+      F = -1.0;
+  }
+  if (!KOk || K < 1 || At == std::string::npos || F < 0.0 || F > 1.0) {
+    *Error = "bad tenant entry '" + Name +
+             "' (expected overlap:<tenants>@<fraction in [0,1]>)";
+    return std::nullopt;
+  }
+  workloads::AdversarySpec Spec = *workloads::findAdversarial("overlap");
+  if (Scale < 0.999)
+    Spec = workloads::scaledAdversary(Spec, Scale);
+  Spec.Tenants = static_cast<uint32_t>(K);
+  Spec.OverlapFraction = F;
+  const std::string Err = Spec.validate();
+  if (!Err.empty()) {
+    *Error = "bad tenant entry '" + Name + "': " + Err;
+    return std::nullopt;
+  }
+  return workloads::generateTenantOverlapSuite(Spec, Seed);
+}
+
 std::optional<service::TenantJob>
 tenantJobFromTenantsFlags(const FlagSet &Flags, std::string *Error) {
   std::vector<Trace> Traces;
   for (const std::string &Name : splitList(Flags.getString("tenants"))) {
-    // A tenant entry is a Table 1 benchmark or an adversarial workload
-    // ("adversarial:<name>"; "adversarial:all" adds the whole catalog).
+    // A tenant entry is a Table 1 benchmark, an adversarial workload
+    // ("adversarial:<name>"; "adversarial:all" adds the whole catalog),
+    // or "overlap:<K>@<F>" — K tenants whose working sets share content
+    // fraction F, tagged for the --share-code path.
+    if (Name.rfind("overlap:", 0) == 0) {
+      auto Suite = overlapSuiteFromEntry(
+          Name, Flags.getDouble("scale"),
+          static_cast<uint64_t>(Flags.getInt("seed")), Error);
+      if (!Suite)
+        return std::nullopt;
+      for (Trace &T : *Suite)
+        Traces.push_back(std::move(T));
+      continue;
+    }
     if (Name.rfind("adversarial:", 0) == 0) {
       auto Generated = adversarialTracesFromSpec(
           Name, Flags.getDouble("scale"),
@@ -387,46 +446,13 @@ tenantJobFromTenantsFlags(const FlagSet &Flags, std::string *Error) {
     return std::nullopt;
   }
 
-  const auto Spec = parsePolicySpec(Flags.getString("policy"));
-  if (!Spec) {
-    *Error = "bad policy '" + Flags.getString("policy") +
-             "' (flush | fine | <unit count>)";
+  const auto Policy = tenancyPolicyFromFlags(Flags, Error);
+  if (!Policy)
     return std::nullopt;
-  }
-  const auto SC = simConfigFromFlags(Flags, Error);
-  if (!SC)
-    return std::nullopt;
-
-  MultiTenantConfig Config;
-  Config.withGranularity(*Spec)
-      .withPressure(SC->PressureFactor)
-      .withCapacityBytes(SC->ExplicitCapacityBytes)
-      .withCosts(SC->Costs)
-      .withChaining(SC->EnableChaining);
-  const std::string Mode = Flags.getString("mode");
-  if (Mode == "static")
-    Config.Mode = PartitionMode::StaticPartition;
-  else if (Mode == "quota")
-    Config.Mode = PartitionMode::UnitQuota;
-  else if (Mode == "shared")
-    Config.Mode = PartitionMode::Shared;
-  else {
-    *Error = "unknown mode '" + Mode + "' (shared|static|quota)";
-    return std::nullopt;
-  }
-  const std::string Schedule = Flags.getString("schedule");
-  if (Schedule == "weighted")
-    Config.Schedule = InterleaveKind::Weighted;
-  else if (Schedule == "rr" || Schedule == "round-robin")
-    Config.Schedule = InterleaveKind::RoundRobin;
-  else {
-    *Error = "unknown schedule '" + Schedule + "' (rr|weighted)";
-    return std::nullopt;
-  }
 
   service::TenantJob Job;
   Job.Traces = std::move(Traces);
-  Job.Config = Config;
+  Job.Policy = *Policy;
   return Job;
 }
 
@@ -499,10 +525,11 @@ FlagSet makeSuiteFlags() {
 FlagSet makeTenantsFlags() {
   FlagSet Flags("ccsim_cli tenants: multi-tenant shared-cache simulation.");
   Flags.addString("tenants", "gzip,vpr,crafty",
-                  "Comma-separated tenants: Table 1 benchmark names "
-                  "and/or adversarial:<name> workloads.");
-  Flags.addString("mode", "shared", "shared | static | quota.");
-  Flags.addString("schedule", "rr", "Interleaving: rr | weighted.");
+                  "Comma-separated tenants: Table 1 benchmark names, "
+                  "adversarial:<name> workloads, and/or "
+                  "overlap:<K>@<F> (K tenants sharing content fraction "
+                  "F of their working sets — pair with --share-code).");
+  addTenancyFlags(Flags);
   addPolicyFlag(Flags);
   addSimConfigFlags(Flags, 2.0);
   Flags.addDouble("scale", 1.0, "Workload size multiplier.");
@@ -607,7 +634,7 @@ void setJobTelemetry(service::Job &Job, telemetry::TelemetrySink *Sink) {
   } else if (auto *SR = std::get_if<service::SharedReplayJob>(&Job.Payload)) {
     SR->Config.Telemetry = Sink;
   } else {
-    std::get<service::TenantJob>(Job.Payload).Config.Telemetry = Sink;
+    std::get<service::TenantJob>(Job.Payload).Run.Telemetry = Sink;
   }
 }
 
@@ -813,7 +840,7 @@ int runTenants(FlagSet &Flags) {
     return ExitUsage;
   }
   const auto Sink = makeSinkIfRequested(Flags);
-  Job->Config.Telemetry = Sink.get();
+  Job->Run.Telemetry = Sink.get();
   return runJobAndPrint(service::Job(std::move(*Job)), Flags, Sink);
 }
 

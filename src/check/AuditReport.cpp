@@ -84,6 +84,16 @@ const char *check::ruleId(AuditRule Rule) {
     return "shared.index-missing-entry";
   case AuditRule::SharedIndexRegionMismatch:
     return "shared.index-region-mismatch";
+  case AuditRule::ShareRefCountMismatch:
+    return "share.refcount-mismatch";
+  case AuditRule::ShareOrphanEntry:
+    return "share.orphan-entry";
+  case AuditRule::ShareAliasResident:
+    return "share.alias-resident";
+  case AuditRule::ShareMirrorMismatch:
+    return "share.mirror-mismatch";
+  case AuditRule::ShareStatsConservation:
+    return "share.stats-conservation";
   }
   CCSIM_REQUIRE(false, "unknown audit rule %d", static_cast<int>(Rule));
 }
@@ -155,6 +165,19 @@ const char *check::ruleFixHint(AuditRule Rule) {
     return "SharedCacheEngine::reconcileIndexEntry and the eviction-batch "
            "hook must mutate the sharded index under the shard lock in "
            "lockstep with CodeCache residency";
+  case AuditRule::ShareRefCountMismatch:
+  case AuditRule::ShareMirrorMismatch:
+    return "SharedContentIndex::link/releaseRepresentative must move "
+           "RefCount and LiveLinks with every link-set mutation";
+  case AuditRule::ShareOrphanEntry:
+  case AuditRule::ShareAliasResident:
+    return "CacheEngine::missAndInsert must register representatives and "
+           "drainShares must release them in lockstep with residency "
+           "(aliases never insert while their representative lives)";
+  case AuditRule::ShareStatsConservation:
+    return "CacheEngine's shared-hit path and drainShares must bump "
+           "SharedInstalls/UnshareUnlinks exactly once per link "
+           "created/drained";
   }
   CCSIM_REQUIRE(false, "unknown audit rule %d", static_cast<int>(Rule));
 }

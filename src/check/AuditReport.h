@@ -96,6 +96,20 @@ enum class AuditRule : uint8_t {
   SharedIndexMissingEntry,    ///< Resident block absent from the index.
   SharedIndexRegionMismatch,  ///< Entry's eviction-fence region disagrees
                               ///< with the block's actual placement.
+
+  // Cross-tenant content sharing: the SharedContentIndex against every
+  // cache it spans plus the merged stats (DESIGN.md section 19). A
+  // violated rule here means tenants could execute freed shared code or
+  // hold duplicate copies sharing was supposed to fold.
+  ShareRefCountMismatch,      ///< Entry refcount != 1 + its live links.
+  ShareOrphanEntry,           ///< Representative not resident in any of
+                              ///< the spanned caches.
+  ShareAliasResident,         ///< A linked alias is itself resident — a
+                              ///< duplicate copy that defeats sharing.
+  ShareMirrorMismatch,        ///< The index's live-link counter disagrees
+                              ///< with the sum of entry link sets.
+  ShareStatsConservation,     ///< SharedInstalls - UnshareUnlinks in the
+                              ///< merged stats != live links.
 };
 
 /// How bad a violation is. Everything the auditor currently checks is a

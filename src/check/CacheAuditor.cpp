@@ -110,6 +110,19 @@ DispatchTableState check::captureDispatchTable(const Translator &T,
   return State;
 }
 
+ContentIndexState check::captureContentIndex(const SharedContentIndex &Index) {
+  ContentIndexState State;
+  State.LiveLinks = Index.liveLinkCount();
+  State.Entries.reserve(Index.entryCount());
+  Index.forEachEntry(
+      [&](uint64_t Key, const SharedContentIndex::Entry &E) {
+        State.Entries.push_back(ContentIndexState::Entry{
+            Key, E.Representative, E.SizeBytes, E.Owner, E.RefCount,
+            E.Links});
+      });
+  return State;
+}
+
 // --- CodeCache rules -----------------------------------------------------
 
 void check::checkCodeCache(const CodeCacheState &Cache,
@@ -634,6 +647,58 @@ void check::checkSharedIndex(const SharedIndexState &Index,
                  "resident block %llu has no sharded-index entry (a "
                  "concurrent hit would miss spuriously)",
                  static_cast<ULL>(R.Id));
+}
+
+void check::checkContentIndex(const ContentIndexState &Index,
+                              const std::vector<CodeCacheState> &Caches,
+                              const CacheStats &Merged,
+                              AuditReport &Report) {
+  const auto ResidentAnywhere = [&Caches](SuperblockId Id) {
+    return std::any_of(
+        Caches.begin(), Caches.end(),
+        [Id](const CodeCacheState &C) { return C.isResident(Id); });
+  };
+  uint64_t LinkSum = 0;
+  for (const ContentIndexState::Entry &E : Index.Entries) {
+    LinkSum += E.Links.size();
+    if (E.RefCount != 1 + E.Links.size())
+      Report.add(AuditRule::ShareRefCountMismatch,
+                 ids({E.Key, E.Representative}),
+                 "entry key %llu (representative %llu) holds refcount "
+                 "%llu for %zu live links",
+                 static_cast<ULL>(E.Key), static_cast<ULL>(E.Representative),
+                 static_cast<ULL>(E.RefCount), E.Links.size());
+    if (!ResidentAnywhere(E.Representative))
+      Report.add(AuditRule::ShareOrphanEntry,
+                 ids({E.Key, E.Representative}),
+                 "representative %llu of key %llu is resident in none of "
+                 "the %zu spanned caches (linked tenants would execute "
+                 "freed code)",
+                 static_cast<ULL>(E.Representative), static_cast<ULL>(E.Key),
+                 Caches.size());
+    for (const SharedContentIndex::Link &L : E.Links)
+      if (ResidentAnywhere(L.Alias))
+        Report.add(AuditRule::ShareAliasResident, ids({E.Key, L.Alias}),
+                   "alias %llu (tenant %llu) of key %llu is itself "
+                   "resident — a duplicate copy sharing should have "
+                   "folded",
+                   static_cast<ULL>(L.Alias), static_cast<ULL>(L.Tenant),
+                   static_cast<ULL>(E.Key));
+  }
+  if (LinkSum != Index.LiveLinks)
+    Report.add(AuditRule::ShareMirrorMismatch, {},
+               "live-link counter says %llu but entry link sets hold %llu",
+               static_cast<ULL>(Index.LiveLinks), static_cast<ULL>(LinkSum));
+  // Conservation against the merged stats: every link ever created was a
+  // shared install, every link ever drained an unshare unlink.
+  if (Merged.SharingActive &&
+      Merged.SharedInstalls != Merged.UnshareUnlinks + Index.LiveLinks)
+    Report.add(AuditRule::ShareStatsConservation, {},
+               "%llu shared installs - %llu unshare unlinks != %llu live "
+               "links",
+               static_cast<ULL>(Merged.SharedInstalls),
+               static_cast<ULL>(Merged.UnshareUnlinks),
+               static_cast<ULL>(Index.LiveLinks));
 }
 
 // --- Facade --------------------------------------------------------------

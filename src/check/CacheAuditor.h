@@ -35,6 +35,7 @@
 #include "core/GenerationalCache.h"
 #include "core/LinkGraph.h"
 #include "core/SharedCacheEngine.h"
+#include "core/SharedContentIndex.h"
 
 #include <cstdint>
 #include <vector>
@@ -99,6 +100,22 @@ struct DispatchTableState {
   std::vector<uint32_t> PCById; ///< Entry PC per fragment id.
 };
 
+/// Snapshot of a SharedContentIndex (cross-tenant content sharing). One
+/// index may span several caches, so the share.* rules take a vector of
+/// CodeCacheState — residency questions are "resident anywhere".
+struct ContentIndexState {
+  struct Entry {
+    uint64_t Key = 0;
+    SuperblockId Representative = InvalidSuperblockId;
+    uint32_t SizeBytes = 0;
+    TenantId Owner = 0;
+    uint64_t RefCount = 0;
+    std::vector<SharedContentIndex::Link> Links;
+  };
+  std::vector<Entry> Entries; ///< Key-ascending.
+  uint64_t LiveLinks = 0;     ///< The index's running link counter.
+};
+
 /// CacheStats counters paired with the structure observations they must
 /// reconcile against.
 struct StatsState {
@@ -119,6 +136,7 @@ FreeListState captureFreeList(const FreeListCache &Cache);
 StatsState captureStats(const CacheManager &Manager);
 DispatchTableState captureDispatchTable(const Translator &T,
                                         bool BasicBlockTier);
+ContentIndexState captureContentIndex(const SharedContentIndex &Index);
 
 // --- Rule evaluation over snapshots -------------------------------------
 
@@ -133,6 +151,14 @@ void checkDispatchTable(const DispatchTableState &Table,
                         const CodeCacheState &Cache, AuditReport &Report);
 void checkSharedIndex(const SharedIndexState &Index,
                       const CodeCacheState &Cache, AuditReport &Report);
+
+/// The share.* family: the content index against every cache it spans
+/// plus the merged stats of those caches. \p Merged must have
+/// SharingActive set for the stats-conservation rule to apply (the other
+/// rules are structural and always run).
+void checkContentIndex(const ContentIndexState &Index,
+                       const std::vector<CodeCacheState> &Caches,
+                       const CacheStats &Merged, AuditReport &Report);
 
 /// Full cross-structure audit of a quiescent SharedCacheEngine: the
 /// auditManager rule set over the inner engine -- with the deferred

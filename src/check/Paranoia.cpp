@@ -40,6 +40,30 @@ void check::armAuditor(CacheManager &Manager, ParanoiaOptions Options) {
       });
 }
 
+void check::armSharedTenancyAuditors(
+    const std::vector<CacheManager *> &Managers,
+    const SharedContentIndex &Index, ParanoiaOptions Options) {
+  // Each hook captures the whole fleet by value (a vector of stable
+  // pointers): sharing couples the managers through the index, so every
+  // audit must see all caches at once.
+  for (CacheManager *Manager : Managers) {
+    Manager->setAuditLevel(Options.Level);
+    Manager->setAuditHook([Options, Managers, &Index](const CacheManager &M,
+                                                      const char *Where) {
+      AuditReport Report = CacheAuditor().auditManager(M);
+      std::vector<CodeCacheState> Caches;
+      Caches.reserve(Managers.size());
+      CacheStats Merged;
+      for (const CacheManager *Peer : Managers) {
+        Caches.push_back(captureCodeCache(Peer->cache()));
+        Merged.merge(Peer->stats());
+      }
+      checkContentIndex(captureContentIndex(Index), Caches, Merged, Report);
+      handleReport(Report, Where, Options);
+    });
+  }
+}
+
 void check::armAuditor(Translator &T, ParanoiaOptions Options) {
   // One hook audits the whole translator regardless of which tier engine
   // triggered it; the engine argument is ignored on purpose.

@@ -24,8 +24,10 @@
 
 #include "check/AuditReport.h"
 #include "core/CacheManager.h"
+#include "core/SharedContentIndex.h"
 
 #include <functional>
+#include <vector>
 
 namespace ccsim {
 class Translator;
@@ -58,6 +60,17 @@ void armAuditor(CacheManager &Manager, ParanoiaOptions Options = {});
 /// dispatch.* table-vs-residency family). \p T must outlive its engines'
 /// hooks, which it does by construction.
 void armAuditor(Translator &T, ParanoiaOptions Options = {});
+
+/// Installs the deep auditor on a fleet of managers coupled by one
+/// cross-tenant content index: every mutation the level covers audits the
+/// triggering manager (CacheAuditor::auditManager) and then the share.*
+/// family over \p Index against *all* the managers' caches plus their
+/// merged stats — orphan representatives and resident aliases are
+/// cross-manager properties, so auditing one cache in isolation cannot
+/// see them. \p Managers and \p Index must outlive the hooks.
+void armSharedTenancyAuditors(const std::vector<CacheManager *> &Managers,
+                              const SharedContentIndex &Index,
+                              ParanoiaOptions Options = {});
 
 } // namespace ccsim::check
 

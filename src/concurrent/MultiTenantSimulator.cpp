@@ -3,42 +3,13 @@
 #include "concurrent/MultiTenantSimulator.h"
 
 #include "check/Paranoia.h"
-#include "support/Random.h"
 #include "support/Contracts.h"
+#include "support/Random.h"
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 
 using namespace ccsim;
-
-std::string MultiTenantConfig::validate() const {
-  if (ExplicitCapacityBytes == 0 && PressureFactor < 1.0) {
-    char Buf[128];
-    std::snprintf(Buf, sizeof(Buf),
-                  "pressure factor %g below 1 would be an over-provisioned "
-                  "cache (set an explicit capacity instead)",
-                  PressureFactor);
-    return Buf;
-  }
-  if (Granularity.Kind == GranularitySpec::KindType::Units &&
-      Granularity.Units < 1)
-    return "unit granularity needs at least one unit";
-  for (size_t I = 0; I < Tenants.size(); ++I)
-    if (!(Tenants[I].Weight > 0.0)) {
-      char Buf[96];
-      std::snprintf(Buf, sizeof(Buf), "tenant %zu weight %g must be positive",
-                    I, Tenants[I].Weight);
-      return Buf;
-    }
-  if (Costs.EvictionPerByte < 0.0 || Costs.MissPerByte < 0.0 ||
-      Costs.UnlinkPerLink < 0.0 || Costs.EvictionBase < 0.0 ||
-      Costs.MissBase < 0.0 || Costs.UnlinkBase < 0.0)
-    return "cost model coefficients must be nonnegative";
-  if (CancelCheckInterval == 0)
-    return "cancellation check interval must be at least 1 access";
-  return {};
-}
 
 uint64_t MultiTenantResult::blocksLostToOthers(size_t Victim) const {
   const size_t K = Tenants.size();
@@ -49,19 +20,50 @@ uint64_t MultiTenantResult::blocksLostToOthers(size_t Victim) const {
   return Lost;
 }
 
+void TenantResult::recordMetrics(
+    telemetry::MetricsRegistry &Metrics,
+    const telemetry::MetricLabels &Labels) const {
+  auto Count = [&](const char *Name, uint64_t Value) {
+    Metrics.counter(Name, Labels).add(Value);
+  };
+  Count("tenant.accesses", Accesses);
+  Count("tenant.hits", Hits);
+  Count("tenant.misses", Misses);
+  Count("tenant.misses.cold", ColdMisses);
+  Count("tenant.misses.capacity", CapacityMisses);
+  Count("tenant.evictions.triggered", EvictionInvocationsTriggered);
+  Count("tenant.blocks_evicted", BlocksEvicted);
+  Count("tenant.bytes_evicted", BytesEvicted);
+  Count("tenant.blocks_lost_to_others", BlocksLostToOthers);
+  Count("tenant.unlink.operations", UnlinkOperations);
+  Count("tenant.unlink.links_repaired", UnlinkedLinks);
+  Metrics.gauge("tenant.miss_rate", Labels).set(missRate());
+  Metrics.gauge("tenant.overhead.total", Labels).set(totalOverhead(true));
+
+  // The sharing series rides behind the activity gate, exactly like
+  // CacheStats::recordMetrics: disabled runs export the same bytes they
+  // always did.
+  if (SharingActive) {
+    Count("tenant.share.installs", SharedInstalls);
+    Count("tenant.share.bytes_saved", SharedBytesSaved);
+    Count("tenant.share.unshare_unlinks", UnshareUnlinks);
+  }
+}
+
 MultiTenantSimulator::MultiTenantSimulator(const std::vector<Trace> &Traces,
-                                           const MultiTenantConfig &Config)
-    : Traces(Traces), Config(Config) {
+                                           const TenancyPolicy &Policy,
+                                           const TenantRunHooks &Hooks)
+    : Traces(Traces), Policy(Policy), Hooks(Hooks) {
   CCSIM_REQUIRE(!Traces.empty(),
                 "multi-tenant run needs at least one trace");
 
   const size_t K = Traces.size();
   Weights.resize(K, 1.0);
-  for (size_t I = 0; I < std::min(K, Config.Tenants.size()); ++I) {
-    CCSIM_REQUIRE(Config.Tenants[I].Weight > 0.0,
+  for (size_t I = 0; I < std::min(K, Policy.Tenants.size()); ++I) {
+    CCSIM_REQUIRE(Policy.Tenants[I].Weight > 0.0,
                   "tenant %zu weight %g must be positive", I,
-                  Config.Tenants[I].Weight);
-    Weights[I] = Config.Tenants[I].Weight;
+                  Policy.Tenants[I].Weight);
+    Weights[I] = Policy.Tenants[I].Weight;
   }
 
   // Tenants keep their trace-local dense ids but are shifted into disjoint
@@ -84,21 +86,42 @@ MultiTenantSimulator::MultiTenantSimulator(const std::vector<Trace> &Traces,
     }
   }
 
+  // Content identity for sharing runs: a generator-set ContentTag wins;
+  // untagged blocks derive identity from (trace name, local id, size,
+  // local edges), so identical benchmark traces share every block and
+  // distinct benchmarks never collide.
+  if (Policy.ShareCode) {
+    ContentKeys.resize(K);
+    for (size_t T = 0; T < K; ++T) {
+      const Trace &Tr = Traces[T];
+      ContentKeys[T].reserve(Tr.Blocks.size());
+      for (size_t L = 0; L < Tr.Blocks.size(); ++L) {
+        const SuperblockDef &B = Tr.Blocks[L];
+        ContentKeys[T].push_back(
+            B.ContentTag != 0
+                ? contentKeyForTag(B.ContentTag)
+                : contentKeyForBlock(Tr.Name,
+                                     static_cast<SuperblockId>(L),
+                                     B.SizeBytes, B.OutEdges));
+      }
+    }
+  }
+
   TotalCapacity = deriveTotalCapacity();
   planPartitions();
 }
 
 uint64_t MultiTenantSimulator::deriveTotalCapacity() const {
-  if (Config.ExplicitCapacityBytes != 0)
-    return Config.ExplicitCapacityBytes;
-  CCSIM_REQUIRE(Config.PressureFactor >= 1.0,
+  if (Policy.ExplicitCapacityBytes != 0)
+    return Policy.ExplicitCapacityBytes;
+  CCSIM_REQUIRE(Policy.PressureFactor >= 1.0,
                 "pressure factor %g below 1 would be an over-provisioned cache",
-                Config.PressureFactor);
+                Policy.PressureFactor);
   uint64_t SuiteMaxCache = 0;
   for (const Trace &T : Traces)
     SuiteMaxCache += T.maxCacheBytes();
   const double Derived =
-      static_cast<double>(SuiteMaxCache) / Config.PressureFactor;
+      static_cast<double>(SuiteMaxCache) / Policy.PressureFactor;
   return std::max<uint64_t>(1, static_cast<uint64_t>(Derived));
 }
 
@@ -106,7 +129,7 @@ void MultiTenantSimulator::planPartitions() {
   const size_t K = Traces.size();
   TenantCapacities.assign(K, TotalCapacity);
   ManagerOf.resize(K);
-  if (Config.Mode == PartitionMode::Shared) {
+  if (Policy.Mode == PartitionMode::Shared) {
     std::fill(ManagerOf.begin(), ManagerOf.end(), size_t(0));
     return;
   }
@@ -118,9 +141,9 @@ void MultiTenantSimulator::planPartitions() {
     WeightSum += W;
 
   const bool QuotaInUnits =
-      Config.Mode == PartitionMode::UnitQuota &&
-      Config.Granularity.Kind == GranularitySpec::KindType::Units &&
-      Config.Granularity.Units >= 2;
+      Policy.Mode == PartitionMode::UnitQuota &&
+      Policy.Granularity.Kind == GranularitySpec::KindType::Units &&
+      Policy.Granularity.Units >= 2;
   if (QuotaInUnits) {
     // Quotas are expressed in whole eviction units of the shared cache:
     // at N units, the unit currency is C / N bytes and tenant i receives
@@ -128,10 +151,10 @@ void MultiTenantSimulator::planPartitions() {
     // within each tenant's own units, so cross-tenant eviction is
     // impossible by construction.
     const uint64_t UnitBytes =
-        std::max<uint64_t>(1, TotalCapacity / Config.Granularity.Units);
+        std::max<uint64_t>(1, TotalCapacity / Policy.Granularity.Units);
     for (size_t T = 0; T < K; ++T) {
       const double Share = Weights[T] / WeightSum;
-      const double Units = static_cast<double>(Config.Granularity.Units);
+      const double Units = static_cast<double>(Policy.Granularity.Units);
       const uint64_t Quota = std::max<uint64_t>(
           1, static_cast<uint64_t>(std::llround(Units * Share)));
       TenantCapacities[T] = Quota * UnitBytes;
@@ -147,30 +170,16 @@ void MultiTenantSimulator::planPartitions() {
   }
 }
 
-std::string MultiTenantSimulator::modeLabel() const {
-  switch (Config.Mode) {
-  case PartitionMode::Shared:
-    return "shared";
-  case PartitionMode::StaticPartition:
-    return "static-partition";
-  case PartitionMode::UnitQuota:
-    return "unit-quota";
-  }
-  return "unknown";
-}
-
-std::string MultiTenantSimulator::scheduleLabel() const {
-  return Config.Schedule == InterleaveKind::RoundRobin ? "round-robin"
-                                                       : "weighted";
-}
-
 MultiTenantResult MultiTenantSimulator::run() {
   const size_t K = Traces.size();
+  // The managers are rebuilt per run; the index must restart empty with
+  // them (its entries describe their residency).
+  ContentIdx.clear();
 
   MultiTenantResult Result;
-  Result.ModeLabel = modeLabel();
-  Result.PolicyLabel = Config.Granularity.label();
-  Result.ScheduleLabel = scheduleLabel();
+  Result.ModeLabel = partitionModeLabel(Policy.Mode);
+  Result.PolicyLabel = Policy.Granularity.label();
+  Result.ScheduleLabel = interleaveKindLabel(Policy.Schedule);
   Result.TotalCapacityBytes = TotalCapacity;
   Result.Tenants.resize(K);
   Result.CrossEvictedBlocks.assign(K * K, 0);
@@ -180,7 +189,8 @@ MultiTenantResult MultiTenantSimulator::run() {
     TR.Name = Traces[T].Name;
     TR.MaxCacheBytes = Traces[T].maxCacheBytes();
     TR.CapacityBytes =
-        Config.Mode == PartitionMode::Shared ? 0 : TenantCapacities[T];
+        Policy.Mode == PartitionMode::Shared ? 0 : TenantCapacities[T];
+    TR.SharingActive = Policy.ShareCode;
   }
 
   // Eviction attribution: the observer charges invocation costs to the
@@ -203,54 +213,81 @@ MultiTenantResult MultiTenantSimulator::run() {
         ++Victim.UnlinkOperations;
         Victim.UnlinkedLinks += Event.DanglingLinks[I];
         Victim.UnlinkOverhead +=
-            Config.Costs.unlinkingOverhead(Event.DanglingLinks[I]);
+            Policy.Costs.unlinkingOverhead(Event.DanglingLinks[I]);
       }
     }
-    Evictor.EvictionOverhead += Config.Costs.evictionOverhead(BatchBytes);
+    Evictor.EvictionOverhead += Policy.Costs.evictionOverhead(BatchBytes);
+  };
+
+  // Unshare attribution: every drained link is one Eq. 4 unlink on the
+  // tenant that loses the shared copy, mirroring the engine's own charge
+  // so per-tenant sums stay equal to the merged global stats.
+  auto ShareObserver = [&Result, this](const UnshareEvent &Event) {
+    for (const SharedContentIndex::Link &L : Event.Links) {
+      TenantResult &Loser = Result.Tenants[L.Tenant];
+      ++Loser.UnshareUnlinks;
+      Loser.UnlinkOverhead += Policy.Costs.unlinkingOverhead(1);
+    }
   };
 
   // Tenant roster: one TenantTag record per tenant so trace viewers can
   // resolve the tenant lanes to benchmark names.
-  if (telemetry::TelemetrySink *Tel = Config.Telemetry)
+  if (telemetry::TelemetrySink *Tel = Hooks.Telemetry)
     for (size_t T = 0; T < K; ++T)
       Tel->Tracer.record(telemetry::EventKind::TenantTag,
                          static_cast<uint32_t>(T), telemetry::NoBlock,
                          Tel->Tracer.internLabel(Traces[T].Name), 0, 0);
 
   // Build the manager(s).
-  const size_t NumManagers = Config.Mode == PartitionMode::Shared ? 1 : K;
+  const size_t NumManagers = Policy.Mode == PartitionMode::Shared ? 1 : K;
   std::vector<std::unique_ptr<CacheManager>> Managers;
   Managers.reserve(NumManagers);
   const bool QuotaInUnits =
-      Config.Mode == PartitionMode::UnitQuota &&
-      Config.Granularity.Kind == GranularitySpec::KindType::Units &&
-      Config.Granularity.Units >= 2;
+      Policy.Mode == PartitionMode::UnitQuota &&
+      Policy.Granularity.Kind == GranularitySpec::KindType::Units &&
+      Policy.Granularity.Units >= 2;
   for (size_t M = 0; M < NumManagers; ++M) {
     CacheManagerConfig MC;
     MC.CapacityBytes =
-        Config.Mode == PartitionMode::Shared ? TotalCapacity
+        Policy.Mode == PartitionMode::Shared ? TotalCapacity
                                              : TenantCapacities[M];
-    MC.Costs = Config.Costs;
-    MC.EnableChaining = Config.EnableChaining;
+    MC.Costs = Policy.Costs;
+    MC.EnableChaining = Policy.EnableChaining;
     MC.OnEviction = Observer;
-    MC.Telemetry = Config.Telemetry;
-    std::unique_ptr<EvictionPolicy> Policy;
+    MC.Telemetry = Hooks.Telemetry;
+    if (Policy.ShareCode) {
+      MC.ContentIndex = &ContentIdx;
+      MC.OnUnshare = ShareObserver;
+    }
+    std::unique_ptr<EvictionPolicy> EP;
     if (QuotaInUnits) {
       // Keep the shared unit size: a tenant holding Q units runs Q-unit
       // FIFO over its own region.
       const uint64_t UnitBytes =
-          std::max<uint64_t>(1, TotalCapacity / Config.Granularity.Units);
+          std::max<uint64_t>(1, TotalCapacity / Policy.Granularity.Units);
       const unsigned Quota = static_cast<unsigned>(
           std::max<uint64_t>(1, TenantCapacities[M] / UnitBytes));
-      Policy = std::make_unique<UnitFifoPolicy>(Quota);
+      EP = std::make_unique<UnitFifoPolicy>(Quota);
     } else {
-      Policy = makePolicy(Config.Granularity);
+      EP = makePolicy(Policy.Granularity);
     }
-    Managers.push_back(
-        std::make_unique<CacheManager>(MC, std::move(Policy)));
-    if (Config.Audit != AuditLevel::Off)
-      check::armAuditor(*Managers.back(),
-                        check::ParanoiaOptions{Config.Audit, true, {}});
+    Managers.push_back(std::make_unique<CacheManager>(MC, std::move(EP)));
+  }
+  if (Hooks.Audit != AuditLevel::Off) {
+    if (Policy.ShareCode) {
+      // Sharing couples the managers through the content index, so every
+      // audit must see all caches at once (orphan and alias-residency
+      // rules are cross-manager properties).
+      std::vector<CacheManager *> Raw;
+      Raw.reserve(Managers.size());
+      for (const auto &M : Managers)
+        Raw.push_back(M.get());
+      check::armSharedTenancyAuditors(
+          Raw, ContentIdx, check::ParanoiaOptions{Hooks.Audit, true, {}});
+    } else {
+      for (const auto &M : Managers)
+        check::armAuditor(*M, check::ParanoiaOptions{Hooks.Audit, true, {}});
+    }
   }
 
   // Replay the deterministic interleaving until every stream is consumed.
@@ -262,19 +299,19 @@ MultiTenantResult MultiTenantSimulator::run() {
       ++LiveCount;
 
   // Cancellation at interleave-chunk granularity, mirroring sim::run.
-  uint64_t StepsUntilCheck = std::max<uint32_t>(1, Config.CancelCheckInterval);
+  uint64_t StepsUntilCheck = std::max<uint32_t>(1, Hooks.CancelCheckInterval);
   auto CheckCancel = [&]() {
-    if (!Config.Cancel)
+    if (!Hooks.Cancel)
       return;
     if (--StepsUntilCheck > 0)
       return;
-    StepsUntilCheck = std::max<uint32_t>(1, Config.CancelCheckInterval);
-    if (const char *Reason = Config.Cancel->stopReason())
+    StepsUntilCheck = std::max<uint32_t>(1, Hooks.CancelCheckInterval);
+    if (const char *Reason = Hooks.Cancel->stopReason())
       throw ReplayCancelled(
           "multi-tenant replay stopped mid-interleave: " +
               std::string(Reason),
-          Config.Cancel->deadlineExpired() &&
-              !Config.Cancel->cancelRequested());
+          Hooks.Cancel->deadlineExpired() &&
+              !Hooks.Cancel->cancelRequested());
   };
 
   auto Step = [&](size_t T) {
@@ -287,16 +324,27 @@ MultiTenantResult MultiTenantSimulator::run() {
     Rec.SizeBytes = Def.SizeBytes;
     Rec.OutEdges = RemappedEdges[T][Local];
     Rec.Tenant = static_cast<TenantId>(T);
+    if (Policy.ShareCode)
+      Rec.ContentKey = ContentKeys[T][Local];
 
-    const AccessKind Kind = Managers[ManagerOf[T]]->access(Rec);
+    CacheManager &Mgr = *Managers[ManagerOf[T]];
+    const AccessKind Kind = Mgr.access(Rec);
 
     TenantResult &TR = Result.Tenants[T];
     ++TR.Accesses;
     if (Kind == AccessKind::Hit) {
       ++TR.Hits;
+    } else if (Kind == AccessKind::SharedHit) {
+      // Linked a resident identical copy: a hit with no insert. The first
+      // such link per (tenant, block) is this tenant's shared install.
+      ++TR.Hits;
+      if (Mgr.lastAccessShareLinked()) {
+        ++TR.SharedInstalls;
+        TR.SharedBytesSaved += Def.SizeBytes;
+      }
     } else {
       ++TR.Misses;
-      TR.MissOverhead += Config.Costs.missOverhead(Rec.SizeBytes);
+      TR.MissOverhead += Policy.Costs.missOverhead(Rec.SizeBytes);
       if (Rec.Id >= SeenGlobal.size())
         SeenGlobal.resize(
             std::max<size_t>(Rec.Id + 1, SeenGlobal.size() * 2), 0);
@@ -310,14 +358,14 @@ MultiTenantResult MultiTenantSimulator::run() {
       --LiveCount;
   };
 
-  if (Config.Schedule == InterleaveKind::RoundRobin) {
+  if (Policy.Schedule == InterleaveKind::RoundRobin) {
     while (LiveCount > 0) {
       for (size_t T = 0; T < K; ++T)
         if (Cursor[T] < Traces[T].Accesses.size())
           Step(T);
     }
   } else {
-    Rng R(Config.ScheduleSeed);
+    Rng R(Policy.ScheduleSeed);
     double LiveWeight = 0.0;
     for (size_t T = 0; T < K; ++T)
       if (!Traces[T].Accesses.empty())
@@ -343,33 +391,19 @@ MultiTenantResult MultiTenantSimulator::run() {
 
   for (const auto &M : Managers)
     Result.Global.merge(M->stats());
+  if (Policy.ShareCode) {
+    Result.FinalSharedEntries = ContentIdx.entryCount();
+    Result.FinalShareLinks = ContentIdx.liveLinkCount();
+  }
 
   // Publish attributed metrics: one label set per tenant, plus the merged
   // manager counters under scope=global.
-  if (telemetry::TelemetrySink *Tel = Config.Telemetry) {
-    for (const TenantResult &TR : Result.Tenants) {
-      const telemetry::MetricLabels Labels = {{"tenant", TR.Name},
-                                              {"mode", Result.ModeLabel}};
-      auto Count = [&](const char *Name, uint64_t Value) {
-        Tel->Metrics.counter(Name, Labels).add(Value);
-      };
-      Count("tenant.accesses", TR.Accesses);
-      Count("tenant.hits", TR.Hits);
-      Count("tenant.misses", TR.Misses);
-      Count("tenant.misses.cold", TR.ColdMisses);
-      Count("tenant.misses.capacity", TR.CapacityMisses);
-      Count("tenant.evictions.triggered", TR.EvictionInvocationsTriggered);
-      Count("tenant.blocks_evicted", TR.BlocksEvicted);
-      Count("tenant.bytes_evicted", TR.BytesEvicted);
-      Count("tenant.blocks_lost_to_others", TR.BlocksLostToOthers);
-      Count("tenant.unlink.operations", TR.UnlinkOperations);
-      Count("tenant.unlink.links_repaired", TR.UnlinkedLinks);
-      Tel->Metrics.gauge("tenant.miss_rate", Labels).set(TR.missRate());
-      Tel->Metrics.gauge("tenant.overhead.total", Labels)
-          .set(TR.totalOverhead(true));
-    }
-    Result.Global.recordTo(Tel->Metrics, {{"scope", "global"},
-                                          {"mode", Result.ModeLabel}});
+  if (telemetry::TelemetrySink *Tel = Hooks.Telemetry) {
+    for (const TenantResult &TR : Result.Tenants)
+      TR.recordMetrics(Tel->Metrics, {{"tenant", TR.Name},
+                                      {"mode", Result.ModeLabel}});
+    Result.Global.recordMetrics(Tel->Metrics, {{"scope", "global"},
+                                               {"mode", Result.ModeLabel}});
   }
   return Result;
 }

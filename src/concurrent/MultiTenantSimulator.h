@@ -21,12 +21,29 @@
 /// owning tenant, and every eviction batch reports which tenant triggered
 /// it and which tenants lost blocks — the "who evicted whom" matrix.
 ///
+/// With TenancyPolicy::ShareCode the run adds ShareJIT-style
+/// content-addressed sharing: one SharedContentIndex spans all managers,
+/// a tenant missing on content another tenant already has resident links
+/// the shared copy (AccessKind::SharedHit, counted as a hit), and
+/// evicting a representative force-drains its links with per-link Eq. 4
+/// unshare charges attributed to the linking tenants. Content identity is
+/// the block's ContentTag when the generator set one, else a hash of the
+/// trace name, local id, size, and static edges — so K tenants replaying
+/// the same benchmark share 100% of their code, and distinct benchmarks
+/// never collide.
+///
+/// Configuration lives in concurrent/TenancyPolicy.h: TenancyPolicy (what
+/// to simulate) + TenantRunHooks (how to instrument this execution). The
+/// MultiTenantConfig bundle below is a deprecated one-release shim.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CCSIM_CONCURRENT_MULTITENANTSIMULATOR_H
 #define CCSIM_CONCURRENT_MULTITENANTSIMULATOR_H
 
+#include "concurrent/TenancyPolicy.h"
 #include "core/CacheManager.h"
+#include "core/SharedContentIndex.h"
 #include "support/Cancellation.h"
 #include "trace/Trace.h"
 
@@ -35,68 +52,14 @@
 
 namespace ccsim {
 
-/// How the shared capacity is divided between tenants.
-enum class PartitionMode {
-  Shared,          ///< One cache, one FIFO: any tenant may evict any other.
-  StaticPartition, ///< Capacity split by weight; full isolation.
-  UnitQuota,       ///< Capacity split in whole eviction units; each tenant
-                   ///< keeps unit-FIFO eviction inside its own quota.
-};
-
-/// How tenant access streams are interleaved.
-enum class InterleaveKind {
-  RoundRobin, ///< One access per live tenant, in tenant order.
-  Weighted,   ///< Seeded draw proportional to tenant weight.
-};
-
-/// Per-tenant configuration. Weight scales both the Weighted schedule and
-/// the tenant's capacity share under the partitioned modes.
-struct TenantSpec {
-  double Weight = 1.0;
-};
-
-/// Configuration of one multi-tenant run.
-struct MultiTenantConfig {
-  PartitionMode Mode = PartitionMode::Shared;
-  InterleaveKind Schedule = InterleaveKind::RoundRobin;
-  uint64_t ScheduleSeed = 0x7e9a9751ULL;
-
-  /// Eviction granularity. Under UnitQuota the unit count also defines the
-  /// quota currency: a cache of capacity C run at N units has units of
-  /// C / N bytes, and tenant i receives round(N * share_i) of them.
-  GranularitySpec Granularity = GranularitySpec::units(8);
-
-  /// Shared capacity = sum of tenant maxCache / PressureFactor, unless
-  /// ExplicitCapacityBytes overrides it.
-  double PressureFactor = 2.0;
-  uint64_t ExplicitCapacityBytes = 0;
-
-  CostModel Costs = CostModel::paperDefaults();
-  bool EnableChaining = true;
-
-  /// Optional per-tenant weights; defaults to 1.0 each.
-  std::vector<TenantSpec> Tenants;
-
-  /// Optional telemetry endpoint. run() tags every tenant with a
-  /// TenantTag record, forwards the sink into the underlying cache
-  /// manager(s), and publishes per-tenant and global metrics labeled by
-  /// tenant name and partition mode. Null costs nothing.
-  telemetry::TelemetrySink *Telemetry = nullptr;
-
-  /// Deep structural auditing of every underlying manager during the
-  /// replay (check::armAuditor). Defaults to Full in CCSIM_PARANOID
-  /// builds, Off otherwise; violations print their report and abort.
-  AuditLevel Audit = defaultAuditLevel();
-
-  /// Optional cooperative cancellation. When set, run() polls the token
-  /// every CancelCheckInterval interleaved accesses and throws
-  /// ReplayCancelled when it asks to stop.
-  CancelToken *Cancel = nullptr;
-
-  /// Interleaved accesses between cancellation checks.
-  uint32_t CancelCheckInterval = 1024;
-
-  // Fluent setters, mirroring SimConfig's.
+/// Deprecated pre-TenancyPolicy configuration bundle: the policy fields
+/// and the run hooks flattened into one struct. Kept for one release so
+/// existing construction paths keep compiling; new code builds a
+/// TenancyPolicy + TenantRunHooks instead (ccsim_lint rule
+/// tenancy.legacy-config flags new uses under src/ and examples/).
+struct MultiTenantConfig : TenancyPolicy, TenantRunHooks {
+  // Fluent setters re-exposed so legacy chains keep returning the legacy
+  // type (the base versions return their slice).
   MultiTenantConfig &withMode(PartitionMode M) {
     Mode = M;
     return *this;
@@ -129,6 +92,10 @@ struct MultiTenantConfig {
     EnableChaining = Enable;
     return *this;
   }
+  MultiTenantConfig &withShareCode(bool Enable) {
+    ShareCode = Enable;
+    return *this;
+  }
   MultiTenantConfig &withTenants(std::vector<TenantSpec> Specs) {
     Tenants = std::move(Specs);
     return *this;
@@ -146,9 +113,19 @@ struct MultiTenantConfig {
     return *this;
   }
 
-  /// Empty when the config is usable, else a descriptive error (same
-  /// contract as SimConfig::validate).
-  std::string validate() const;
+  /// The policy slice (what to simulate).
+  const TenancyPolicy &policy() const { return *this; }
+
+  /// The hooks slice (how this execution is instrumented).
+  const TenantRunHooks &hooks() const { return *this; }
+
+  /// Empty when usable: policy validation, then hook validation.
+  std::string validate() const {
+    std::string Error = TenancyPolicy::validate();
+    if (Error.empty())
+      Error = TenantRunHooks::validate();
+    return Error;
+  }
 };
 
 /// Counters attributed to one tenant. Access-side counters (accesses,
@@ -175,8 +152,17 @@ struct TenantResult {
                                      ///< incoming links.
   uint64_t UnlinkedLinks = 0;
 
+  // Cross-tenant content sharing (TenancyPolicy::ShareCode runs only).
+  // Shared installs go to the tenant whose miss linked the resident copy;
+  // unshare unlinks go to the tenant that lost its link.
+  bool SharingActive = false;
+  uint64_t SharedInstalls = 0;
+  uint64_t SharedBytesSaved = 0;
+  uint64_t UnshareUnlinks = 0;
+
   // Modeled instruction overheads (Eqs. 2-4): miss and eviction charges go
-  // to the evictor, unlink charges to the victim's owner.
+  // to the evictor, unlink charges to the victim's owner (including
+  // unshare drains, charged to each losing linker).
   double MissOverhead = 0.0;
   double EvictionOverhead = 0.0;
   double UnlinkOverhead = 0.0;
@@ -193,6 +179,14 @@ struct TenantResult {
       Total += UnlinkOverhead;
     return Total;
   }
+
+  /// Publishes this tenant's counters into \p Metrics under \p Labels —
+  /// the per-tenant twin of CacheStats::recordMetrics, and the one place
+  /// the tenant.* metric series is defined. The tenant.share.* series is
+  /// appended only when SharingActive, keeping sharing-disabled exports
+  /// byte-identical.
+  void recordMetrics(telemetry::MetricsRegistry &Metrics,
+                     const telemetry::MetricLabels &Labels) const;
 };
 
 /// Outcome of one multi-tenant run.
@@ -213,6 +207,12 @@ struct MultiTenantResult {
   /// modes keep it at zero by construction.
   std::vector<uint64_t> CrossEvictedBlocks;
 
+  /// Content-index state when the replay finished (ShareCode runs only;
+  /// both 0 otherwise). The conservation identity Global.SharedInstalls -
+  /// Global.UnshareUnlinks == FinalShareLinks holds at this point.
+  uint64_t FinalSharedEntries = 0;
+  uint64_t FinalShareLinks = 0;
+
   uint64_t crossEvictions(size_t Evictor, size_t Victim) const {
     return CrossEvictedBlocks[Evictor * Tenants.size() + Victim];
   }
@@ -229,7 +229,13 @@ struct MultiTenantResult {
 class MultiTenantSimulator {
 public:
   MultiTenantSimulator(const std::vector<Trace> &Traces,
-                       const MultiTenantConfig &Config);
+                       const TenancyPolicy &Policy,
+                       const TenantRunHooks &Hooks = {});
+
+  /// Deprecated shim over the two-argument constructor.
+  MultiTenantSimulator(const std::vector<Trace> &Traces,
+                       const MultiTenantConfig &Config)
+      : MultiTenantSimulator(Traces, Config.policy(), Config.hooks()) {}
 
   /// Replays the interleaved streams to completion (every tenant's trace
   /// is fully consumed) and returns attributed results.
@@ -246,7 +252,8 @@ public:
 
 private:
   const std::vector<Trace> &Traces;
-  MultiTenantConfig Config;
+  TenancyPolicy Policy;
+  TenantRunHooks Hooks;
 
   std::vector<SuperblockId> IdBase;   ///< Global-id offset per tenant.
   std::vector<std::vector<std::vector<SuperblockId>>> RemappedEdges;
@@ -257,10 +264,14 @@ private:
   /// Index of the manager serving tenant \p I (always 0 when shared).
   std::vector<size_t> ManagerOf;
 
+  /// ShareCode state: one content index spanning every manager (global
+  /// ids are disjoint, so representative lookups stay unambiguous across
+  /// partitions), plus precomputed per-block content keys.
+  SharedContentIndex ContentIdx;
+  std::vector<std::vector<uint64_t>> ContentKeys;
+
   uint64_t deriveTotalCapacity() const;
   void planPartitions();
-  std::string modeLabel() const;
-  std::string scheduleLabel() const;
 };
 
 } // namespace ccsim

@@ -141,7 +141,7 @@ SharedRunResult runSerial(const View &V, std::unique_ptr<EvictionPolicy> Policy,
                        MarkId, 0, Result.Stats.Accesses);
     char Pressure[32];
     std::snprintf(Pressure, sizeof(Pressure), "%g", Config.PressureFactor);
-    Result.Stats.recordTo(Tel->Metrics,
+    Result.Stats.recordMetrics(Tel->Metrics,
                           {{"benchmark", Result.BenchmarkName},
                            {"policy", Result.PolicyName},
                            {"pressure", Pressure}});
@@ -208,7 +208,8 @@ SharedRunResult runThreaded(const View &V,
         const uint64_t End = std::min<uint64_t>(N, Start + Grab);
         for (uint64_t I = Start; I < End; ++I) {
           if (Config.Cancel &&
-              ++SincePoll >= std::max<uint32_t>(1, Config.CancelCheckInterval)) {
+              ++SincePoll >=
+                  std::max<uint32_t>(1, Config.CancelCheckInterval)) {
             SincePoll = 0;
             if (const char *Reason = Config.Cancel->stopReason())
               throwCancelled(V.name(), Done.load(std::memory_order_relaxed), N,
@@ -272,7 +273,7 @@ SharedRunResult runThreaded(const View &V,
         {"policy", Result.PolicyName},
         {"pressure", Pressure},
         {"guest-threads", std::to_string(Result.GuestThreads)}};
-    Result.Stats.recordTo(Tel->Metrics, Labels);
+    Result.Stats.recordMetrics(Tel->Metrics, Labels);
     Engine.publishContention(Tel->Metrics, Labels);
     Tel->Tracer.record(telemetry::EventKind::Contention, Result.GuestThreads,
                        telemetry::NoBlock, MarkId,

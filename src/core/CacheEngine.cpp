@@ -12,6 +12,7 @@ CacheEngine::CacheEngine(const CacheEngineConfig &Config,
     : Config(Config), Policy(std::move(Policy)),
       Cache(Config.CapacityBytes) {
   CCSIM_REQUIRE(this->Policy, "cache engine requires a policy");
+  Stats.SharingActive = this->Config.ContentIndex != nullptr;
 }
 
 uint64_t CacheEngine::currentQuantum() const {
@@ -118,8 +119,36 @@ void CacheEngine::chargeEvictions(uint64_t UnitsFlushed) {
       Config.OnUnlinkPayload(EvictedScratch, DanglingScratch);
   }
 
+  if (Config.ContentIndex != nullptr) [[unlikely]]
+    drainShares();
+
   if (Config.Telemetry) [[unlikely]]
     traceEvictionBatch(Bytes, HaveDangling);
+}
+
+void CacheEngine::drainShares() {
+  // Evicting a content-shared representative takes every linked tenant's
+  // copy with it: each live link is one more dispatch-glue patch to undo,
+  // charged at the Eq. 4 single-link rate (the same base + per-link cost a
+  // chained branch repair pays). Aliases that re-miss later install a
+  // fresh representative.
+  for (const CodeCache::Resident &V : EvictedScratch) {
+    UnshareScratch.clear();
+    if (!Config.ContentIndex->releaseRepresentative(V.Id, UnshareScratch))
+      continue;
+    for (size_t I = 0; I < UnshareScratch.size(); ++I) {
+      ++Stats.UnshareUnlinks;
+      Stats.UnlinkOverhead += Config.Costs.unlinkingOverhead(1);
+    }
+    if (Config.OnUnshare && !UnshareScratch.empty()) {
+      UnshareEvent Event;
+      Event.Evictor = CurrentTenant;
+      Event.Representative = V.Id;
+      Event.SizeBytes = V.Size;
+      Event.Links = UnshareScratch;
+      Config.OnUnshare(Event);
+    }
+  }
 }
 
 void CacheEngine::traceMiss(const SuperblockRecord &Rec, bool Cold,
@@ -205,6 +234,15 @@ AccessKind CacheEngine::missAndInsert(const SuperblockRecord &Rec) {
   Cache.commitInsert(Rec.Id, Rec.SizeBytes);
   ++Stats.Inserts;
   Stats.InsertedBytes += Rec.SizeBytes;
+  // First copy of shareable content becomes the key's representative;
+  // later tenants that miss on identical content link it instead of
+  // installing. (A key can already hold a representative only through the
+  // install() front door, which bypasses the shared-hit check — the copy
+  // then simply stays private.)
+  if (Config.ContentIndex != nullptr && Rec.ContentKey != 0 &&
+      Config.ContentIndex->lookup(Rec.ContentKey) == nullptr) [[unlikely]]
+    Config.ContentIndex->registerRepresentative(Rec.ContentKey, Rec.Id,
+                                                Rec.SizeBytes, Rec.Tenant);
   if (Rec.Id >= TenantById.size())
     TenantById.resize(std::max<size_t>(Rec.Id + 1, TenantById.size() * 2),
                       0);
@@ -225,13 +263,33 @@ AccessKind CacheEngine::access(const SuperblockRecord &Rec) {
 
   CurrentTenant = Rec.Tenant;
   ++Stats.Accesses;
+  LastShareLinked = false;
   const bool Hit = Cache.contains(Rec.Id);
-  Policy->noteAccess(Hit);
+  const SharedContentIndex::Entry *Shared = nullptr;
+  if (!Hit && Config.ContentIndex != nullptr && Rec.ContentKey != 0)
+    [[unlikely]]
+    Shared = Config.ContentIndex->lookup(Rec.ContentKey);
+  Policy->noteAccess(Hit || Shared != nullptr);
 
   AccessKind Kind = AccessKind::Hit;
   bool Evicted = false;
   if (Hit) {
     ++Stats.Hits;
+  } else if (Shared != nullptr) {
+    // Identical content is resident under another tenant's id: link the
+    // shared copy instead of regenerating. The access is a hit (no Eq. 3
+    // charge, no insert); a link this (tenant, id) pair did not hold yet
+    // is a shared install that saved one copy's bytes.
+    CCSIM_ASSERT(Shared->SizeBytes == Rec.SizeBytes,
+                 "content key %llu matched blocks of different sizes",
+                 static_cast<unsigned long long>(Rec.ContentKey));
+    ++Stats.Hits;
+    Kind = AccessKind::SharedHit;
+    if (Config.ContentIndex->link(Rec.ContentKey, Rec.Tenant, Rec.Id)) {
+      LastShareLinked = true;
+      ++Stats.SharedInstalls;
+      Stats.SharedBytesSaved += Rec.SizeBytes;
+    }
   } else {
     const uint64_t InvocationsBefore = Stats.EvictionInvocations;
     Kind = missAndInsert(Rec);

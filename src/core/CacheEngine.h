@@ -45,6 +45,7 @@
 #include "core/CostModel.h"
 #include "core/EvictionPolicy.h"
 #include "core/LinkGraph.h"
+#include "core/SharedContentIndex.h"
 #include "core/Superblock.h"
 #include "telemetry/Telemetry.h"
 
@@ -75,6 +76,26 @@ struct EvictionBatchEvent {
 
 /// Observer invoked after each eviction batch has been accounted.
 using EvictionObserver = std::function<void(const EvictionBatchEvent &)>;
+
+/// One content-shared representative being force-unshared because it was
+/// evicted: every tenant that linked the copy loses it and pays one Eq. 4
+/// unlink. The span aliases engine scratch and is valid only during the
+/// callback.
+struct UnshareEvent {
+  /// Tenant whose access triggered the eviction batch.
+  TenantId Evictor = 0;
+
+  /// The evicted representative block.
+  SuperblockId Representative = InvalidSuperblockId;
+  uint32_t SizeBytes = 0;
+
+  /// The drained links, in the order they were created.
+  std::span<const SharedContentIndex::Link> Links;
+};
+
+/// Observer invoked per unshared representative, after the engine charged
+/// the drain (multi-tenant per-tenant attribution).
+using UnshareObserver = std::function<void(const UnshareEvent &)>;
 
 class CacheEngine;
 
@@ -156,6 +177,22 @@ struct CacheEngineConfig {
   /// chaining block, after the link graph repaired the batch.
   UnlinkPayloadHook OnUnlinkPayload;
 
+  /// Optional cross-tenant content index (ShareJIT-style sharing). Null —
+  /// the default — is the disabled fast path: access() pays one branch and
+  /// nothing else, and every export stays byte-identical to a build
+  /// without the feature. When set, accesses whose records carry a
+  /// nonzero ContentKey resolve misses against the index (linking a
+  /// resident identical copy instead of installing a duplicate), inserts
+  /// register the block as the key's representative, and evicting a
+  /// representative force-drains its links with per-link Eq. 4 charges.
+  /// One index may be shared by several engines (partitioned tenancy).
+  SharedContentIndex *ContentIndex = nullptr;
+
+  /// Optional observer fired per unshared representative (after the
+  /// engine accounted the drain). Only ever fired when ContentIndex is
+  /// set.
+  UnshareObserver OnUnshare;
+
   /// Optional telemetry endpoint. Null (the default) is the disabled
   /// fast path: hits emit nothing at all, and the miss/eviction paths pay
   /// one predictable null-pointer branch each. When set, the engine
@@ -167,6 +204,10 @@ struct CacheEngineConfig {
 /// Result of one access.
 enum class AccessKind {
   Hit,        ///< Superblock found in the cache.
+  SharedHit,  ///< Not resident under its own id, but identical content is
+              ///< resident under another tenant's id (content-index hit):
+              ///< the access linked the shared copy instead of
+              ///< regenerating. Counted as a hit in CacheStats.
   Miss,       ///< Regenerated and inserted.
   MissTooBig, ///< Regenerated but larger than the whole cache; executed
               ///< unlinked and discarded (pathological; counted, never
@@ -223,6 +264,12 @@ public:
   void setUnlinkPayload(UnlinkPayloadHook Hook) {
     Config.OnUnlinkPayload = std::move(Hook);
   }
+
+  /// Whether the most recent access() created a *new* share link (its
+  /// AccessKind::SharedHit was the first time this (tenant, id) resolved
+  /// to the shared copy — a shared install). Multi-tenant drivers use
+  /// this for per-tenant SharedInstalls attribution.
+  bool lastAccessShareLinked() const { return LastShareLinked; }
 
   /// Whether the most recent install() evicted at least one batch — the
   /// Evictions-level audit condition for install() owners, who call
@@ -297,7 +344,9 @@ private:
   std::vector<CodeCache::Resident> EvictedScratch;
   std::vector<uint32_t> DanglingScratch;
   std::vector<TenantId> VictimTenantScratch;
+  std::vector<SharedContentIndex::Link> UnshareScratch;
   TenantId CurrentTenant = 0; // Tenant of the in-flight access.
+  bool LastShareLinked = false;
 
   // Telemetry bookkeeping (only touched when Config.Telemetry is set).
   uint64_t LastQuantumTraced = 0;   // 0 = no quantum recorded yet.
@@ -313,6 +362,7 @@ private:
   AccessKind missAndInsert(const SuperblockRecord &Rec);
 
   void chargeEvictions(uint64_t UnitsFlushed);
+  void drainShares();
   void notifyEvictions();
   bool seenBefore(SuperblockId Id);
   void traceMiss(const SuperblockRecord &Rec, bool Cold, uint64_t Quantum);

@@ -27,6 +27,10 @@ void CacheStats::merge(const CacheStats &Other) {
   UnlinkedLinks += Other.UnlinkedLinks;
   UnlinkOperations += Other.UnlinkOperations;
   LinksDestroyed += Other.LinksDestroyed;
+  SharingActive = SharingActive || Other.SharingActive;
+  SharedInstalls += Other.SharedInstalls;
+  SharedBytesSaved += Other.SharedBytesSaved;
+  UnshareUnlinks += Other.UnshareUnlinks;
   MissOverhead += Other.MissOverhead;
   EvictionOverhead += Other.EvictionOverhead;
   UnlinkOverhead += Other.UnlinkOverhead;
@@ -35,8 +39,8 @@ void CacheStats::merge(const CacheStats &Other) {
   BackPointerBytesSum += Other.BackPointerBytesSum;
 }
 
-void CacheStats::recordTo(telemetry::MetricsRegistry &Metrics,
-                          const telemetry::MetricLabels &Labels) const {
+void CacheStats::recordMetrics(telemetry::MetricsRegistry &Metrics,
+                               const telemetry::MetricLabels &Labels) const {
   auto Count = [&](const char *Name, uint64_t Value) {
     Metrics.counter(Name, Labels).add(Value);
   };
@@ -72,4 +76,12 @@ void CacheStats::recordTo(telemetry::MetricsRegistry &Metrics,
   Gaug("cache.backpointer.bytes_peak",
        static_cast<double>(BackPointerBytesPeak));
   Gaug("cache.backpointer.bytes_avg", backPointerBytesAvg());
+
+  // Sharing counters ride behind the activity gate: a run without a
+  // content index must export the exact byte sequence it always did.
+  if (SharingActive) {
+    Count("cache.share.installs", SharedInstalls);
+    Count("cache.share.bytes_saved", SharedBytesSaved);
+    Count("cache.share.unshare_unlinks", UnshareUnlinks);
+  }
 }

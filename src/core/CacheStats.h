@@ -62,6 +62,19 @@ struct CacheStats {
                                       ///< auditor requires LinksCreated -
                                       ///< LinksDestroyed == live links.
 
+  // Cross-tenant content sharing (core/SharedContentIndex). Only engines
+  // configured with a content index ever move these; SharingActive gates
+  // the share.* metric series so runs without sharing keep byte-identical
+  // telemetry exports.
+  bool SharingActive = false;
+  uint64_t SharedInstalls = 0;   ///< Misses resolved by linking a resident
+                                 ///< copy instead of installing one.
+  uint64_t SharedBytesSaved = 0; ///< Code bytes those links did not copy.
+  uint64_t UnshareUnlinks = 0;   ///< Links force-drained because their
+                                 ///< representative was evicted (each is
+                                 ///< an Eq. 4 unlink on the linking
+                                 ///< tenant's dispatch glue).
+
   // Modeled instruction overheads (CostModel).
   double MissOverhead = 0.0;
   double EvictionOverhead = 0.0;
@@ -115,9 +128,21 @@ struct CacheStats {
   /// report printed before telemetry existed (WastedBytes, UnitsFlushed,
   /// SelfLinksCreated, UnlinkOperations, the dangling-link repair count,
   /// and the back-pointer table footprint). Counters accumulate; gauges
-  /// take the latest value.
+  /// take the latest value. The share.* series is appended only when
+  /// SharingActive, so sharing-disabled exports stay byte-identical.
+  ///
+  /// Every stats exporter in the tree (per-engine, per-tenant, suite)
+  /// funnels through a recordMetrics(MetricsRegistry&, Labels) entry point
+  /// of this shape — new counters are added here and nowhere else.
+  void recordMetrics(telemetry::MetricsRegistry &Metrics,
+                     const telemetry::MetricLabels &Labels) const;
+
+  /// Deprecated spelling of recordMetrics(), kept for one release so
+  /// out-of-tree callers keep compiling. New code uses recordMetrics().
   void recordTo(telemetry::MetricsRegistry &Metrics,
-                const telemetry::MetricLabels &Labels) const;
+                const telemetry::MetricLabels &Labels) const {
+    recordMetrics(Metrics, Labels);
+  }
 };
 
 } // namespace ccsim

@@ -18,6 +18,8 @@
 
 #include <cstdint>
 #include <span>
+#include <utility>
+#include <vector>
 
 namespace ccsim {
 
@@ -27,7 +29,8 @@ namespace ccsim {
 using SuperblockId = uint32_t;
 
 /// Sentinel for "no superblock".
-inline constexpr SuperblockId InvalidSuperblockId = ~static_cast<SuperblockId>(0);
+inline constexpr SuperblockId InvalidSuperblockId =
+    ~static_cast<SuperblockId>(0);
 
 /// Identifier of the guest process (tenant) that owns a superblock when
 /// several guests share one code cache. Single-tenant runs leave every
@@ -49,6 +52,56 @@ struct SuperblockRecord {
   uint32_t SizeBytes = 0;
   std::span<const SuperblockId> OutEdges;
   TenantId Tenant = 0;
+
+  /// Content identity for cross-tenant sharing (core/SharedContentIndex).
+  /// 0 means "not shareable"; engines without a content index ignore it.
+  uint64_t ContentKey = 0;
+};
+
+/// A SuperblockRecord that owns its edge storage, for call sites that must
+/// bind a record to a local before consuming it. The plain record's edge
+/// span must not outlive the full expression that produced it — binding
+/// `rec(Id, Size, {braced edges})` to a local dangles, because the braced
+/// temporary dies at the semicolon. This wrapper keeps the edges alive for
+/// the record's whole lifetime and converts implicitly where a
+/// SuperblockRecord is expected.
+class OwningSuperblockRecord {
+public:
+  OwningSuperblockRecord(SuperblockId Id, uint32_t SizeBytes,
+                         std::vector<SuperblockId> OutEdges = {},
+                         TenantId Tenant = 0)
+      : Edges(std::move(OutEdges)), Rec(Id, SizeBytes, Edges, Tenant) {}
+
+  OwningSuperblockRecord(const OwningSuperblockRecord &Other)
+      : Edges(Other.Edges), Rec(Other.Rec) {
+    Rec.OutEdges = Edges;
+  }
+  OwningSuperblockRecord(OwningSuperblockRecord &&Other) noexcept
+      : Edges(std::move(Other.Edges)), Rec(Other.Rec) {
+    Rec.OutEdges = Edges;
+  }
+  OwningSuperblockRecord &operator=(const OwningSuperblockRecord &Other) {
+    if (this != &Other) {
+      Edges = Other.Edges;
+      Rec = Other.Rec;
+      Rec.OutEdges = Edges;
+    }
+    return *this;
+  }
+  OwningSuperblockRecord &operator=(OwningSuperblockRecord &&Other) noexcept {
+    Edges = std::move(Other.Edges);
+    Rec = Other.Rec;
+    Rec.OutEdges = Edges;
+    return *this;
+  }
+
+  SuperblockRecord &record() { return Rec; }
+  const SuperblockRecord &record() const { return Rec; }
+  operator const SuperblockRecord &() const { return Rec; }
+
+private:
+  std::vector<SuperblockId> Edges;
+  SuperblockRecord Rec;
 };
 
 } // namespace ccsim

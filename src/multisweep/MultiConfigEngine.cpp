@@ -244,7 +244,7 @@ void MultiConfigEngine::settle(SharedState &S, SimResult &Out) {
     char Pressure[32];
     std::snprintf(Pressure, sizeof(Pressure), "%g",
                   Job.Config.PressureFactor);
-    Out.Stats.recordTo(Tel->Metrics, {{"benchmark", Out.BenchmarkName},
+    Out.Stats.recordMetrics(Tel->Metrics, {{"benchmark", Out.BenchmarkName},
                                       {"policy", Out.PolicyName},
                                       {"pressure", Pressure}});
   }

@@ -80,10 +80,13 @@ struct SweepBatchJob {
 };
 
 /// Interleave several traces into one shared/partitioned cache (the
-/// `tenants` subcommand). The job owns its traces.
+/// `tenants` subcommand). The job owns its traces. Policy says what to
+/// simulate; Run carries the per-execution instrumentation (the service
+/// overrides Run.Cancel with its own token at execution time).
 struct TenantJob {
   std::vector<Trace> Traces;
-  MultiTenantConfig Config;
+  TenancyPolicy Policy;
+  TenantRunHooks Run;
 };
 
 /// Replay one trace through a thread-shared engine with K guest threads

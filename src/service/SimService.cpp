@@ -93,14 +93,18 @@ std::string Job::validate() const {
   for (const Trace &Tr : T.Traces)
     if (!Tr.validate())
       return "tenant job trace '" + Tr.Name + "' is structurally invalid";
-  if (!T.Config.Tenants.empty() && T.Config.Tenants.size() != T.Traces.size()) {
+  if (!T.Policy.Tenants.empty() &&
+      T.Policy.Tenants.size() != T.Traces.size()) {
     char Buf[96];
     std::snprintf(Buf, sizeof(Buf),
                   "tenant job has %zu traces but %zu tenant specs",
-                  T.Traces.size(), T.Config.Tenants.size());
+                  T.Traces.size(), T.Policy.Tenants.size());
     return Buf;
   }
-  return T.Config.validate();
+  std::string Err = T.Policy.validate();
+  if (Err.empty())
+    Err = T.Run.validate();
+  return Err;
 }
 
 JobOutcome ccsim::service::executeJob(const Job &J, CancelToken *Cancel) {
@@ -147,9 +151,9 @@ JobOutcome ccsim::service::executeJob(const Job &J, CancelToken *Cancel) {
       Out.Suite = multisweep::runSweepGrid(*S->Engine, Points, Options);
     } else {
       const auto &T = std::get<TenantJob>(J.Payload);
-      MultiTenantConfig Config = T.Config;
-      Config.Cancel = Cancel;
-      MultiTenantSimulator Sim(T.Traces, Config);
+      TenantRunHooks Run = T.Run;
+      Run.Cancel = Cancel;
+      MultiTenantSimulator Sim(T.Traces, T.Policy, Run);
       Out.Tenants = Sim.run();
     }
     Out.Status = JobStatus::Done;

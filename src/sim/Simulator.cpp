@@ -94,7 +94,7 @@ SimResult ccsim::sim::run(const Trace &T,
                        MarkId, 0, Result.Stats.Accesses);
     char Pressure[32];
     std::snprintf(Pressure, sizeof(Pressure), "%g", Config.PressureFactor);
-    Result.Stats.recordTo(Tel->Metrics,
+    Result.Stats.recordMetrics(Tel->Metrics,
                           {{"benchmark", Result.BenchmarkName},
                            {"policy", Result.PolicyName},
                            {"pressure", Pressure}});

@@ -15,7 +15,7 @@ void ccsim::recordSuiteMetrics(telemetry::TelemetrySink *Tel,
     return;
   char Pressure[32];
   std::snprintf(Pressure, sizeof(Pressure), "%g", Result.PressureFactor);
-  Result.Combined.recordTo(Tel->Metrics, {{"suite", Result.PolicyLabel},
+  Result.Combined.recordMetrics(Tel->Metrics, {{"suite", Result.PolicyLabel},
                                           {"pressure", Pressure}});
 }
 

@@ -29,6 +29,15 @@ namespace ccsim {
 struct SuperblockDef {
   uint32_t SizeBytes = 0;
   std::vector<SuperblockId> OutEdges;
+
+  /// Content identity for cross-tenant sharing: blocks carrying the same
+  /// nonzero tag are "the same translated code" across traces by
+  /// construction (the overlap workload tags its shared pool this way).
+  /// 0 — the default — means "derive identity from the trace name and
+  /// block shape instead" (see concurrent/MultiTenantSimulator). In-memory
+  /// only: the .cct file format does not carry tags, so traces that go
+  /// through TraceIO lose them and fall back to derived identity.
+  uint64_t ContentTag = 0;
 };
 
 /// A full benchmark trace: superblock definitions plus the dispatch

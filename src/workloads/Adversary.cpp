@@ -2,6 +2,7 @@
 
 #include "workloads/Adversary.h"
 
+#include "core/SharedContentIndex.h"
 #include "support/Contracts.h"
 #include "support/Random.h"
 
@@ -111,6 +112,21 @@ public:
       }
     }
     T.Accesses = std::move(Stream);
+    return T;
+  }
+
+  /// finish() plus per-block content tags: TagOf(Key) returns the block's
+  /// ContentTag (0 = untagged private code). The tagged variant exists for
+  /// the cross-tenant sharing study, where identical code in different
+  /// tenants' traces must carry the same tag even though discovery order
+  /// — and hence local ids — differs per tenant.
+  template <typename EdgesFn, typename TagFn>
+  Trace finishTagged(std::string Name, uint32_t BlockBytes, EdgesFn EdgesOf,
+                     TagFn TagOf) && {
+    const std::vector<uint64_t> Keys = Order;
+    Trace T = std::move(*this).finish(std::move(Name), BlockBytes, EdgesOf);
+    for (size_t Id = 0; Id < Keys.size(); ++Id)
+      T.Blocks[Id].ContentTag = TagOf(Keys[Id]);
     return T;
   }
 
@@ -401,6 +417,63 @@ uint64_t AdversarySpec::tunedCapacityBytes() const {
     return std::max<uint64_t>(1, 2 * uint64_t(Blocks) * S);
   }
   return std::max<uint64_t>(1, plannedBlocks() * S);
+}
+
+std::vector<Trace>
+ccsim::workloads::generateTenantOverlapSuite(const AdversarySpec &Spec,
+                                             uint64_t Seed) {
+  CCSIM_REQUIRE(Spec.Kind == AdversaryKind::TenantOverlap,
+                "tenant-overlap suite generation needs a TenantOverlap "
+                "spec, got '%s'",
+                adversaryKindName(Spec.Kind));
+  const std::string Err = Spec.validate();
+  CCSIM_REQUIRE(Err.empty(), "invalid adversarial spec '%s': %s",
+                Spec.Name.c_str(), Err.c_str());
+
+  uint64_t Shared = 0;
+  uint64_t Priv = 0;
+  overlapSplit(Spec, Shared, Priv);
+  const uint64_t PerTenant = Shared + Priv;
+  const uint64_t T = Spec.Tenants;
+  const uint64_t Total =
+      Spec.Accesses != 0 ? Spec.Accesses : Spec.derivedAccesses();
+  // Every tenant must discover its whole working set (Trace::validate
+  // requires each defined block accessed), even when an explicit Accesses
+  // is stingy.
+  const uint64_t EachAccesses =
+      std::max<uint64_t>(PerTenant, (Total + T - 1) / T);
+
+  // Same cursor-offset seeding as the single-trace interleave: tenants do
+  // not march through the shared pool in lockstep, so their discovery
+  // orders — and hence local ids — genuinely differ. Only the ContentTag
+  // identifies pool blocks across tenants.
+  Rng R(Seed);
+  std::vector<Trace> Suite;
+  Suite.reserve(T);
+  for (uint64_t I = 0; I < T; ++I) {
+    const uint64_t Offset = PerTenant ? R.nextBelow(PerTenant) : 0;
+    StreamBuilder B;
+    for (uint64_t K = 0; K < EachAccesses && PerTenant > 0; ++K)
+      B.access((Offset + K) % PerTenant);
+    Suite.push_back(std::move(B).finishTagged(
+        Spec.Name + "[t" + std::to_string(I) + "]", Spec.BlockBytes,
+        [Shared, Priv](uint64_t Key, std::vector<uint64_t> &Edges) {
+          // Pool chains cyclically within the pool, private code within
+          // the private set — shared code never branches into private
+          // code, so a pool block really is identical across tenants.
+          if (Key < Shared) {
+            Edges.push_back((Key + 1) % Shared);
+            return;
+          }
+          Edges.push_back(Shared + (Key - Shared + 1) % Priv);
+        },
+        [&Spec, Shared](uint64_t Key) -> uint64_t {
+          if (Key >= Shared)
+            return 0; // Private code: content-unique by trace name.
+          return ContentKeyBuilder().mix(Spec.Name).mix(Key).key();
+        }));
+  }
+  return Suite;
 }
 
 Trace ccsim::workloads::generateAdversarial(const AdversarySpec &Spec,

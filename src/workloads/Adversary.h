@@ -138,6 +138,19 @@ struct AdversarySpec {
 /// accessed, even when an explicit Accesses truncates discovery).
 Trace generateAdversarial(const AdversarySpec &Spec, uint64_t Seed);
 
+/// Per-tenant decomposition of the TenantOverlap pattern, for the
+/// cross-tenant sharing study: one trace per Spec.Tenants (named
+/// "<Name>[t<I>]"), each streaming over its own copy of the working set.
+/// Shared-pool blocks carry identical nonzero ContentTags across tenants
+/// — the content a ShareCode run can fold to one resident copy — while
+/// private blocks stay untagged and therefore content-unique (the
+/// fallback key folds in the per-tenant trace name). Sweeping
+/// Spec.OverlapFraction from 0 to 1 moves the shareable fraction of every
+/// tenant's working set from nothing to everything. Requires
+/// Kind == TenantOverlap and a valid spec.
+std::vector<Trace> generateTenantOverlapSuite(const AdversarySpec &Spec,
+                                              uint64_t Seed);
+
 /// The named adversarial workloads: one tuned spec per AdversaryKind.
 const std::vector<AdversarySpec> &adversarialCatalog();
 

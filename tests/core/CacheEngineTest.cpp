@@ -66,6 +66,35 @@ CacheEngine makeEngine(CacheEngineConfig Config, GranularitySpec Spec) {
 
 } // namespace
 
+TEST(CacheEngineTest, OwningRecordSurvivesBindingToALocal) {
+  // rec(Id, Size, {braced edges}) must be consumed inside the full
+  // expression -- the braced temporary dies at the semicolon, so binding
+  // the plain record to a local dangles its edge span. The owning record
+  // is the sanctioned way to hold one across statements; this pins that
+  // the edges stay alive and intact through copies and moves.
+  OwningSuperblockRecord Held(0, 100, {1, 2, 3});
+  OwningSuperblockRecord Copy = Held;
+  OwningSuperblockRecord Moved = std::move(Copy);
+
+  ASSERT_EQ(Moved.record().OutEdges.size(), 3u);
+  EXPECT_EQ(Moved.record().OutEdges[1], 2u);
+  // The span must point into the owning record's own storage, not the
+  // source it was copied or moved from.
+  EXPECT_EQ(Held.record().OutEdges.size(), 3u);
+  EXPECT_NE(Held.record().OutEdges.data(), Moved.record().OutEdges.data());
+
+  CacheEngineConfig Config;
+  Config.CapacityBytes = 1000;
+  CacheEngine E = makeEngine(Config, GranularitySpec::fine());
+  EXPECT_TRUE(E.install(rec(1, 100)));
+  EXPECT_TRUE(E.install(rec(2, 100)));
+  EXPECT_TRUE(E.install(rec(3, 100)));
+  // The held record converts implicitly where a SuperblockRecord is
+  // expected, edges included: all three out-edges chain on install.
+  EXPECT_TRUE(E.install(Held));
+  EXPECT_EQ(E.stats().LinksCreated, 3u);
+}
+
 TEST(CacheEngineTest, InstallIsTheMissHalfOfAccess) {
   CacheEngineConfig Config;
   Config.CapacityBytes = 1000;

@@ -65,7 +65,7 @@ void setJobTelemetry(Job &J, telemetry::TelemetrySink *Sink) {
     for (SweepJob &Point : S->Jobs)
       Point.Config.Telemetry = Sink;
   else if (auto *T = std::get_if<TenantJob>(&J.Payload))
-    T->Config.Telemetry = Sink;
+    T->Run.Telemetry = Sink;
 }
 
 /// The mixed workload used by the byte-identity test: every job kind,
@@ -84,15 +84,15 @@ std::vector<Job> mixedJobs() {
   Sweep.Engine = Engine;
   SimConfig Base;
   Base.PressureFactor = 2.0;
-  Sweep.Jobs = makeSweepGrid({GranularitySpec::flush(), GranularitySpec::fine()},
-                             {2.0}, Base);
+  Sweep.Jobs = makeSweepGrid(
+      {GranularitySpec::flush(), GranularitySpec::fine()}, {2.0}, Base);
   Jobs.push_back(Job(std::move(Sweep), JobOptions().withPriority(2)));
 
   TenantJob Tenants;
   Tenants.Traces.push_back(scaledTrace("gzip", 0.05));
   Tenants.Traces.push_back(scaledTrace("vpr", 0.05));
-  Tenants.Config.Mode = PartitionMode::Shared;
-  Tenants.Config.PressureFactor = 2.0;
+  Tenants.Policy.Mode = PartitionMode::Shared;
+  Tenants.Policy.PressureFactor = 2.0;
   Jobs.push_back(Job(std::move(Tenants), JobOptions().withPriority(3)));
   return Jobs;
 }

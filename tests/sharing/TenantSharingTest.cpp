@@ -1,0 +1,168 @@
+//===- tests/sharing/TenantSharingTest.cpp - Cross-tenant sharing runs ----===//
+//
+// MultiTenantSimulator with TenancyPolicy::ShareCode over the tenant-
+// overlap suite: the disabled path stays silent, full overlap collapses
+// the K-tenant footprint to one copy, the conservation identity
+// (SharedInstalls - UnshareUnlinks == live links) holds in every partition
+// mode, unshare drains are attributed per tenant, and runs replay
+// deterministically.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concurrent/MultiTenantSimulator.h"
+#include "workloads/Adversary.h"
+
+#include "gtest/gtest.h"
+
+using namespace ccsim;
+using namespace ccsim::workloads;
+
+namespace {
+
+std::vector<Trace> overlapSuite(uint32_t Tenants, double Fraction,
+                                uint64_t Seed = 42) {
+  AdversarySpec Spec = *findAdversarial("overlap");
+  Spec.Tenants = Tenants;
+  Spec.OverlapFraction = Fraction;
+  return generateTenantOverlapSuite(Spec, Seed);
+}
+
+TenancyPolicy basePolicy() {
+  TenancyPolicy Policy;
+  Policy.Granularity = GranularitySpec::units(8);
+  Policy.PressureFactor = 2.0;
+  Policy.ShareCode = true;
+  return Policy;
+}
+
+void expectShareSumsMatchGlobal(const MultiTenantResult &R) {
+  uint64_t Installs = 0, BytesSaved = 0, Unshares = 0;
+  for (const TenantResult &T : R.Tenants) {
+    EXPECT_EQ(T.SharingActive, R.Global.SharingActive);
+    Installs += T.SharedInstalls;
+    BytesSaved += T.SharedBytesSaved;
+    Unshares += T.UnshareUnlinks;
+  }
+  EXPECT_EQ(Installs, R.Global.SharedInstalls);
+  EXPECT_EQ(BytesSaved, R.Global.SharedBytesSaved);
+  EXPECT_EQ(Unshares, R.Global.UnshareUnlinks);
+}
+
+} // namespace
+
+TEST(TenantSharingTest, DisabledSharingLeavesEveryCounterSilent) {
+  TenancyPolicy Policy = basePolicy();
+  Policy.ShareCode = false;
+  // The simulator borrows the trace vector; it must outlive the run.
+  const std::vector<Trace> Traces = overlapSuite(3, 1.0);
+  MultiTenantSimulator Sim(Traces, Policy);
+  const MultiTenantResult R = Sim.run();
+
+  EXPECT_FALSE(R.Global.SharingActive);
+  EXPECT_EQ(R.Global.SharedInstalls, 0u);
+  EXPECT_EQ(R.Global.SharedBytesSaved, 0u);
+  EXPECT_EQ(R.Global.UnshareUnlinks, 0u);
+  EXPECT_EQ(R.FinalSharedEntries, 0u);
+  EXPECT_EQ(R.FinalShareLinks, 0u);
+  for (const TenantResult &T : R.Tenants)
+    EXPECT_FALSE(T.SharingActive);
+}
+
+TEST(TenantSharingTest, FullOverlapKeepsFootprintAtOneCopy) {
+  // At 100% overlap every tenant runs identical code; with sharing on,
+  // the K-tenant resident footprint must stay within 10% of a single
+  // tenant's (the acceptance bar of the sharing study).
+  TenancyPolicy Policy = basePolicy();
+  Policy.PressureFactor = 1.0; // Ample capacity: footprint == installs.
+
+  const std::vector<Trace> Solo = overlapSuite(1, 1.0);
+  const std::vector<Trace> Trio = overlapSuite(3, 1.0);
+  MultiTenantSimulator One(Solo, Policy);
+  MultiTenantSimulator Three(Trio, Policy);
+  const MultiTenantResult R1 = One.run();
+  const MultiTenantResult R3 = Three.run();
+
+  EXPECT_GT(R3.Global.SharedInstalls, 0u);
+  EXPECT_GT(R1.Global.InsertedBytes, 0u);
+  EXPECT_LE(R3.Global.InsertedBytes, R1.Global.InsertedBytes * 11 / 10);
+
+  // Every pooled block the other two tenants touched was a link, and the
+  // avoided bytes are exactly the duplicate copies never installed.
+  EXPECT_EQ(R3.Global.SharedBytesSaved,
+            R3.Global.SharedInstalls * 256u); // Catalog block size.
+  expectShareSumsMatchGlobal(R3);
+}
+
+TEST(TenantSharingTest, ZeroOverlapNeverLinks) {
+  // Fully private working sets: representatives get registered (content
+  // keys exist for every block), but no second tenant ever matches one.
+  const TenancyPolicy Policy = basePolicy();
+  const std::vector<Trace> Traces = overlapSuite(3, 0.0);
+  MultiTenantSimulator Sim(Traces, Policy);
+  const MultiTenantResult R = Sim.run();
+  EXPECT_TRUE(R.Global.SharingActive);
+  EXPECT_EQ(R.Global.SharedInstalls, 0u);
+  EXPECT_EQ(R.FinalShareLinks, 0u);
+}
+
+TEST(TenantSharingTest, ConservationHoldsInEveryPartitionMode) {
+  for (PartitionMode Mode :
+       {PartitionMode::Shared, PartitionMode::StaticPartition,
+        PartitionMode::UnitQuota}) {
+    TenancyPolicy Policy = basePolicy();
+    Policy.Mode = Mode;
+    const std::vector<Trace> Traces = overlapSuite(3, 0.5);
+    MultiTenantSimulator Sim(Traces, Policy);
+    const MultiTenantResult R = Sim.run();
+
+    EXPECT_TRUE(R.Global.SharingActive) << partitionModeLabel(Mode);
+    EXPECT_GT(R.Global.SharedInstalls, 0u) << partitionModeLabel(Mode);
+    // Every link ever created is either still live or was force-drained.
+    EXPECT_EQ(R.Global.SharedInstalls,
+              R.Global.UnshareUnlinks + R.FinalShareLinks)
+        << partitionModeLabel(Mode);
+    expectShareSumsMatchGlobal(R);
+  }
+}
+
+TEST(TenantSharingTest, PressureDrainsSharesWithPerTenantAttribution) {
+  // Thrash the shared cache: representatives get evicted while links are
+  // live, so unshare unlinks must appear and be attributed to the tenants
+  // that lost their copy.
+  TenancyPolicy Policy = basePolicy();
+  Policy.PressureFactor = 6.0;
+  const std::vector<Trace> Traces = overlapSuite(3, 0.75);
+  MultiTenantSimulator Sim(Traces, Policy);
+  const MultiTenantResult R = Sim.run();
+
+  EXPECT_GT(R.Global.UnshareUnlinks, 0u);
+  EXPECT_EQ(R.Global.SharedInstalls,
+            R.Global.UnshareUnlinks + R.FinalShareLinks);
+  expectShareSumsMatchGlobal(R);
+
+  // The drains were charged through Eq. 4: unlink overhead cannot be zero
+  // when unshare unlinks happened.
+  EXPECT_GT(R.Global.UnlinkOverhead, 0.0);
+}
+
+TEST(TenantSharingTest, SharingRunsAreDeterministic) {
+  TenancyPolicy Policy = basePolicy();
+  Policy.PressureFactor = 4.0;
+  const std::vector<Trace> TracesA = overlapSuite(3, 0.5);
+  const std::vector<Trace> TracesB = overlapSuite(3, 0.5);
+  MultiTenantSimulator A(TracesA, Policy);
+  MultiTenantSimulator B(TracesB, Policy);
+  const MultiTenantResult RA = A.run();
+  const MultiTenantResult RB = B.run();
+
+  EXPECT_EQ(RA.Global.SharedInstalls, RB.Global.SharedInstalls);
+  EXPECT_EQ(RA.Global.SharedBytesSaved, RB.Global.SharedBytesSaved);
+  EXPECT_EQ(RA.Global.UnshareUnlinks, RB.Global.UnshareUnlinks);
+  EXPECT_EQ(RA.FinalSharedEntries, RB.FinalSharedEntries);
+  EXPECT_EQ(RA.FinalShareLinks, RB.FinalShareLinks);
+  ASSERT_EQ(RA.Tenants.size(), RB.Tenants.size());
+  for (size_t T = 0; T < RA.Tenants.size(); ++T) {
+    EXPECT_EQ(RA.Tenants[T].SharedInstalls, RB.Tenants[T].SharedInstalls);
+    EXPECT_EQ(RA.Tenants[T].UnshareUnlinks, RB.Tenants[T].UnshareUnlinks);
+  }
+}

@@ -1,0 +1,9 @@
+// Fixture: the unified TenancyPolicy/TenantRunHooks pair must NOT trip
+// tenancy.legacy-config, and neither must a comment naming the old type.
+// Never compiled; read as text by CcsimLintTest.
+#include "concurrent/TenancyPolicy.h"
+
+// MultiTenantConfig used to be assembled here; comments are exempt.
+ccsim::TenancyPolicy makePolicy() {
+  return ccsim::TenancyPolicy().withPressure(2.0);
+}

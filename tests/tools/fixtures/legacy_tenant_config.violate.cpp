@@ -1,0 +1,9 @@
+// Fixture: tenancy.legacy-config must fire on every code mention of the
+// deprecated MultiTenantConfig bundle in the production trees.
+// Never compiled; read as text by CcsimLintTest.
+#include "concurrent/MultiTenantSimulator.h"
+
+ccsim::MultiTenantConfig makeLegacyConfig() {
+  ccsim::MultiTenantConfig Config;
+  return Config;
+}
